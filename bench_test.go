@@ -1,0 +1,162 @@
+// Package vrex's top-level benchmarks regenerate every table and figure of
+// the paper through the experiment runners (one benchmark per artifact), and
+// additionally benchmark the core algorithm kernels so `go test -bench=.`
+// reports both reproduction output cost and kernel-level throughput.
+package vrex_test
+
+import (
+	"io"
+	"testing"
+
+	"vrex/internal/core"
+	"vrex/internal/experiments"
+	"vrex/internal/hashbit"
+	"vrex/internal/hwsim"
+	"vrex/internal/mathx"
+	"vrex/internal/model"
+	"vrex/internal/tensor"
+	"vrex/internal/wicsum"
+	"vrex/internal/workload"
+)
+
+// benchExperiment drives one experiment runner end to end.
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	opts := experiments.Options{Sessions: 2, Seed: 7, Quick: true}
+	for i := 0; i < b.N; i++ {
+		if err := experiments.Run(id, opts, io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig4aMemoryFootprint(b *testing.B)  { benchExperiment(b, "fig4a") }
+func BenchmarkFig4bLatencyBreakdown(b *testing.B) { benchExperiment(b, "fig4b") }
+func BenchmarkFig4cRetrievalOverhead(b *testing.B) {
+	benchExperiment(b, "fig4c")
+}
+func BenchmarkFig7Similarity(b *testing.B)     { benchExperiment(b, "fig7") }
+func BenchmarkFig13LatencyEnergy(b *testing.B) { benchExperiment(b, "fig13") }
+func BenchmarkFig14E2EBreakdown(b *testing.B)  { benchExperiment(b, "fig14") }
+func BenchmarkFig15Throughput(b *testing.B)    { benchExperiment(b, "fig15") }
+func BenchmarkFig16Ablation(b *testing.B)      { benchExperiment(b, "fig16") }
+func BenchmarkFig17Bandwidth(b *testing.B)     { benchExperiment(b, "fig17") }
+func BenchmarkFig18Roofline(b *testing.B)      { benchExperiment(b, "fig18") }
+func BenchmarkFig19ReSVAblation(b *testing.B)  { benchExperiment(b, "fig19") }
+func BenchmarkFig20RatioDistribution(b *testing.B) {
+	benchExperiment(b, "fig20")
+}
+func BenchmarkTable1Hardware(b *testing.B)  { benchExperiment(b, "tab1") }
+func BenchmarkTable2Accuracy(b *testing.B)  { benchExperiment(b, "tab2") }
+func BenchmarkTable3AreaPower(b *testing.B) { benchExperiment(b, "tab3") }
+
+// --- Kernel-level benchmarks ---
+
+// BenchmarkHashBitClustering measures ReSV stage 1 on a frame of keys
+// against a grown cluster table (the HCU's work).
+func BenchmarkHashBitClustering(b *testing.B) {
+	const dim, tokens = 1024, 10
+	rng := mathx.NewRNG(1)
+	cl := hashbit.NewClusterer(dim, 32, 7, rng.Split())
+	warm := tensor.NewMatrix(320, dim)
+	warm.Randomize(rng, 1)
+	cl.AddFrame(warm, 0)
+	frame := tensor.NewMatrix(tokens, dim)
+	frame.Randomize(rng, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cl.AddFrame(frame, 320+i*tokens)
+	}
+}
+
+// BenchmarkHamming measures the raw XOR-accumulate primitive.
+func BenchmarkHamming(b *testing.B) {
+	x := hashbit.Signature{0xdeadbeefcafebabe}
+	y := hashbit.Signature{0x0123456789abcdef}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = hashbit.Hamming(x, y)
+	}
+}
+
+// BenchmarkWiCSumExact measures exact WiCSum thresholding on a 1250-cluster
+// row (the 40K-cache operating point: 40K tokens / 32 per cluster).
+func BenchmarkWiCSumExact(b *testing.B) {
+	rng := mathx.NewRNG(2)
+	mass := make([]float32, 1250)
+	counts := make([]int, 1250)
+	for i := range mass {
+		mass[i] = rng.Float32()
+		counts[i] = 1 + rng.Intn(64)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = wicsum.SelectRow(mass, counts, 0.3)
+	}
+}
+
+// BenchmarkWiCSumEarlyExit measures the WTU dataflow on the same row.
+func BenchmarkWiCSumEarlyExit(b *testing.B) {
+	rng := mathx.NewRNG(2)
+	mass := make([]float32, 1250)
+	counts := make([]int, 1250)
+	for i := range mass {
+		mass[i] = rng.Float32()
+		counts[i] = 1 + rng.Intn(64)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = wicsum.SelectRowEarlyExit(mass, counts, 0.3, 20)
+	}
+}
+
+// BenchmarkModelForwardDense measures one frame forward with full attention.
+func BenchmarkModelForwardDense(b *testing.B) {
+	cfg := model.DefaultConfig()
+	m := model.New(cfg)
+	rng := mathx.NewRNG(3)
+	warm := tensor.NewMatrix(200, cfg.Dim)
+	warm.Randomize(rng, 1)
+	m.Forward(warm, model.DenseRetriever{}, model.StageFrame, false)
+	frame := tensor.NewMatrix(10, cfg.Dim)
+	frame.Randomize(rng, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Forward(frame, model.DenseRetriever{}, model.StageFrame, false)
+	}
+}
+
+// BenchmarkModelForwardReSV measures one frame forward under ReSV retrieval.
+func BenchmarkModelForwardReSV(b *testing.B) {
+	cfg := model.DefaultConfig()
+	m := model.New(cfg)
+	r := core.New(cfg, core.DefaultConfig())
+	rng := mathx.NewRNG(3)
+	warm := tensor.NewMatrix(200, cfg.Dim)
+	warm.Randomize(rng, 1)
+	m.Forward(warm, r, model.StageFrame, false)
+	frame := tensor.NewMatrix(10, cfg.Dim)
+	frame.Randomize(rng, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Forward(frame, r, model.StageFrame, false)
+	}
+}
+
+// BenchmarkHWSimFrame measures the analytic simulator itself.
+func BenchmarkHWSimFrame(b *testing.B) {
+	sim := hwsim.NewSim(hwsim.VRex8(), hwsim.Llama3_8B(), hwsim.ReSVModel())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = sim.FrameLatency(10, 40000, 1)
+	}
+}
+
+// BenchmarkWorkloadSession measures COIN-like session generation.
+func BenchmarkWorkloadSession(b *testing.B) {
+	gen := workload.NewGenerator(workload.DefaultConfig(), 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = gen.Session(workload.TaskStep, i)
+	}
+}

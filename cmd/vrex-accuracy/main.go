@@ -1,0 +1,86 @@
+// Command vrex-accuracy runs the Table II accuracy/ratio evaluation on the
+// functional plane: the planted-saliency QA proxy over COIN-like sessions,
+// for any subset of the retrieval policies.
+//
+// Usage:
+//
+//	vrex-accuracy -sessions 10
+//	vrex-accuracy -policy resv -task Next -sessions 20
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"vrex/internal/accuracy"
+	"vrex/internal/core"
+	"vrex/internal/model"
+	"vrex/internal/report"
+	"vrex/internal/retrieval"
+	"vrex/internal/workload"
+)
+
+func main() {
+	sessions := flag.Int("sessions", 10, "sessions per task family")
+	policy := flag.String("policy", "all", "all | dense | infinigen | infinigenp | rekv | resv | resv-nocluster")
+	task := flag.String("task", "all", "all | Step | Next | Proc. | Proc.+ | Task")
+	seed := flag.Uint64("seed", 7, "random seed")
+	flag.Parse()
+
+	mcfg := model.DefaultConfig()
+	mcfg.Seed = *seed
+	wcfg := workload.DefaultConfig()
+	wcfg.Seed = *seed
+	ev := accuracy.NewEvaluator(mcfg, wcfg, *sessions)
+
+	factories := map[string]accuracy.PolicyFactory{
+		"dense":      func() model.Retriever { return retrieval.NewDense() },
+		"infinigen":  func() model.Retriever { return retrieval.NewInfiniGen(mcfg, 0.068) },
+		"infinigenp": func() model.Retriever { return retrieval.NewInfiniGenP(mcfg, 0.5, 0.068) },
+		"rekv": func() model.Retriever {
+			return retrieval.NewReKV(mcfg, wcfg.Stream.TokensPerFrame, 0.584, 0.312)
+		},
+		"resv": func() model.Retriever { return core.New(mcfg, core.DefaultConfig()) },
+		"resv-nocluster": func() model.Retriever {
+			c := core.DefaultConfig()
+			c.DisableClustering = true
+			return core.New(mcfg, c)
+		},
+	}
+	order := []string{"dense", "infinigen", "infinigenp", "rekv", "resv"}
+	if *policy != "all" {
+		name := strings.ToLower(*policy)
+		if _, ok := factories[name]; !ok {
+			fmt.Fprintf(os.Stderr, "unknown policy %q\n", *policy)
+			os.Exit(1)
+		}
+		order = []string{name}
+	}
+
+	tasks := workload.Tasks()
+	if *task != "all" {
+		var sel []workload.Task
+		for _, tk := range tasks {
+			if strings.EqualFold(tk.String(), *task) {
+				sel = append(sel, tk)
+			}
+		}
+		if len(sel) == 0 {
+			fmt.Fprintf(os.Stderr, "unknown task %q\n", *task)
+			os.Exit(1)
+		}
+		tasks = sel
+	}
+
+	t := report.NewTable("Accuracy and retrieval ratios (planted-saliency proxy)",
+		"policy", "task", "accuracy_pct", "frame_ratio_pct", "text_ratio_pct", "queries")
+	for _, name := range order {
+		for _, tk := range tasks {
+			r := ev.EvaluateTask(tk, factories[name])
+			t.AddRow(name, tk.String(), 100*r.Accuracy, 100*r.FrameRatio, 100*r.TextRatio, r.Queries)
+		}
+	}
+	t.Render(os.Stdout)
+}

@@ -1,0 +1,50 @@
+// Command vrex-bench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	vrex-bench -exp fig13          # one experiment
+//	vrex-bench -exp all            # everything
+//	vrex-bench -exp tab2 -sessions 20 -seed 3
+//	vrex-bench -list               # show experiment IDs
+//
+// Each experiment prints the rows/series of the corresponding paper artifact
+// (see DESIGN.md's per-experiment index and EXPERIMENTS.md for
+// paper-vs-measured values).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"vrex/internal/experiments"
+	"vrex/internal/report"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment ID (fig4a..fig20, tab1..tab3) or 'all'")
+	sessions := flag.Int("sessions", 10, "sessions per task for accuracy experiments")
+	seed := flag.Uint64("seed", 7, "random seed")
+	quick := flag.Bool("quick", false, "shrink functional workloads (smoke mode)")
+	format := flag.String("format", "text", "output format: text | csv | md")
+	list := flag.Bool("list", false, "list experiment IDs and exit")
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+	opts := experiments.Options{Sessions: *sessions, Seed: *seed, Quick: *quick}
+	ids := []string{*exp}
+	if *exp == "all" {
+		ids = experiments.IDs()
+	}
+	for _, id := range ids {
+		if err := experiments.RunAs(id, opts, os.Stdout, report.Format(*format)); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+}

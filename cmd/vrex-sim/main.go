@@ -1,0 +1,96 @@
+// Command vrex-sim runs the standalone hardware simulator for one
+// device/policy/workload point and prints the latency breakdown, energy and
+// throughput.
+//
+// Usage:
+//
+//	vrex-sim -device vrex8 -policy resv -kv 40000 -batch 1 -tokens 10
+//	vrex-sim -device agx -policy flexgen -kv 20000 -tpot
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"vrex/internal/hwsim"
+)
+
+func deviceByName(name string) (hwsim.DeviceSpec, bool) {
+	switch strings.ToLower(name) {
+	case "agx", "agxorin", "orin":
+		return hwsim.AGXOrin(), true
+	case "a100":
+		return hwsim.A100(), true
+	case "vrex8", "v-rex8":
+		return hwsim.VRex8(), true
+	case "vrex48", "v-rex48":
+		return hwsim.VRex48(), true
+	}
+	return hwsim.DeviceSpec{}, false
+}
+
+func policyByName(name string) (hwsim.PolicyModel, bool) {
+	switch strings.ToLower(name) {
+	case "flexgen":
+		return hwsim.FlexGenModel(), true
+	case "infinigen":
+		return hwsim.InfiniGenModel(), true
+	case "infinigenp":
+		return hwsim.InfiniGenPModel(), true
+	case "rekv":
+		return hwsim.ReKVModel(), true
+	case "resv":
+		return hwsim.ReSVModel(), true
+	case "resv-gpu", "resvongpu":
+		return hwsim.ReSVOnGPUModel(), true
+	case "dense":
+		return hwsim.DenseModel(), true
+	case "oaken":
+		return hwsim.OakenModel(), true
+	}
+	return hwsim.PolicyModel{}, false
+}
+
+func main() {
+	device := flag.String("device", "vrex8", "agx | a100 | vrex8 | vrex48")
+	policy := flag.String("policy", "resv", "flexgen | infinigen | infinigenp | rekv | resv | resv-gpu | dense | oaken")
+	kv := flag.Int("kv", 40000, "KV cache sequence length")
+	batch := flag.Int("batch", 1, "batch size")
+	tokens := flag.Int("tokens", 10, "new tokens per frame")
+	tpot := flag.Bool("tpot", false, "simulate one generated token instead of a frame")
+	flag.Parse()
+
+	dev, ok := deviceByName(*device)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown device %q\n", *device)
+		os.Exit(1)
+	}
+	pol, ok := policyByName(*policy)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown policy %q\n", *policy)
+		os.Exit(1)
+	}
+	sim := hwsim.NewSim(dev, hwsim.Llama3_8B(), pol)
+	var b hwsim.Breakdown
+	if *tpot {
+		b = sim.TPOT(*kv, *batch)
+	} else {
+		b = sim.FrameLatency(*tokens, *kv, *batch)
+	}
+	if b.OOM {
+		fmt.Printf("%s + %s @ kv=%d batch=%d: OUT OF MEMORY\n", dev.Name, pol.Name, *kv, *batch)
+		return
+	}
+	fmt.Printf("%s + %s @ kv=%d batch=%d\n", dev.Name, pol.Name, *kv, *batch)
+	fmt.Printf("  total latency    : %8.2f ms (%.2f FPS)\n", b.Total*1000, b.FPS())
+	fmt.Printf("  vision + host    : %8.2f ms\n", b.VisionTime*1000)
+	fmt.Printf("  linear (QKVO+FFN): %8.2f ms\n", b.LinearTime*1000)
+	fmt.Printf("  attention        : %8.2f ms\n", b.AttnTime*1000)
+	fmt.Printf("  KV prediction    : %8.2f ms exposed (%.2f ms busy)\n", b.PredExposed*1000, b.PredRaw*1000)
+	fmt.Printf("  KV fetch         : %8.2f ms exposed (%.2f ms busy, %.1f MB)\n",
+		b.FetchExposed*1000, b.FetchRaw*1000, b.FetchBytes/1e6)
+	fmt.Printf("  DRE busy         : %8.3f ms\n", b.DRETime*1000)
+	fmt.Printf("  energy           : %8.2f J (%.1f GOPS/W)\n", b.EnergyJ, b.GOPSPerWatt())
+}

@@ -1,0 +1,77 @@
+// Ablation walkthrough: how much does each ReSV / V-Rex mechanism buy?
+//
+// Functional plane: run the same COIN-like session with clustering on/off
+// and different WiCSum thresholds, printing accuracy-relevant selection
+// behaviour. Performance plane: replay Fig. 16's cumulative hardware gains.
+//
+//	go run ./examples/ablation
+package main
+
+import (
+	"fmt"
+
+	"vrex/internal/core"
+	"vrex/internal/hwsim"
+	"vrex/internal/model"
+	"vrex/internal/workload"
+)
+
+func main() {
+	mcfg := model.DefaultConfig()
+	wcfg := workload.DefaultConfig()
+	gen := workload.NewGenerator(wcfg, mcfg.Dim)
+	sess := gen.Session(workload.TaskStep, 2)
+
+	fmt.Println("-- functional plane: selection behaviour --")
+	for _, cfg := range []struct {
+		name string
+		c    core.Config
+	}{
+		{"ReSV (Th_wics=0.3, clustering on)", core.DefaultConfig()},
+		{"ReSV w/o clustering", func() core.Config {
+			c := core.DefaultConfig()
+			c.DisableClustering = true
+			return c
+		}()},
+		{"ReSV with Th_wics=0.8", func() core.Config {
+			c := core.DefaultConfig()
+			c.ThWics = 0.8
+			return c
+		}()},
+	} {
+		m := model.New(mcfg)
+		r := core.New(mcfg, cfg.c)
+		for _, fe := range sess.FrameEmbeds {
+			m.Forward(fe, r, model.StageFrame, false)
+		}
+		st := r.Stats()
+		fmt.Printf("%-36s frame ratio %5.1f%%, tokens/cluster %4.1f, examined %4.1f%%\n",
+			cfg.name, 100*st.Frame.RetrievalRatio(),
+			r.HCTable(0).AvgTokensPerCluster(), 100*st.Frame.AvgExaminedFraction())
+	}
+
+	fmt.Println()
+	fmt.Println("-- performance plane: Fig. 16 cumulative gains at 40K --")
+	llm := hwsim.Llama3_8B()
+	kvpuOnly := hwsim.ReSVModel()
+	kvpuOnly.SegmentTokens = 4 // no KVMU cluster-contiguous mapping
+	steps := []struct {
+		name string
+		dev  hwsim.DeviceSpec
+		pol  hwsim.PolicyModel
+	}{
+		{"AGX+FlexGen (baseline)", hwsim.AGXOrin(), hwsim.FlexGenModel()},
+		{"AGX+ReSV (algorithm only)", hwsim.AGXOrin(), hwsim.ReSVOnGPUModel()},
+		{"V-Rex8 KVPU (HCU+WTU)", hwsim.VRex8(), kvpuOnly},
+		{"V-Rex8 All (+KVMU)", hwsim.VRex8(), hwsim.ReSVModel()},
+	}
+	var base hwsim.Breakdown
+	for i, st := range steps {
+		b := hwsim.NewSim(st.dev, llm, st.pol).FrameLatency(10, 40000, 1)
+		if i == 0 {
+			base = b
+		}
+		fmt.Printf("%-28s %7.0f ms (%4.1fx), %6.1f J (%4.1fx energy)\n",
+			st.name, b.Total*1000, base.Total/b.Total, b.EnergyJ, base.EnergyJ/b.EnergyJ)
+	}
+}

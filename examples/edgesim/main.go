@@ -1,0 +1,55 @@
+// Edge deployment simulation: reproduce the headline Fig. 13(a) comparison —
+// V-Rex8 vs an AGX Orin GPU running retrieval baselines — and print
+// per-frame latency, FPS, and energy efficiency across KV cache lengths.
+//
+//	go run ./examples/edgesim
+package main
+
+import (
+	"fmt"
+
+	"vrex/internal/hwsim"
+)
+
+func main() {
+	llm := hwsim.Llama3_8B()
+	kvLens := []int{1000, 5000, 10000, 20000, 40000}
+
+	systems := []struct {
+		dev hwsim.DeviceSpec
+		pol hwsim.PolicyModel
+	}{
+		{hwsim.AGXOrin(), hwsim.FlexGenModel()},
+		{hwsim.AGXOrin(), hwsim.InfiniGenPModel()},
+		{hwsim.AGXOrin(), hwsim.ReKVModel()},
+		{hwsim.VRex8(), hwsim.ReSVModel()},
+	}
+
+	fmt.Println("per-frame latency (ms) / FPS / GOPS/W at batch 1 (paper Fig. 13a)")
+	for _, s := range systems {
+		fmt.Printf("%-22s", s.dev.Name+"+"+s.pol.Name)
+		for _, kv := range kvLens {
+			b := hwsim.NewSim(s.dev, llm, s.pol).FrameLatency(10, kv, 1)
+			fmt.Printf("  %6.0fms/%4.1ffps/%5.1f", b.Total*1000, b.FPS(), b.GOPSPerWatt())
+		}
+		fmt.Println()
+	}
+
+	fmt.Println()
+	fmt.Println("headline: V-Rex8 speedup and energy gain over AGX+FlexGen")
+	for _, kv := range kvLens {
+		g := hwsim.NewSim(hwsim.AGXOrin(), llm, hwsim.FlexGenModel()).FrameLatency(10, kv, 1)
+		v := hwsim.NewSim(hwsim.VRex8(), llm, hwsim.ReSVModel()).FrameLatency(10, kv, 1)
+		fmt.Printf("  kv=%6d: %.1fx faster, %.1fx more energy-efficient, V-Rex8 at %.1f FPS\n",
+			kv, g.Total/v.Total, v.GOPSPerWatt()/g.GOPSPerWatt(), v.FPS())
+	}
+
+	fmt.Println()
+	fmt.Println("what the DRE buys (40K cache): exposed KV-prediction time")
+	gpu := hwsim.NewSim(hwsim.AGXOrin(), llm, hwsim.ReSVOnGPUModel()).FrameLatency(10, 40000, 1)
+	dre := hwsim.NewSim(hwsim.VRex8(), llm, hwsim.ReSVModel()).FrameLatency(10, 40000, 1)
+	fmt.Printf("  ReSV prediction on GPU : %6.1f ms exposed (%.0f%% of frame)\n",
+		gpu.PredExposed*1000, 100*gpu.PredExposed/gpu.Total)
+	fmt.Printf("  ReSV prediction on DRE : %6.3f ms exposed (%.2f%% of frame)\n",
+		dre.PredExposed*1000, 100*dre.PredExposed/dre.Total)
+}

@@ -1,0 +1,141 @@
+// Package accuracy evaluates retrieval policies on the planted-saliency QA
+// proxy (DESIGN.md's substitution for COIN top-1 accuracy): a query is
+// answered by the scene whose tokens receive the most attention mass from
+// the question forward pass. A retrieval policy that drops the evidence
+// tokens — during frame prefill (degrading the KV entries themselves) or
+// during question processing (cutting the query off from them) — answers
+// wrongly, which is exactly the degradation mechanism Table II measures.
+package accuracy
+
+import (
+	"vrex/internal/model"
+	"vrex/internal/workload"
+)
+
+// PolicyFactory creates a fresh retrieval policy instance per session (a
+// policy accumulates per-session state such as ReSV's HC tables).
+type PolicyFactory func() model.Retriever
+
+// Result aggregates one policy's evaluation on one task family.
+type Result struct {
+	Task workload.Task
+	// Accuracy is top-1 scene accuracy in [0, 1].
+	Accuracy float64
+	// FrameRatio / TextRatio are the observed retrieval ratios if the
+	// policy exposes them (-1 otherwise).
+	FrameRatio float64
+	TextRatio  float64
+	// Queries is the number of evaluated questions.
+	Queries int
+}
+
+// ratioReporter is the optional interface (satisfied by retrieval.Policy
+// implementations and core.ReSV) for ratio accounting.
+type ratioReporter interface {
+	FrameRatio() float64
+	TextRatio() float64
+}
+
+// Evaluator runs sessions through the functional model under a policy.
+type Evaluator struct {
+	ModelCfg model.Config
+	Workload workload.Config
+	// Sessions per task family.
+	Sessions int
+}
+
+// NewEvaluator returns an evaluator with n sessions per task.
+func NewEvaluator(mcfg model.Config, wcfg workload.Config, sessions int) *Evaluator {
+	return &Evaluator{ModelCfg: mcfg, Workload: wcfg, Sessions: sessions}
+}
+
+// EvaluateTask measures one policy on one task family. The policy factory is
+// invoked once per session.
+func (e *Evaluator) EvaluateTask(task workload.Task, factory PolicyFactory) Result {
+	gen := workload.NewGenerator(e.Workload, e.ModelCfg.Dim)
+	res := Result{Task: task, FrameRatio: -1, TextRatio: -1}
+	correct, total := 0, 0
+	var lastPolicy model.Retriever
+
+	for si := 0; si < e.Sessions; si++ {
+		sess := gen.Session(task, si)
+		m := model.New(e.ModelCfg)
+		pol := factory()
+		lastPolicy = pol
+
+		for _, fe := range sess.FrameEmbeds {
+			m.Forward(fe, pol, model.StageFrame, false)
+		}
+		frameTokens := m.Pos()
+
+		for _, q := range sess.Queries {
+			out := m.Forward(q.Embeddings, pol, model.StageText, true)
+			if answerScene(out.AttnMass, sess, frameTokens) == q.TargetScene {
+				correct++
+			}
+			total++
+		}
+	}
+	if total > 0 {
+		res.Accuracy = float64(correct) / float64(total)
+	}
+	res.Queries = total
+	if rr, ok := lastPolicy.(ratioReporter); ok {
+		res.FrameRatio = rr.FrameRatio()
+		res.TextRatio = rr.TextRatio()
+	}
+	return res
+}
+
+// answerScene reads the answer from recorded attention mass: sum mass per
+// frame (only over video tokens), then argmax over scenes.
+func answerScene(mass []float64, sess *workload.Session, frameTokens int) int {
+	nScenes := sess.SceneOf[len(sess.SceneOf)-1] + 1
+	perScene := make([]float64, nScenes)
+	limit := len(mass)
+	if frameTokens < limit {
+		limit = frameTokens
+	}
+	for tok := 0; tok < limit; tok++ {
+		f := sess.FrameOfToken(tok)
+		if f < len(sess.SceneOf) {
+			perScene[sess.SceneOf[f]] += mass[tok]
+		}
+	}
+	best, bestMass := 0, -1.0
+	for sc, m := range perScene {
+		// Normalise by scene length so long scenes don't win by mass alone.
+		frames := 0
+		for _, s := range sess.SceneOf {
+			if s == sc {
+				frames++
+			}
+		}
+		norm := m / float64(frames)
+		if norm > bestMass {
+			best, bestMass = sc, norm
+		}
+	}
+	return best
+}
+
+// EvaluateAll runs every Table II task family.
+func (e *Evaluator) EvaluateAll(factory PolicyFactory) []Result {
+	var out []Result
+	for _, task := range workload.Tasks() {
+		out = append(out, e.EvaluateTask(task, factory))
+	}
+	return out
+}
+
+// MeanAccuracy averages accuracy over results.
+func MeanAccuracy(rs []Result) float64 {
+	if len(rs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, r := range rs {
+		s += r.Accuracy
+	}
+	return s / float64(len(rs))
+}

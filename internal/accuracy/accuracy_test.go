@@ -1,0 +1,133 @@
+package accuracy
+
+import (
+	"testing"
+
+	"vrex/internal/core"
+	"vrex/internal/model"
+	"vrex/internal/retrieval"
+	"vrex/internal/workload"
+)
+
+func evaluator(sessions int) *Evaluator {
+	return NewEvaluator(model.DefaultConfig(), workload.DefaultConfig(), sessions)
+}
+
+func TestDenseAccuracyAboveChance(t *testing.T) {
+	ev := evaluator(4)
+	r := ev.EvaluateTask(workload.TaskNext, func() model.Retriever { return retrieval.NewDense() })
+	// TaskNext is the easiest family (evidence in the latest scene); dense
+	// attention should answer nearly all queries. Chance is ~1/3.
+	if r.Accuracy < 0.7 {
+		t.Fatalf("dense accuracy on Next = %v, want >= 0.7", r.Accuracy)
+	}
+	if r.Queries != 4*workload.DefaultConfig().Queries {
+		t.Fatalf("queries = %d", r.Queries)
+	}
+	if r.FrameRatio != 1 || r.TextRatio != 1 {
+		t.Fatal("dense ratios should be 1")
+	}
+}
+
+func TestEvaluationDeterminism(t *testing.T) {
+	f := func() model.Retriever { return retrieval.NewDense() }
+	a := evaluator(2).EvaluateTask(workload.TaskStep, f)
+	b := evaluator(2).EvaluateTask(workload.TaskStep, f)
+	if a.Accuracy != b.Accuracy {
+		t.Fatalf("evaluation not deterministic: %v vs %v", a.Accuracy, b.Accuracy)
+	}
+}
+
+func TestRatioReportingForReSV(t *testing.T) {
+	mcfg := model.DefaultConfig()
+	ev := evaluator(2)
+	r := ev.EvaluateTask(workload.TaskStep, func() model.Retriever {
+		return core.New(mcfg, core.DefaultConfig())
+	})
+	if r.FrameRatio <= 0 || r.FrameRatio >= 1 {
+		t.Fatalf("ReSV frame ratio %v should be in (0,1)", r.FrameRatio)
+	}
+	if r.TextRatio <= 0 || r.TextRatio >= 1 {
+		t.Fatalf("ReSV text ratio %v should be in (0,1)", r.TextRatio)
+	}
+}
+
+// nonReporting wraps a retriever without ratio methods.
+type nonReporting struct{ model.Retriever }
+
+func TestNonReportingPolicyRatiosNegative(t *testing.T) {
+	ev := evaluator(1)
+	r := ev.EvaluateTask(workload.TaskStep, func() model.Retriever {
+		return nonReporting{retrieval.NewDense()}
+	})
+	if r.FrameRatio != -1 || r.TextRatio != -1 {
+		t.Fatal("non-reporting policy should yield -1 ratios")
+	}
+}
+
+func TestEvaluateAllCoversAllTasks(t *testing.T) {
+	ev := evaluator(1)
+	rs := ev.EvaluateAll(func() model.Retriever { return retrieval.NewDense() })
+	if len(rs) != 5 {
+		t.Fatalf("want 5 task results, got %d", len(rs))
+	}
+	seen := map[workload.Task]bool{}
+	for _, r := range rs {
+		seen[r.Task] = true
+	}
+	if len(seen) != 5 {
+		t.Fatal("duplicate task results")
+	}
+}
+
+func TestMeanAccuracy(t *testing.T) {
+	rs := []Result{{Accuracy: 0.4}, {Accuracy: 0.8}}
+	if m := MeanAccuracy(rs); m < 0.6-1e-12 || m > 0.6+1e-12 {
+		t.Fatalf("mean = %v, want 0.6", m)
+	}
+	if MeanAccuracy(nil) != 0 {
+		t.Fatal("empty mean should be 0")
+	}
+}
+
+// TestTable2Ordering reproduces the Table II relationships at small scale:
+// ReSV stays close to the dense baseline while using a far lower frame
+// retrieval ratio than the fixed-top-k baselines.
+func TestTable2Ordering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ordering test needs several sessions")
+	}
+	mcfg := model.DefaultConfig()
+	wcfg := workload.DefaultConfig()
+	ev := NewEvaluator(mcfg, wcfg, 6)
+
+	dense := ev.EvaluateAll(func() model.Retriever { return retrieval.NewDense() })
+	resv := ev.EvaluateAll(func() model.Retriever { return core.New(mcfg, core.DefaultConfig()) })
+	igp := ev.EvaluateAll(func() model.Retriever { return retrieval.NewInfiniGenP(mcfg, 0.5, 0.068) })
+	rekv := ev.EvaluateAll(func() model.Retriever {
+		return retrieval.NewReKV(mcfg, wcfg.Stream.TokensPerFrame, 0.584, 0.312)
+	})
+
+	denseAcc := MeanAccuracy(dense)
+	resvAcc := MeanAccuracy(resv)
+	if denseAcc-resvAcc > 0.06 {
+		t.Fatalf("ReSV accuracy %.3f dropped > 6 pts below dense %.3f", resvAcc, denseAcc)
+	}
+	// ReSV must beat InfiniGenP on accuracy while using fewer tokens.
+	if resvAcc <= MeanAccuracy(igp)-0.02 {
+		t.Fatalf("ReSV accuracy %.3f should be >= InfiniGenP %.3f", resvAcc, MeanAccuracy(igp))
+	}
+	avgRatio := func(rs []Result) float64 {
+		var s float64
+		for _, r := range rs {
+			s += r.FrameRatio
+		}
+		return s / float64(len(rs))
+	}
+	if avgRatio(resv) >= 0.5 {
+		t.Fatalf("ReSV frame ratio %.3f should be well below InfiniGenP's 0.5", avgRatio(resv))
+	}
+	if avgRatio(resv) >= avgRatio(rekv) {
+		t.Fatalf("ReSV ratio %.3f should beat ReKV %.3f", avgRatio(resv), avgRatio(rekv))
+	}
+}

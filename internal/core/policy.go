@@ -1,0 +1,17 @@
+package core
+
+// Name identifies the policy ("ReSV"); together with FrameRatio/TextRatio it
+// lets ReSV satisfy the retrieval.Policy interface used by the experiment
+// harness.
+func (r *ReSV) Name() string {
+	if r.cfg.DisableClustering {
+		return "ReSV w/o Clustering"
+	}
+	return "ReSV"
+}
+
+// FrameRatio returns the observed frame-processing-stage retrieval ratio.
+func (r *ReSV) FrameRatio() float64 { return r.stats.Frame.RetrievalRatio() }
+
+// TextRatio returns the observed text-generation-stage retrieval ratio.
+func (r *ReSV) TextRatio() float64 { return r.stats.Text.RetrievalRatio() }

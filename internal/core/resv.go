@@ -1,0 +1,327 @@
+// Package core implements ReSV, the paper's primary contribution: a
+// training-free dynamic KV cache retrieval algorithm for the iterative
+// prefill stage of streaming video LLMs (Sec. IV). ReSV combines
+//
+//   - hash-bit key clustering (internal/hashbit): arriving frame keys are
+//     grouped with spatially/temporally similar past keys via hyperplane
+//     signatures and Hamming distance, maintaining a per-layer HC table; and
+//   - WiCSum thresholding (internal/wicsum): per query token and attention
+//     head, clusters are scored against the query (Q x Key_cluster^T) and
+//     the smallest high-mass prefix is selected adaptively — no fixed top-k.
+//
+// The selected clusters are mapped back to token indices through the HC
+// table and fetched (with KVMU-style cluster-contiguous layout accounting)
+// for light attention in the execution stage (Fig. 6).
+//
+// ReSV implements model.Retriever, so it drops into the functional
+// transformer; its Stats feed the performance simulator and the Fig. 20 /
+// Table II experiments.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"vrex/internal/hashbit"
+	"vrex/internal/kvcache"
+	"vrex/internal/mathx"
+	"vrex/internal/model"
+	"vrex/internal/tensor"
+	"vrex/internal/wicsum"
+)
+
+// Config holds ReSV's hyperparameters. The defaults are the paper's
+// evaluation setting (Sec. VI-E): N_hp = 32, Th_hd = 7, Th_r-wics = 0.3.
+type Config struct {
+	// NHp is the number of random hyperplanes (signature bits).
+	NHp int
+	// ThHD is the Hamming-distance clustering threshold.
+	ThHD int
+	// ThWics is the WiCSum mass ratio Th_r-wics in (0, 1].
+	ThWics float64
+	// Buckets enables the WTU's early-exit bucket sorter when > 0 (the
+	// hardware uses 20 buckets); 0 selects the exact software sort.
+	Buckets int
+	// RecentWindow tokens immediately preceding the current chunk are always
+	// attended (they are device-resident "recent KV" in Fig. 12).
+	RecentWindow int
+	// DisableClustering runs WiCSum over individual tokens (every token its
+	// own cluster) — the "ReSV w/o clustering" ablation of Fig. 19.
+	DisableClustering bool
+	// Seed draws the hyperplanes.
+	Seed uint64
+}
+
+// DefaultConfig returns the paper's evaluation hyperparameters.
+func DefaultConfig() Config {
+	return Config{NHp: 32, ThHD: 7, ThWics: 0.3, Buckets: 20, RecentWindow: 0, Seed: 1}
+}
+
+// Validate checks hyperparameter sanity.
+func (c Config) Validate() error {
+	switch {
+	case c.NHp <= 0:
+		return fmt.Errorf("core: NHp must be positive")
+	case c.ThHD < 0:
+		return fmt.Errorf("core: ThHD must be non-negative")
+	case c.ThWics <= 0 || c.ThWics > 1:
+		return fmt.Errorf("core: ThWics must be in (0,1]")
+	case c.Buckets < 0:
+		return fmt.Errorf("core: Buckets must be non-negative")
+	case c.RecentWindow < 0:
+		return fmt.Errorf("core: RecentWindow must be non-negative")
+	}
+	return nil
+}
+
+// layerState is ReSV's per-decoder-layer working set.
+type layerState struct {
+	clusterer *hashbit.Clusterer
+	layout    *kvcache.ClusterLayout
+	hier      *kvcache.Hierarchy
+}
+
+// ReSV is the retriever. One instance serves one model session; create a
+// fresh instance (or call Reset) per session.
+type ReSV struct {
+	cfg      Config
+	modelCfg model.Config
+	layers   []*layerState
+	selector wicsum.Selector
+	stats    Stats
+	rng      *mathx.RNG
+}
+
+var _ model.Retriever = (*ReSV)(nil)
+
+// New creates a ReSV retriever for a model with the given configuration.
+func New(modelCfg model.Config, cfg Config) *ReSV {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	if err := modelCfg.Validate(); err != nil {
+		panic(err)
+	}
+	r := &ReSV{
+		cfg:      cfg,
+		modelCfg: modelCfg,
+		selector: wicsum.Selector{Ratio: cfg.ThWics, Buckets: cfg.Buckets},
+		rng:      mathx.NewRNG(cfg.Seed),
+		stats:    NewStats(modelCfg.Layers, modelCfg.Heads),
+	}
+	thHD := cfg.ThHD
+	if cfg.DisableClustering {
+		// With a strict < 0 threshold nothing ever joins: every token forms
+		// its own singleton cluster, reducing WiCSum to per-token selection.
+		thHD = 0
+	}
+	for l := 0; l < modelCfg.Layers; l++ {
+		r.layers = append(r.layers, &layerState{
+			clusterer: hashbit.NewClusterer(modelCfg.KVDim(), cfg.NHp, thHD, r.rng.Split()),
+			layout:    kvcache.NewClusterLayout(),
+		})
+	}
+	return r
+}
+
+// AttachHierarchy enables tiered-memory accounting: each layer's cache gets
+// a device budget of capacityTokens with spill to offTier, and selections
+// are fetched through the hierarchy (transfer bytes/segments recorded).
+// Call once, before the first Forward.
+func (r *ReSV) AttachHierarchy(m *model.Model, capacityTokens int, offTier kvcache.Tier) {
+	for l, ls := range r.layers {
+		ls.hier = kvcache.NewHierarchy(m.Cache(l), capacityTokens, offTier, 2)
+	}
+}
+
+// Stats returns the accumulated selection statistics.
+func (r *ReSV) Stats() *Stats { return &r.stats }
+
+// TransferLog returns the summed hierarchy transfer log across layers
+// (zero value if no hierarchy is attached).
+func (r *ReSV) TransferLog() kvcache.TransferLog {
+	var sum kvcache.TransferLog
+	for _, ls := range r.layers {
+		if ls.hier != nil {
+			sum.Add(ls.hier.Log)
+		}
+	}
+	return sum
+}
+
+// HCTable exposes layer l's hash cluster table (experiments inspect it).
+func (r *ReSV) HCTable(l int) *hashbit.HCTable { return r.layers[l].clusterer.Table }
+
+// ObserveAppend implements model.Retriever: cluster the chunk's new keys
+// into the layer's HC table, refresh the KVMU layout, and enforce the device
+// budget.
+func (r *ReSV) ObserveAppend(layer int, cache *kvcache.LayerCache, base, n int) {
+	ls := r.layers[layer]
+	keys := tensor.NewMatrix(n, cache.Dim)
+	for i := 0; i < n; i++ {
+		copy(keys.Row(i), cache.Key(base+i))
+	}
+	ls.clusterer.AddFrame(keys, base)
+	// Refresh the cluster-contiguous layout (the KVMU reorders KV storage to
+	// the latest clustering each frame).
+	clusters := make([][]int, ls.clusterer.Table.NumClusters())
+	for ci, c := range ls.clusterer.Table.Clusters {
+		clusters[ci] = c.TokenIdxs
+	}
+	ls.layout.SetClusters(clusters)
+	if ls.hier != nil {
+		ls.hier.Enforce()
+	}
+}
+
+// SelectTokens implements model.Retriever: run KV prediction (Fig. 6) for
+// the chunk's queries and return the selected past-token indices.
+func (r *ReSV) SelectTokens(layer int, cache *kvcache.LayerCache, queries *tensor.Matrix, base int, stage model.Stage) []int {
+	if base == 0 {
+		return nil
+	}
+	ls := r.layers[layer]
+	headDim := r.modelCfg.HeadDim()
+	group := r.modelCfg.Heads / r.modelCfg.KVHeads
+	sharp := r.modelCfg.Sharpness
+	if sharp == 0 {
+		sharp = 1
+	}
+	invSqrt := float32(sharp / math.Sqrt(float64(headDim)))
+
+	table := ls.clusterer.Table
+	// Candidate clusters: those containing at least one past token. Clusters
+	// composed purely of in-chunk tokens are skipped (in-chunk attention is
+	// causal and automatic).
+	var cands []candidate
+	for _, c := range table.Clusters {
+		past := 0
+		for _, tok := range c.TokenIdxs {
+			if tok < base {
+				past++
+			}
+		}
+		if past > 0 {
+			cands = append(cands, candidate{id: c.ID, count: past})
+		}
+	}
+	if len(cands) == 0 {
+		return nil
+	}
+	counts := make([]int, len(cands))
+	for i, c := range cands {
+		counts[i] = c.count
+	}
+
+	// Score matrix: one row per (query token, head) pair; columns = candidate
+	// clusters. Scores are exp-normalised per row so WiCSum accumulates
+	// attention mass.
+	nRows := queries.Rows * r.modelCfg.Heads
+	masses := make([][]float32, 0, nRows)
+	rowHead := make([]int, 0, nRows)
+	scores := make([]float32, len(cands))
+	for qi := 0; qi < queries.Rows; qi++ {
+		qrow := queries.Row(qi)
+		for h := 0; h < r.modelCfg.Heads; h++ {
+			kvh := h / group
+			qh := qrow[h*headDim : (h+1)*headDim]
+			for ci, c := range cands {
+				rep := table.Clusters[c.id].RepKey[kvh*headDim : (kvh+1)*headDim]
+				scores[ci] = float32(mathx.Dot(qh, rep)) * invSqrt
+			}
+			row := make([]float32, len(cands))
+			mathx.ExpNormalize(row, scores)
+			masses = append(masses, row)
+			rowHead = append(rowHead, h)
+		}
+	}
+
+	sel := r.selector.SelectMatrix(masses, counts)
+
+	// Union of selected clusters -> past-token indices.
+	selectedClusters := make([]int, len(sel.Union))
+	for i, ci := range sel.Union {
+		selectedClusters[i] = cands[ci].id
+	}
+	tokenSet := make(map[int]bool)
+	for _, tok := range table.TokensOf(selectedClusters) {
+		if tok < base {
+			tokenSet[tok] = true
+		}
+	}
+	// Recent window is always resident and attended.
+	lo := base - r.cfg.RecentWindow
+	if lo < 0 {
+		lo = 0
+	}
+	for tok := lo; tok < base; tok++ {
+		tokenSet[tok] = true
+	}
+	tokens := make([]int, 0, len(tokenSet))
+	for tok := range tokenSet {
+		tokens = append(tokens, tok)
+	}
+	sortInts(tokens)
+
+	r.recordStats(layer, stage, rowHead, sel, cands, base, len(tokens))
+
+	if ls.hier != nil {
+		ls.hier.Fetch(tokens, ls.layout)
+		ls.hier.Release(tokens, base-r.cfg.RecentWindow)
+	}
+	return tokens
+}
+
+func sortInts(xs []int) {
+	// Insertion sort: selections are mostly ordered already (cluster table is
+	// in creation order) and short.
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+// recordStats folds one selection into the ratio statistics.
+func (r *ReSV) recordStats(layer int, stage model.Stage, rowHead []int, sel wicsum.MatrixSelection, cands []candidate, base, selectedTokens int) {
+	ss := r.stats.stage(stage)
+	ss.SelectedTokens += int64(selectedTokens)
+	ss.CandidateTokens += int64(base)
+	ss.Rows += int64(len(sel.Rows))
+	ss.ExaminedFraction += sel.ExaminedFraction
+	ss.Calls++
+
+	r.stats.PerLayer[layer].Selected += int64(selectedTokens)
+	r.stats.PerLayer[layer].Candidate += int64(base)
+
+	// Per-head ratios: union of each head's rows.
+	perHeadTokens := make([]map[int]bool, r.modelCfg.Heads)
+	for i := range perHeadTokens {
+		perHeadTokens[i] = make(map[int]bool)
+	}
+	for rowIdx, rs := range sel.Rows {
+		h := rowHead[rowIdx]
+		for _, ci := range rs.Selected {
+			for _, tok := range r.layers[layer].clusterer.Table.Clusters[cands[ci].id].TokenIdxs {
+				if tok < base {
+					perHeadTokens[h][tok] = true
+				}
+			}
+		}
+	}
+	for h, set := range perHeadTokens {
+		r.stats.PerHead[h].Selected += int64(len(set))
+		r.stats.PerHead[h].Candidate += int64(base)
+	}
+}
+
+// Reset clears all per-session state (HC tables, layouts, statistics,
+// transfer logs) so the retriever can serve a fresh session. The hyperplanes
+// are redrawn from the original seed, so a reset instance behaves exactly
+// like a newly constructed one.
+func (r *ReSV) Reset() {
+	fresh := New(r.modelCfg, r.cfg)
+	r.layers = fresh.layers
+	r.stats = fresh.stats
+	r.rng = fresh.rng
+}

@@ -1,0 +1,325 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"vrex/internal/kvcache"
+	"vrex/internal/mathx"
+	"vrex/internal/model"
+	"vrex/internal/tensor"
+)
+
+func frameInput(rows, dim int, rng *mathx.RNG) *tensor.Matrix {
+	m := tensor.NewMatrix(rows, dim)
+	m.Randomize(rng, 1)
+	return m
+}
+
+// driftFrames returns nFrames correlated frames (AR rho) of tokensPerFrame
+// embeddings, mimicking the vision stream's temporal similarity.
+func driftFrames(nFrames, tokensPerFrame, dim int, rho float32, rng *mathx.RNG) []*tensor.Matrix {
+	base := frameInput(tokensPerFrame, dim, rng)
+	frames := []*tensor.Matrix{base.Clone()}
+	nscale := float32(math.Sqrt(float64(1 - rho*rho)))
+	for f := 1; f < nFrames; f++ {
+		next := frames[f-1].Clone()
+		for i := range next.Data {
+			next.Data[i] = rho*next.Data[i] + nscale*rng.Norm32()
+		}
+		frames = append(frames, next)
+	}
+	return frames
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	bad := []Config{
+		{NHp: 0, ThWics: 0.3},
+		{NHp: 32, ThHD: -1, ThWics: 0.3},
+		{NHp: 32, ThWics: 0},
+		{NHp: 32, ThWics: 1.5},
+		{NHp: 32, ThWics: 0.3, Buckets: -1},
+		{NHp: 32, ThWics: 0.3, RecentWindow: -1},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestReSVImplementsRetrieverEndToEnd(t *testing.T) {
+	mcfg := model.DefaultConfig()
+	m := model.New(mcfg)
+	r := New(mcfg, DefaultConfig())
+	rng := mathx.NewRNG(2)
+	for _, f := range driftFrames(5, 6, mcfg.Dim, 0.97, rng) {
+		m.Forward(f, r, model.StageFrame, false)
+	}
+	if m.Pos() != 30 {
+		t.Fatal("frames not processed")
+	}
+	st := r.Stats()
+	if st.Frame.CandidateTokens == 0 {
+		t.Fatal("no candidates recorded")
+	}
+	ratio := st.Frame.RetrievalRatio()
+	if ratio <= 0 || ratio > 1 {
+		t.Fatalf("frame retrieval ratio %v out of (0,1]", ratio)
+	}
+}
+
+func TestReSVSelectionSubsetOfPast(t *testing.T) {
+	mcfg := model.DefaultConfig()
+	m := model.New(mcfg)
+	r := New(mcfg, DefaultConfig())
+	rng := mathx.NewRNG(3)
+	frames := driftFrames(4, 5, mcfg.Dim, 0.97, rng)
+	for _, f := range frames[:3] {
+		m.Forward(f, r, model.StageFrame, false)
+	}
+	// Directly exercise SelectTokens at layer 0.
+	base := m.Pos()
+	q := frameInput(5, mcfg.Dim, rng)
+	sel := r.SelectTokens(0, m.Cache(0), q, base, model.StageFrame)
+	seen := map[int]bool{}
+	for _, tok := range sel {
+		if tok < 0 || tok >= base {
+			t.Fatalf("selected token %d outside past range [0,%d)", tok, base)
+		}
+		if seen[tok] {
+			t.Fatalf("duplicate token %d in selection", tok)
+		}
+		seen[tok] = true
+	}
+	// Sorted ascending.
+	for i := 1; i < len(sel); i++ {
+		if sel[i] < sel[i-1] {
+			t.Fatal("selection not sorted")
+		}
+	}
+}
+
+func TestReSVEmptyHistory(t *testing.T) {
+	mcfg := model.DefaultConfig()
+	r := New(mcfg, DefaultConfig())
+	if sel := r.SelectTokens(0, kvcache.NewLayerCache(mcfg.KVDim()), nil, 0, model.StageFrame); sel != nil {
+		t.Fatal("no history should select nothing")
+	}
+}
+
+func TestReSVClusteringCompressesSimilarFrames(t *testing.T) {
+	mcfg := model.DefaultConfig()
+	m := model.New(mcfg)
+	r := New(mcfg, DefaultConfig())
+	rng := mathx.NewRNG(4)
+	for _, f := range driftFrames(8, 8, mcfg.Dim, 0.99, rng) {
+		m.Forward(f, r, model.StageFrame, false)
+	}
+	// With near-identical frames, clusters should hold well over 1 token on
+	// average at layer 0.
+	avg := r.HCTable(0).AvgTokensPerCluster()
+	if avg < 1.5 {
+		t.Fatalf("avg tokens/cluster = %v, want > 1.5 for highly similar frames", avg)
+	}
+}
+
+func TestReSVDisableClusteringSingletons(t *testing.T) {
+	mcfg := model.DefaultConfig()
+	m := model.New(mcfg)
+	cfg := DefaultConfig()
+	cfg.DisableClustering = true
+	r := New(mcfg, cfg)
+	rng := mathx.NewRNG(5)
+	for _, f := range driftFrames(4, 6, mcfg.Dim, 0.99, rng) {
+		m.Forward(f, r, model.StageFrame, false)
+	}
+	tab := r.HCTable(0)
+	if tab.AvgTokensPerCluster() != 1 {
+		t.Fatalf("clustering disabled but avg tokens/cluster = %v", tab.AvgTokensPerCluster())
+	}
+}
+
+func TestReSVAdaptiveRatioVariesAcrossLayers(t *testing.T) {
+	// Fig. 20's core claim: per-layer ratios differ (scores distributions
+	// vary by layer). With a multi-layer model we expect non-identical
+	// ratios across layers.
+	mcfg := model.DefaultConfig()
+	mcfg.Layers = 4
+	m := model.New(mcfg)
+	cfg := DefaultConfig()
+	r := New(mcfg, cfg)
+	rng := mathx.NewRNG(6)
+	for _, f := range driftFrames(10, 8, mcfg.Dim, 0.95, rng) {
+		m.Forward(f, r, model.StageFrame, false)
+	}
+	ratios := map[string]bool{}
+	for _, pl := range r.Stats().PerLayer {
+		// Bucket to 3 decimals to detect "all identical".
+		ratios[bucket3(pl.Value())] = true
+	}
+	if len(ratios) < 2 {
+		t.Fatalf("per-layer ratios all identical: %v", r.Stats().PerLayer)
+	}
+}
+
+func bucket3(v float64) string {
+	return string(rune('0'+int(v*1000)%10)) + string(rune('0'+int(v*100)%10)) + string(rune('0'+int(v*10)%10))
+}
+
+func TestReSVRecentWindowAlwaysIncluded(t *testing.T) {
+	mcfg := model.DefaultConfig()
+	m := model.New(mcfg)
+	cfg := DefaultConfig()
+	cfg.RecentWindow = 5
+	r := New(mcfg, cfg)
+	rng := mathx.NewRNG(7)
+	frames := driftFrames(3, 6, mcfg.Dim, 0.97, rng)
+	for _, f := range frames {
+		m.Forward(f, r, model.StageFrame, false)
+	}
+	base := m.Pos()
+	q := frameInput(2, mcfg.Dim, rng)
+	sel := r.SelectTokens(0, m.Cache(0), q, base, model.StageText)
+	inSel := map[int]bool{}
+	for _, tok := range sel {
+		inSel[tok] = true
+	}
+	for tok := base - 5; tok < base; tok++ {
+		if !inSel[tok] {
+			t.Fatalf("recent token %d missing from selection", tok)
+		}
+	}
+}
+
+func TestReSVHierarchyAccounting(t *testing.T) {
+	mcfg := model.DefaultConfig()
+	m := model.New(mcfg)
+	r := New(mcfg, DefaultConfig())
+	r.AttachHierarchy(m, 10, kvcache.TierStorage)
+	rng := mathx.NewRNG(8)
+	for _, f := range driftFrames(8, 6, mcfg.Dim, 0.9, rng) {
+		m.Forward(f, r, model.StageFrame, false)
+	}
+	log := r.TransferLog()
+	if log.OffloadBytes == 0 {
+		t.Fatal("capacity 10 with 48 tokens must offload")
+	}
+	if log.FetchBytes == 0 {
+		t.Fatal("selections beyond device tier must fetch")
+	}
+	if log.FetchSegments == 0 || log.FetchSegments > log.FetchTokens {
+		t.Fatalf("segments %d vs tokens %d inconsistent", log.FetchSegments, log.FetchTokens)
+	}
+}
+
+func TestReSVDeterministicAcrossRuns(t *testing.T) {
+	run := func() []int {
+		mcfg := model.DefaultConfig()
+		m := model.New(mcfg)
+		r := New(mcfg, DefaultConfig())
+		rng := mathx.NewRNG(9)
+		frames := driftFrames(4, 5, mcfg.Dim, 0.97, rng)
+		for _, f := range frames[:3] {
+			m.Forward(f, r, model.StageFrame, false)
+		}
+		return r.SelectTokens(1, m.Cache(1), frames[3], m.Pos(), model.StageFrame)
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("selection lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("selections differ across identical runs")
+		}
+	}
+}
+
+func TestReSVLowerThresholdSelectsFewer(t *testing.T) {
+	run := func(th float64) float64 {
+		mcfg := model.DefaultConfig()
+		m := model.New(mcfg)
+		cfg := DefaultConfig()
+		cfg.ThWics = th
+		cfg.Buckets = 0 // exact
+		r := New(mcfg, cfg)
+		rng := mathx.NewRNG(10)
+		for _, f := range driftFrames(8, 6, mcfg.Dim, 0.95, rng) {
+			m.Forward(f, r, model.StageFrame, false)
+		}
+		return r.Stats().Frame.RetrievalRatio()
+	}
+	low, high := run(0.3), run(0.95)
+	if low >= high {
+		t.Fatalf("ratio(0.3)=%v should be < ratio(0.95)=%v", low, high)
+	}
+}
+
+func TestReSVTextStageTracked(t *testing.T) {
+	mcfg := model.DefaultConfig()
+	m := model.New(mcfg)
+	r := New(mcfg, DefaultConfig())
+	rng := mathx.NewRNG(11)
+	for _, f := range driftFrames(4, 6, mcfg.Dim, 0.97, rng) {
+		m.Forward(f, r, model.StageFrame, false)
+	}
+	m.Forward(frameInput(3, mcfg.Dim, rng), r, model.StageText, false)
+	if r.Stats().Text.CandidateTokens == 0 {
+		t.Fatal("text stage stats not recorded")
+	}
+}
+
+func TestRatioValue(t *testing.T) {
+	if (Ratio{}).Value() != 1 {
+		t.Fatal("empty ratio should be 1")
+	}
+	if (Ratio{Selected: 1, Candidate: 4}).Value() != 0.25 {
+		t.Fatal("ratio arithmetic wrong")
+	}
+}
+
+func TestStageStatsHelpers(t *testing.T) {
+	s := StageStats{SelectedTokens: 30, CandidateTokens: 100, ExaminedFraction: 0.32, Calls: 2}
+	if s.RetrievalRatio() != 0.3 {
+		t.Fatal("retrieval ratio wrong")
+	}
+	if s.AvgExaminedFraction() != 0.16 {
+		t.Fatal("examined fraction wrong")
+	}
+	var empty StageStats
+	if empty.RetrievalRatio() != 1 || empty.AvgExaminedFraction() != 0 {
+		t.Fatal("empty stage stats wrong")
+	}
+}
+
+func TestReSVResetMatchesFresh(t *testing.T) {
+	mcfg := model.DefaultConfig()
+	rng := mathx.NewRNG(31)
+	frames := driftFrames(4, 5, mcfg.Dim, 0.97, rng)
+
+	run := func(r *ReSV) []int {
+		m := model.New(mcfg)
+		for _, f := range frames[:3] {
+			m.Forward(f, r, model.StageFrame, false)
+		}
+		return r.SelectTokens(0, m.Cache(0), frames[3], m.Pos(), model.StageFrame)
+	}
+
+	used := New(mcfg, DefaultConfig())
+	run(used) // dirty the state
+	used.Reset()
+	got := run(used)
+	want := run(New(mcfg, DefaultConfig()))
+	if len(got) != len(want) {
+		t.Fatalf("reset selection length %d vs fresh %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatal("reset instance diverges from fresh instance")
+		}
+	}
+}

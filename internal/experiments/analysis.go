@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"vrex/internal/hwsim"
+	"vrex/internal/report"
+)
+
+// Fig17Bandwidth regenerates Fig. 17: DRAM bandwidth usage of V-Rex48 over
+// two decoder layers of frame processing, showing KV prediction overlapping
+// attention and retrieval trickling at ~1% of DRAM bandwidth.
+func Fig17Bandwidth(Options) []*report.Table {
+	trace := hwsim.BandwidthTrace(hwsim.VRex48(), hwsim.Llama3_8B(), hwsim.ReSVModel(),
+		10, 40000, 1, 2, 6)
+	t := report.NewTable("Fig 17: V-Rex48 memory bandwidth usage over two layers",
+		"time_us", "phase", "llm_GBps", "pred_GBps", "retrieval_GBps")
+	for _, p := range trace {
+		t.AddRow(p.TimeUS, p.Phase, p.LLMBW/1e9, p.PredBW/1e9, p.RetrievalBW/1e9)
+	}
+	return []*report.Table{t}
+}
+
+// Fig18Roofline regenerates Fig. 18: the roofline positions of AGX+FlexGen,
+// AGX+ReKV and V-Rex8 at a 40K cache, batch 4.
+func Fig18Roofline(Options) []*report.Table {
+	llm := hwsim.Llama3_8B()
+	t := report.NewTable("Fig 18: roofline analysis (40K cache, batch 4)",
+		"system", "op_intensity", "achieved_TFLOPS", "ceiling_TFLOPS", "pct_of_peak")
+	for _, p := range []hwsim.RooflinePoint{
+		hwsim.Roofline(hwsim.AGXOrin(), llm, hwsim.FlexGenModel(), 10, 40000, 4),
+		hwsim.Roofline(hwsim.AGXOrin(), llm, hwsim.ReKVModel(), 10, 40000, 4),
+		hwsim.Roofline(hwsim.VRex8(), llm, hwsim.ReSVModel(), 10, 40000, 4),
+	} {
+		t.AddRow(p.System, p.OpIntensity, p.AchievedFLOPS/1e12, p.CeilingFLOPS/1e12, 100*p.PeakFraction)
+	}
+	return []*report.Table{t}
+}
+
+// Table1Hardware regenerates Table I: the hardware specifications of the
+// compared systems.
+func Table1Hardware(Options) []*report.Table {
+	t := report.NewTable("Table I: hardware specifications",
+		"system", "peak_TFLOPS", "mem", "mem_BW_GBps", "capacity_GB", "pcie_GBps", "power_W", "cores")
+	for _, d := range []hwsim.DeviceSpec{hwsim.AGXOrin(), hwsim.VRex8(), hwsim.A100(), hwsim.VRex48()} {
+		t.AddRow(d.Name, d.PeakFLOPS/1e12, d.Mem.Name, d.Mem.Bandwidth/1e9,
+			d.MemCapacity/1e9, d.Link.Bandwidth/1e9, d.Power, d.Cores)
+	}
+	return []*report.Table{t}
+}
+
+// Table3AreaPower regenerates Table III: the area and power breakdown of a
+// single V-Rex core and the DRE's share.
+func Table3AreaPower(Options) []*report.Table {
+	t := report.NewTable("Table III: area and power breakdown (single core)",
+		"engine", "unit", "area_mm2", "power_mW", "area_pct", "power_pct")
+	areaTot, powTot := hwsim.CoreTotals()
+	for _, u := range hwsim.CoreBudget() {
+		t.AddRow(u.Engine, u.Unit, u.AreaMM2, u.PowerMW,
+			100*u.AreaMM2/areaTot, 100*u.PowerMW/powTot)
+	}
+	t.AddRow("Total", "", areaTot, powTot, 100.0, 100.0)
+
+	s := report.NewTable("Table III (derived): chip-level summary",
+		"metric", "value")
+	af, pf := hwsim.DREShare()
+	s.AddRow("DRE area share (%)", 100*af)
+	s.AddRow("DRE power share (%)", 100*pf)
+	s.AddRow("V-Rex8 area (mm2)", hwsim.ChipArea(8))
+	s.AddRow("V-Rex48 area (mm2)", hwsim.ChipArea(48))
+	lxe, dre := hwsim.OnChipMemoryBytes()
+	s.AddRow("LXE SRAM (KB)", float64(lxe)/1024)
+	s.AddRow("DRE SRAM (KB)", float64(dre)/1024)
+	return []*report.Table{t, s}
+}

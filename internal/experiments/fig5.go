@@ -1,0 +1,52 @@
+package experiments
+
+import (
+	"fmt"
+
+	"vrex/internal/hwsim"
+	"vrex/internal/report"
+)
+
+// Fig5Pipeline regenerates Fig. 5's co-design illustration as measured
+// schedules from the event-driven pipeline simulator: (i) vanilla KV cache
+// on storage (serial load), (ii) + software optimisation (ReSV on GPU with
+// prefetch overlap), (iii) + hardware optimisation (V-Rex: DRE prediction,
+// KVMU fetches). One table per stage shows the first two layers' schedules;
+// a summary compares per-layer latency.
+func Fig5Pipeline(Options) []*report.Table {
+	llm := hwsim.Llama3_8B()
+	const kv, batch = 40000, 1
+	stages := []struct {
+		name string
+		dev  hwsim.DeviceSpec
+		pol  hwsim.PolicyModel
+	}{
+		{"i. vanilla KV$ on storage", hwsim.AGXOrin(), hwsim.FlexGenModel()},
+		{"ii. + SW optimization", hwsim.AGXOrin(), hwsim.ReSVOnGPUModel()},
+		{"iii. + HW optimization", hwsim.VRex8(), hwsim.ReSVModel()},
+	}
+	var tables []*report.Table
+	summary := report.NewTable("Fig 5: per-layer latency by optimisation stage",
+		"stage", "layer_latency_us", "vs_vanilla")
+	var vanilla float64
+	for i, st := range stages {
+		sim := hwsim.NewSim(st.dev, llm, st.pol)
+		res := sim.SimulatePipeline(10, kv, batch)
+		perLayer := res.Total / float64(llm.Layers)
+		if i == 0 {
+			vanilla = perLayer
+		}
+		summary.AddRow(st.name, perLayer*1e6, vanilla/perLayer)
+
+		t := report.NewTable(fmt.Sprintf("Fig 5 (%s): schedule of first two layers", st.name),
+			"layer", "task", "engine", "start_us", "end_us")
+		for _, e := range res.Events {
+			if e.Layer > 1 {
+				continue
+			}
+			t.AddRow(e.Layer, e.Kind, e.Res.String(), e.Start*1e6, e.End*1e6)
+		}
+		tables = append(tables, t)
+	}
+	return append(tables, summary)
+}

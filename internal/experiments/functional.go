@@ -1,0 +1,234 @@
+package experiments
+
+import (
+	"fmt"
+
+	"vrex/internal/accuracy"
+	"vrex/internal/core"
+	"vrex/internal/hashbit"
+	"vrex/internal/hwsim"
+	"vrex/internal/mathx"
+	"vrex/internal/model"
+	"vrex/internal/report"
+	"vrex/internal/retrieval"
+	"vrex/internal/workload"
+)
+
+// functionalModelConfig is the small-dimension model used by the functional
+// experiments (accuracy, ratios, similarity).
+func functionalModelConfig(seed uint64) model.Config {
+	cfg := model.DefaultConfig()
+	cfg.Seed = seed
+	return cfg
+}
+
+// Fig7Similarity regenerates Fig. 7: (a) the cosine-similarity structure of
+// key tokens between adjacent frames at layer 3 and (b) the correlation
+// between hash-bit Hamming distance and cosine similarity (the paper
+// measures |r| ~ 0.8 with N_hp = 32).
+func Fig7Similarity(opts Options) []*report.Table {
+	mcfg := functionalModelConfig(opts.Seed)
+	wcfg := workload.DefaultConfig()
+	wcfg.Stream.SceneLength = 0 // within-scene similarity, as in Fig. 7(a)
+	gen := workload.NewGenerator(wcfg, mcfg.Dim)
+	sess := gen.Session(workload.TaskStep, 0)
+
+	m := model.New(mcfg)
+	for _, fe := range sess.FrameEmbeds {
+		m.Forward(fe, model.DenseRetriever{}, model.StageFrame, false)
+	}
+	layer := 3
+	if layer >= mcfg.Layers {
+		layer = mcfg.Layers - 1
+	}
+	cache := m.Cache(layer)
+	tpf := sess.TokensPerFrame()
+
+	// (a) adjacent-frame same-slot vs cross-slot similarity.
+	var same, cross []float64
+	for f := 0; f+1 < len(sess.FrameEmbeds); f++ {
+		for s1 := 0; s1 < tpf; s1++ {
+			a := cache.Key(f*tpf + s1)
+			for s2 := 0; s2 < tpf; s2++ {
+				b := cache.Key((f+1)*tpf + s2)
+				sim := mathx.CosineSimilarity(a, b)
+				if s1 == s2 {
+					same = append(same, sim)
+				} else {
+					cross = append(cross, sim)
+				}
+			}
+		}
+	}
+	ta := report.NewTable("Fig 7a: adjacent-frame key similarity (layer 3)",
+		"pair_kind", "mean_cosine", "p10", "p90")
+	ta.AddRow("same spatial slot", mathx.Mean(same), mathx.Percentile(same, 10), mathx.Percentile(same, 90))
+	ta.AddRow("different slot", mathx.Mean(cross), mathx.Percentile(cross, 10), mathx.Percentile(cross, 90))
+
+	// (b) cosine vs Hamming correlation over random key pairs.
+	hasher := hashbit.NewHasher(cache.Dim, 32, mathx.NewRNG(opts.Seed^0x77))
+	rng := mathx.NewRNG(opts.Seed ^ 0x99)
+	var cos, ham []float64
+	n := cache.Len()
+	pairs := 500
+	if opts.Quick {
+		pairs = 100
+	}
+	for p := 0; p < pairs; p++ {
+		i, j := rng.Intn(n), rng.Intn(n)
+		cos = append(cos, mathx.CosineSimilarity(cache.Key(i), cache.Key(j)))
+		ham = append(ham, float64(hashbit.Hamming(hasher.HashVector(cache.Key(i)), hasher.HashVector(cache.Key(j)))))
+	}
+	r := mathx.PearsonCorrelation(cos, ham)
+	tb := report.NewTable("Fig 7b: hash-bit Hamming vs cosine similarity (N_hp=32)",
+		"metric", "value")
+	tb.AddRow("pearson correlation", r)
+	tb.AddRow("pairs", pairs)
+	return []*report.Table{ta, tb}
+}
+
+// table2Policies returns the Table II policy lineup as factories, in paper
+// row order.
+func table2Policies(mcfg model.Config, tpf int) []struct {
+	Name    string
+	Factory accuracy.PolicyFactory
+} {
+	return []struct {
+		Name    string
+		Factory accuracy.PolicyFactory
+	}{
+		{"VideoLLM-Online", func() model.Retriever { return retrieval.NewDense() }},
+		{"InfiniGen", func() model.Retriever { return retrieval.NewInfiniGen(mcfg, 0.068) }},
+		{"InfiniGenP", func() model.Retriever { return retrieval.NewInfiniGenP(mcfg, 0.5, 0.068) }},
+		{"ReKV", func() model.Retriever { return retrieval.NewReKV(mcfg, tpf, 0.584, 0.312) }},
+		{"V-Rex's ReSV", func() model.Retriever { return core.New(mcfg, core.DefaultConfig()) }},
+	}
+}
+
+// Table2Accuracy regenerates Table II: COIN top-1 accuracy (proxy) and
+// retrieval ratios per task family for the five policies.
+func Table2Accuracy(opts Options) []*report.Table {
+	mcfg := functionalModelConfig(opts.Seed)
+	wcfg := workload.DefaultConfig()
+	ev := accuracy.NewEvaluator(mcfg, wcfg, opts.sessions())
+
+	acc := report.NewTable("Table II: accuracy (top-1, planted-saliency proxy)",
+		"method", "Step", "Next", "Proc.+", "Task", "Proc.", "Avg")
+	ratio := report.NewTable("Table II: retrieval ratio [frame% / text%]",
+		"method", "Step", "Next", "Proc.+", "Task", "Proc.", "Avg")
+	for _, pol := range table2Policies(mcfg, wcfg.Stream.TokensPerFrame) {
+		rs := ev.EvaluateAll(pol.Factory)
+		accRow := []interface{}{pol.Name}
+		ratRow := []interface{}{pol.Name}
+		var fr, tx float64
+		for _, r := range rs {
+			accRow = append(accRow, 100*r.Accuracy)
+			ratRow = append(ratRow, formatRatioPair(r.FrameRatio, r.TextRatio))
+			fr += r.FrameRatio
+			tx += r.TextRatio
+		}
+		accRow = append(accRow, 100*accuracy.MeanAccuracy(rs))
+		n := float64(len(rs))
+		ratRow = append(ratRow, formatRatioPair(fr/n, tx/n))
+		acc.AddRow(accRow...)
+		ratio.AddRow(ratRow...)
+	}
+	return []*report.Table{acc, ratio}
+}
+
+func formatRatioPair(frame, text float64) string {
+	if frame < 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.1f / %.1f", 100*frame, 100*text)
+}
+
+// Fig19ReSVAblation regenerates Fig. 19: accuracy and frame-processing
+// speedup (40K cache) of VideoLLM-Online, ReSV without clustering, and full
+// ReSV.
+func Fig19ReSVAblation(opts Options) []*report.Table {
+	mcfg := functionalModelConfig(opts.Seed)
+	wcfg := workload.DefaultConfig()
+	ev := accuracy.NewEvaluator(mcfg, wcfg, opts.sessions())
+
+	noCluster := core.DefaultConfig()
+	noCluster.DisableClustering = true
+	variants := []struct {
+		Name    string
+		Factory accuracy.PolicyFactory
+	}{
+		{"VideoLLM-Online", func() model.Retriever { return retrieval.NewDense() }},
+		{"ReSV w/o Clustering", func() model.Retriever { return core.New(mcfg, noCluster) }},
+		{"ReSV", func() model.Retriever { return core.New(mcfg, core.DefaultConfig()) }},
+	}
+
+	// Performance plane: baseline is the GPU without retrieval optimisation
+	// (FlexGen offloading); variants run on V-Rex8.
+	llm := hwsim.Llama3_8B()
+	base := hwsim.NewSim(hwsim.AGXOrin(), llm, hwsim.FlexGenModel()).FrameLatency(10, 40000, 1)
+	noClusterPerf := hwsim.ReSVModel()
+	noClusterPerf.ClusterCompression = 1 // WiCSum over raw tokens
+	noClusterPerf.SegmentTokens = 1      // no cluster-contiguous layout
+	noClusterPerf.ResidentReuse = 0.3    // token-level selections less stable
+	perf := map[string]float64{
+		"VideoLLM-Online":     base.Total,
+		"ReSV w/o Clustering": hwsim.NewSim(hwsim.VRex8(), llm, noClusterPerf).FrameLatency(10, 40000, 1).Total,
+		"ReSV":                hwsim.NewSim(hwsim.VRex8(), llm, hwsim.ReSVModel()).FrameLatency(10, 40000, 1).Total,
+	}
+
+	t := report.NewTable("Fig 19: ReSV ablation (accuracy + speedup at 40K)",
+		"config", "accuracy_pct", "acc_drop_pts", "speedup")
+	var baseAcc float64
+	for i, v := range variants {
+		rs := ev.EvaluateAll(v.Factory)
+		mean := 100 * accuracy.MeanAccuracy(rs)
+		if i == 0 {
+			baseAcc = mean
+		}
+		t.AddRow(v.Name, mean, baseAcc-mean, base.Total/perf[v.Name])
+	}
+	return []*report.Table{t}
+}
+
+// Fig20RatioDistribution regenerates Fig. 20: ReSV's retrieval ratio per
+// layer and per head on a sample video, against the flat fixed-top-k lines
+// of InfiniGenP and ReKV.
+func Fig20RatioDistribution(opts Options) []*report.Table {
+	mcfg := functionalModelConfig(opts.Seed)
+	mcfg.Layers = 6 // more layers for a visible distribution
+	wcfg := workload.DefaultConfig()
+	gen := workload.NewGenerator(wcfg, mcfg.Dim)
+	sess := gen.Session(workload.TaskStep, 0)
+
+	m := model.New(mcfg)
+	resv := core.New(mcfg, core.DefaultConfig())
+	for _, fe := range sess.FrameEmbeds {
+		m.Forward(fe, resv, model.StageFrame, false)
+	}
+	for _, q := range sess.Queries {
+		m.Forward(q.Embeddings, resv, model.StageText, false)
+	}
+
+	stats := resv.Stats()
+	tl := report.NewTable("Fig 20: retrieval ratio per layer (%)",
+		"layer", "ReSV", "InfiniGenP", "ReKV")
+	for l, r := range stats.PerLayer {
+		tl.AddRow(l, 100*r.Value(), 50.8, 58.4)
+	}
+	th := report.NewTable("Fig 20: retrieval ratio per head (%)",
+		"head", "ReSV", "InfiniGenP", "ReKV")
+	for h, r := range stats.PerHead {
+		th.AddRow(h, 100*r.Value(), 50.8, 58.4)
+	}
+	// Summary: ReSV average vs the fixed baselines (paper: 3x fewer than
+	// ReKV).
+	var sum float64
+	for _, r := range stats.PerLayer {
+		sum += r.Value()
+	}
+	avg := sum / float64(len(stats.PerLayer))
+	ts := report.NewTable("Fig 20: summary", "metric", "value")
+	ts.AddRow("ReSV avg ratio (%)", 100*avg)
+	ts.AddRow("ReKV / ReSV ratio", 0.584/avg)
+	return []*report.Table{tl, th, ts}
+}

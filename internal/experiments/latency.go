@@ -1,0 +1,193 @@
+package experiments
+
+import (
+	"vrex/internal/hwsim"
+	"vrex/internal/report"
+)
+
+var kvSweep = []int{1000, 5000, 10000, 20000, 40000}
+
+// edgeSystems pairs each Fig. 13(a) system with its device.
+func edgeSystems() []struct {
+	Dev hwsim.DeviceSpec
+	Pol hwsim.PolicyModel
+} {
+	agx := hwsim.AGXOrin()
+	return []struct {
+		Dev hwsim.DeviceSpec
+		Pol hwsim.PolicyModel
+	}{
+		{agx, hwsim.FlexGenModel()},
+		{agx, hwsim.InfiniGenModel()},
+		{agx, hwsim.InfiniGenPModel()},
+		{agx, hwsim.ReKVModel()},
+		{hwsim.VRex8(), hwsim.ReSVModel()},
+	}
+}
+
+// serverSystems pairs each Fig. 13(b) system with its device.
+func serverSystems() []struct {
+	Dev hwsim.DeviceSpec
+	Pol hwsim.PolicyModel
+} {
+	a100 := hwsim.A100()
+	return []struct {
+		Dev hwsim.DeviceSpec
+		Pol hwsim.PolicyModel
+	}{
+		{a100, hwsim.FlexGenModel()},
+		{a100, hwsim.InfiniGenModel()},
+		{a100, hwsim.InfiniGenPModel()},
+		{a100, hwsim.ReKVModel()},
+		{hwsim.VRex48(), hwsim.ReSVModel()},
+	}
+}
+
+// Fig13LatencyEnergy regenerates Fig. 13: per-frame latency, TPOT and
+// energy efficiency for all systems, edge (batch 1 and 4) and server (batch
+// 1 and 8), sweeping the KV cache from 1K to 40K.
+func Fig13LatencyEnergy(Options) []*report.Table {
+	llm := hwsim.Llama3_8B()
+	var tables []*report.Table
+	type tier struct {
+		name    string
+		systems []struct {
+			Dev hwsim.DeviceSpec
+			Pol hwsim.PolicyModel
+		}
+		bigBatch int
+	}
+	for _, tr := range []tier{
+		{"edge", edgeSystems(), 4},
+		{"server", serverSystems(), 8},
+	} {
+		lat := report.NewTable("Fig 13 ("+tr.name+"): per-frame latency (ms), batch 1",
+			"system", "kv1K", "kv5K", "kv10K", "kv20K", "kv40K")
+		latB := report.NewTable("Fig 13 ("+tr.name+"): per-frame latency (ms), big batch",
+			"system", "kv1K", "kv5K", "kv10K", "kv20K", "kv40K")
+		tpot := report.NewTable("Fig 13 ("+tr.name+"): TPOT (ms), batch 1",
+			"system", "kv1K", "kv5K", "kv10K", "kv20K", "kv40K")
+		eff := report.NewTable("Fig 13 ("+tr.name+"): energy efficiency (GOPS/W), frame batch 1",
+			"system", "kv1K", "kv5K", "kv10K", "kv20K", "kv40K")
+		for _, sys := range tr.systems {
+			name := sys.Dev.Name + "+" + sys.Pol.Name
+			rowLat := []interface{}{name}
+			rowLatB := []interface{}{name}
+			rowTpot := []interface{}{name}
+			rowEff := []interface{}{name}
+			for _, kv := range kvSweep {
+				sim := hwsim.NewSim(sys.Dev, llm, sys.Pol)
+				f1 := sim.FrameLatency(10, kv, 1)
+				fb := sim.FrameLatency(10, kv, tr.bigBatch)
+				tp := sim.TPOT(kv, 1)
+				rowLat = append(rowLat, f1.Total*1000)
+				rowLatB = append(rowLatB, fb.Total*1000)
+				rowTpot = append(rowTpot, tp.Total*1000)
+				rowEff = append(rowEff, f1.GOPSPerWatt())
+			}
+			lat.AddRow(rowLat...)
+			latB.AddRow(rowLatB...)
+			tpot.AddRow(rowTpot...)
+			eff.AddRow(rowEff...)
+		}
+		// Speedup summary row: baseline (FlexGen) over the V-Rex system.
+		base := tr.systems[0]
+		vrex := tr.systems[len(tr.systems)-1]
+		spd := []interface{}{"speedup FlexGen/V-Rex"}
+		for _, kv := range kvSweep {
+			b := hwsim.NewSim(base.Dev, llm, base.Pol).FrameLatency(10, kv, 1)
+			v := hwsim.NewSim(vrex.Dev, llm, vrex.Pol).FrameLatency(10, kv, 1)
+			spd = append(spd, b.Total/v.Total)
+		}
+		lat.AddRow(spd...)
+		tables = append(tables, lat, latB, tpot, eff)
+	}
+	return tables
+}
+
+// Fig14E2EBreakdown regenerates Fig. 14: end-to-end latency of the COIN
+// average scenario on AGX (FlexGen / InfiniGenP / ReKV) vs V-Rex8,
+// normalised to V-Rex8, with the vision/prefill/generation split.
+func Fig14E2EBreakdown(Options) []*report.Table {
+	llm := hwsim.Llama3_8B()
+	sc := defaultScenario()
+	t := report.NewTable("Fig 14: E2E latency breakdown (normalized to V-Rex8)",
+		"kv_len", "system", "vision_s", "prefill_s", "generation_s", "total_s", "vs_vrex8")
+	for _, kv := range kvSweep {
+		vsim := hwsim.NewSim(hwsim.VRex8(), llm, hwsim.ReSVModel())
+		vv, vp, vg := sc.e2e(vsim, kv, 1)
+		vt := vv + vp + vg
+		t.AddRow(kv, "V-Rex8+ReSV", vv, vp, vg, vt, 1.0)
+		for _, pol := range []hwsim.PolicyModel{hwsim.FlexGenModel(), hwsim.InfiniGenPModel(), hwsim.ReKVModel()} {
+			sim := hwsim.NewSim(hwsim.AGXOrin(), llm, pol)
+			av, ap, ag := sc.e2e(sim, kv, 1)
+			at := av + ap + ag
+			t.AddRow(kv, "AGX+"+pol.Name, av, ap, ag, at, at/vt)
+		}
+	}
+	return []*report.Table{t}
+}
+
+// Fig15Throughput regenerates Fig. 15: frame throughput at batch 16 for
+// AGX Orin (no offload), Oaken (4-bit KV) and V-Rex8, with OOM points.
+func Fig15Throughput(Options) []*report.Table {
+	llm := hwsim.Llama3_8B()
+	t := report.NewTable("Fig 15: throughput (FPS) at batch 16",
+		"system", "kv1K", "kv5K", "kv10K", "kv20K", "kv40K")
+	type sys struct {
+		dev hwsim.DeviceSpec
+		pol hwsim.PolicyModel
+	}
+	for _, s := range []sys{
+		{hwsim.AGXOrin(), hwsim.DenseModel()},
+		{hwsim.AGXOrin(), hwsim.OakenModel()},
+		{hwsim.VRex8(), hwsim.ReSVModel()},
+	} {
+		row := []interface{}{s.dev.Name + "+" + s.pol.Name}
+		for _, kv := range kvSweep {
+			b := hwsim.NewSim(s.dev, llm, s.pol).FrameLatency(10, kv, 16)
+			if b.OOM {
+				row = append(row, "OOM")
+			} else {
+				row = append(row, 16/b.Total)
+			}
+		}
+		t.AddRow(row...)
+	}
+	return []*report.Table{t}
+}
+
+// Fig16Ablation regenerates Fig. 16: cumulative latency and energy gains of
+// V-Rex's optimizations at a 40K cache, batch 1, with the per-component
+// latency breakdown.
+func Fig16Ablation(Options) []*report.Table {
+	llm := hwsim.Llama3_8B()
+	const kv = 40000
+	type step struct {
+		name string
+		dev  hwsim.DeviceSpec
+		pol  hwsim.PolicyModel
+	}
+	kvpuOnly := hwsim.ReSVModel()
+	kvpuOnly.Name = "ReSV (KVPU only)"
+	kvpuOnly.SegmentTokens = 4 // KVMU's cluster-contiguous mapping disabled
+	steps := []step{
+		{"AGX+FlexGen (baseline)", hwsim.AGXOrin(), hwsim.FlexGenModel()},
+		{"AGX+ReSV", hwsim.AGXOrin(), hwsim.ReSVOnGPUModel()},
+		{"V-Rex8 KVPU", hwsim.VRex8(), kvpuOnly},
+		{"V-Rex8 All", hwsim.VRex8(), hwsim.ReSVModel()},
+	}
+	t := report.NewTable("Fig 16: ablation at 40K cache, batch 1",
+		"config", "latency_ms", "speedup", "energy_J", "energy_gain",
+		"retrieval_ms", "llm_ms", "vision_ms", "pred_ms")
+	var baseLat, baseEnergy float64
+	for i, st := range steps {
+		b := hwsim.NewSim(st.dev, llm, st.pol).FrameLatency(10, kv, 1)
+		if i == 0 {
+			baseLat, baseEnergy = b.Total, b.EnergyJ
+		}
+		t.AddRow(st.name, b.Total*1000, baseLat/b.Total, b.EnergyJ, baseEnergy/b.EnergyJ,
+			b.FetchExposed*1000, b.LLMTime()*1000, b.VisionTime*1000, b.PredExposed*1000)
+	}
+	return []*report.Table{t}
+}

@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"vrex/internal/core"
+	"vrex/internal/model"
+	"vrex/internal/report"
+	"vrex/internal/retrieval"
+	"vrex/internal/workload"
+)
+
+// MultiTurnCoherence reproduces the paper's central motivation argument
+// (Sec. II-B): destructive cache management (pruning/eviction) answers the
+// *current* query fine but breaks *future* queries whose evidence it
+// discarded, while retrieval preserves the full context. Each session asks
+// two questions: turn 1 targets the most recent scene (pruning keeps that
+// evidence hot), turn 2 targets an early scene (whose tokens pruning has
+// long evicted). ReSV's accuracy holds across turns; pruning collapses on
+// turn 2.
+func MultiTurnCoherence(opts Options) []*report.Table {
+	mcfg := functionalModelConfig(opts.Seed)
+	wcfg := workload.DefaultConfig()
+	sessions := opts.sessions() * 3 // cheap sessions; more for stability
+
+	type policyCase struct {
+		name    string
+		factory func() model.Retriever
+	}
+	cases := []policyCase{
+		{"VideoLLM-Online (dense)", func() model.Retriever { return retrieval.NewDense() }},
+		{"Pruning (H2O-style, 30%)", func() model.Retriever { return retrieval.NewPruning(mcfg, 0.3) }},
+		{"ReSV (retrieval)", func() model.Retriever { return core.New(mcfg, core.DefaultConfig()) }},
+	}
+
+	gen := workload.NewGenerator(wcfg, mcfg.Dim)
+	t := report.NewTable("Multi-turn coherence: accuracy per turn (pruning vs retrieval)",
+		"policy", "turn1_recent_pct", "turn2_early_pct", "turn2_drop_pts")
+	for _, pc := range cases {
+		var t1Correct, t2Correct, n int
+		for si := 0; si < sessions; si++ {
+			// Build a session with one Next-style (recent) and one
+			// Proc+-style (early) query over the same video.
+			recent := gen.Session(workload.TaskNext, si)
+			early := gen.Session(workload.TaskProcPlus, si)
+
+			m := model.New(mcfg)
+			pol := pc.factory()
+			for _, fe := range recent.FrameEmbeds {
+				m.Forward(fe, pol, model.StageFrame, false)
+			}
+			frameTokens := m.Pos()
+
+			q1 := recent.Queries[0]
+			out1 := m.Forward(q1.Embeddings, pol, model.StageText, true)
+			if sceneArgmax(out1.AttnMass, recent, frameTokens) == q1.TargetScene {
+				t1Correct++
+			}
+			q2 := early.Queries[0]
+			out2 := m.Forward(q2.Embeddings, pol, model.StageText, true)
+			if sceneArgmax(out2.AttnMass, early, frameTokens) == q2.TargetScene {
+				t2Correct++
+			}
+			n++
+		}
+		t1 := 100 * float64(t1Correct) / float64(n)
+		t2 := 100 * float64(t2Correct) / float64(n)
+		t.AddRow(pc.name, t1, t2, t1-t2)
+	}
+	return []*report.Table{t}
+}
+
+// sceneArgmax mirrors the accuracy package's answer readout (duplicated here
+// to keep the experiment self-contained over two query sets sharing frames).
+func sceneArgmax(mass []float64, sess *workload.Session, frameTokens int) int {
+	nScenes := sess.SceneOf[len(sess.SceneOf)-1] + 1
+	perScene := make([]float64, nScenes)
+	counts := make([]float64, nScenes)
+	limit := len(mass)
+	if frameTokens < limit {
+		limit = frameTokens
+	}
+	for tok := 0; tok < limit; tok++ {
+		perScene[sess.SceneOf[sess.FrameOfToken(tok)]] += mass[tok]
+	}
+	for _, sc := range sess.SceneOf {
+		counts[sc]++
+	}
+	best, bestV := 0, -1.0
+	for sc := range perScene {
+		if v := perScene[sc] / counts[sc]; v > bestV {
+			best, bestV = sc, v
+		}
+	}
+	return best
+}

@@ -1,0 +1,103 @@
+// Package experiments contains one runner per table and figure of the
+// paper's evaluation (and motivation) sections. Each runner returns
+// report.Tables whose rows are the series the paper plots; cmd/vrex-bench
+// and bench_test.go drive them, and EXPERIMENTS.md records paper-vs-measured
+// values.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"vrex/internal/report"
+)
+
+// Options tunes experiment cost; the defaults match EXPERIMENTS.md.
+type Options struct {
+	// Sessions per task family for accuracy experiments.
+	Sessions int
+	// Seed for all functional-plane randomness.
+	Seed uint64
+	// Quick shrinks functional workloads for smoke tests and benchmarks.
+	Quick bool
+}
+
+// DefaultOptions returns the full-fidelity settings.
+func DefaultOptions() Options { return Options{Sessions: 10, Seed: 7} }
+
+func (o Options) sessions() int {
+	if o.Sessions > 0 {
+		if o.Quick && o.Sessions > 2 {
+			return 2
+		}
+		return o.Sessions
+	}
+	if o.Quick {
+		return 2
+	}
+	return 10
+}
+
+// Runner produces the tables for one experiment.
+type Runner func(Options) []*report.Table
+
+// registry maps experiment IDs (fig4a, tab2, ...) to runners.
+var registry = map[string]Runner{
+	"fig4a": Fig4aMemoryFootprint,
+	"fig4b": Fig4bLatencyBreakdown,
+	"fig4c": Fig4cRetrievalOverhead,
+	"fig5":  Fig5Pipeline,
+	"fig7":  Fig7Similarity,
+	"fig13": Fig13LatencyEnergy,
+	"fig14": Fig14E2EBreakdown,
+	"fig15": Fig15Throughput,
+	"fig16": Fig16Ablation,
+	"fig17": Fig17Bandwidth,
+	"fig18": Fig18Roofline,
+	"fig19": Fig19ReSVAblation,
+	"fig20": Fig20RatioDistribution,
+	"tab1":  Table1Hardware,
+	"tab2":  Table2Accuracy,
+	"tab3":  Table3AreaPower,
+	// Extensions beyond the paper's artifacts: hyperparameter ablation
+	// benches (DESIGN.md) and the serving-scale study.
+	"multiturn":    MultiTurnCoherence,
+	"sweep-thwics": SweepThWics,
+	"sweep-thhd":   SweepThHD,
+	"sweep-nhp":    SweepNHp,
+	"scale":        ScaleServing,
+}
+
+// IDs returns the registered experiment IDs, sorted.
+func IDs() []string {
+	ids := make([]string, 0, len(registry))
+	for id := range registry {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Run executes one experiment by ID and renders its tables to w as aligned
+// text.
+func Run(id string, opts Options, w io.Writer) error {
+	return RunAs(id, opts, w, report.FormatText)
+}
+
+// RunAs executes one experiment and renders in the given format (text, csv
+// or md).
+func RunAs(id string, opts Options, w io.Writer, format report.Format) error {
+	r, ok := registry[id]
+	if !ok {
+		return fmt.Errorf("experiments: unknown experiment %q (known: %v)", id, IDs())
+	}
+	for _, t := range r(opts) {
+		t.RenderAs(w, format)
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+// Get returns the runner for an ID (nil if unknown); bench_test.go uses it.
+func Get(id string) Runner { return registry[id] }

@@ -1,0 +1,110 @@
+package experiments
+
+import (
+	"vrex/internal/accuracy"
+	"vrex/internal/core"
+	"vrex/internal/model"
+	"vrex/internal/report"
+	"vrex/internal/workload"
+)
+
+// sweepEval measures mean accuracy and frame/text ratios for one ReSV
+// configuration over a reduced task set (Step + Task keep the sweep fast
+// while spanning easy/hard queries).
+func sweepEval(opts Options, cfg core.Config) (acc, frame, text float64) {
+	mcfg := functionalModelConfig(opts.Seed)
+	wcfg := workload.DefaultConfig()
+	ev := accuracy.NewEvaluator(mcfg, wcfg, opts.sessions())
+	tasks := []workload.Task{workload.TaskStep, workload.TaskTask}
+	var n float64
+	for _, task := range tasks {
+		r := ev.EvaluateTask(task, func() model.Retriever { return core.New(mcfg, cfg) })
+		acc += r.Accuracy
+		frame += r.FrameRatio
+		text += r.TextRatio
+		n++
+	}
+	return acc / n, frame / n, text / n
+}
+
+// SweepThWics is the ablation bench for the WiCSum threshold Th_r-wics: the
+// knob trading retrieval ratio against accuracy (the paper tunes it to 0.3
+// empirically; this sweep regenerates that trade-off curve).
+func SweepThWics(opts Options) []*report.Table {
+	t := report.NewTable("Sweep: WiCSum threshold Th_r-wics",
+		"th_wics", "accuracy_pct", "frame_ratio_pct", "text_ratio_pct")
+	values := []float64{0.1, 0.3, 0.5, 0.8}
+	if opts.Quick {
+		values = []float64{0.3, 0.8}
+	}
+	for _, th := range values {
+		cfg := core.DefaultConfig()
+		cfg.ThWics = th
+		acc, fr, tx := sweepEval(opts, cfg)
+		t.AddRow(th, 100*acc, 100*fr, 100*tx)
+	}
+	return []*report.Table{t}
+}
+
+// SweepThHD is the ablation bench for the Hamming clustering threshold
+// Th_hd: lower thresholds produce more, purer clusters (finer selection,
+// more prediction work); higher thresholds compress harder.
+func SweepThHD(opts Options) []*report.Table {
+	t := report.NewTable("Sweep: Hamming threshold Th_hd",
+		"th_hd", "accuracy_pct", "frame_ratio_pct", "tokens_per_cluster")
+	values := []int{3, 7, 11, 15}
+	if opts.Quick {
+		values = []int{7, 15}
+	}
+	mcfg := functionalModelConfig(opts.Seed)
+	wcfg := workload.DefaultConfig()
+	gen := workload.NewGenerator(wcfg, mcfg.Dim)
+	for _, th := range values {
+		cfg := core.DefaultConfig()
+		cfg.ThHD = th
+		acc, fr, _ := sweepEval(opts, cfg)
+		// Cluster occupancy on a reference session.
+		m := model.New(mcfg)
+		r := core.New(mcfg, cfg)
+		sess := gen.Session(workload.TaskStep, 0)
+		for _, fe := range sess.FrameEmbeds {
+			m.Forward(fe, r, model.StageFrame, false)
+		}
+		t.AddRow(th, 100*acc, 100*fr, r.HCTable(0).AvgTokensPerCluster())
+	}
+	return []*report.Table{t}
+}
+
+// SweepNHp is the ablation bench for the hyperplane count N_hp (signature
+// bits): fewer bits make clustering cheaper but noisier (the paper uses 32,
+// <= 0.5% of the key dimension).
+func SweepNHp(opts Options) []*report.Table {
+	t := report.NewTable("Sweep: hyperplane count N_hp",
+		"n_hp", "accuracy_pct", "frame_ratio_pct", "tokens_per_cluster")
+	values := []int{8, 16, 32, 64}
+	if opts.Quick {
+		values = []int{16, 32}
+	}
+	mcfg := functionalModelConfig(opts.Seed)
+	wcfg := workload.DefaultConfig()
+	gen := workload.NewGenerator(wcfg, mcfg.Dim)
+	for _, nhp := range values {
+		cfg := core.DefaultConfig()
+		cfg.NHp = nhp
+		// Th_hd scales with signature length to keep the same angular
+		// acceptance (7/32 of the bits).
+		cfg.ThHD = nhp * 7 / 32
+		if cfg.ThHD < 1 {
+			cfg.ThHD = 1
+		}
+		acc, fr, _ := sweepEval(opts, cfg)
+		m := model.New(mcfg)
+		r := core.New(mcfg, cfg)
+		sess := gen.Session(workload.TaskStep, 0)
+		for _, fe := range sess.FrameEmbeds {
+			m.Forward(fe, r, model.StageFrame, false)
+		}
+		t.AddRow(nhp, 100*acc, 100*fr, r.HCTable(0).AvgTokensPerCluster())
+	}
+	return []*report.Table{t}
+}

@@ -1,0 +1,42 @@
+package hashbit
+
+import (
+	"vrex/internal/mathx"
+	"vrex/internal/tensor"
+)
+
+// Clusterer bundles a Hasher with an HCTable into the complete streaming
+// hash-bit key clustering pipeline of Fig. 8: each arriving frame's key
+// matrix is projected, binarised and folded into the cluster table.
+type Clusterer struct {
+	Hasher *Hasher
+	Table  *HCTable
+}
+
+// NewClusterer builds a clusterer for dim-dimensional keys with nbits
+// hyperplanes and Hamming threshold thHD.
+func NewClusterer(dim, nbits, thHD int, rng *mathx.RNG) *Clusterer {
+	return &Clusterer{
+		Hasher: NewHasher(dim, nbits, rng),
+		Table:  NewHCTable(thHD),
+	}
+}
+
+// AddFrame clusters every row of keys, assigning global token indices
+// baseTokenIdx, baseTokenIdx+1, ... It returns the cluster ID assigned to
+// each row. New tokens may join clusters created earlier in the same frame
+// (the paper's "combined Key cluster hash-bit" includes current-frame bits).
+func (c *Clusterer) AddFrame(keys *tensor.Matrix, baseTokenIdx int) []int {
+	sigs := c.Hasher.HashKeys(keys)
+	ids := make([]int, keys.Rows)
+	for i := 0; i < keys.Rows; i++ {
+		ids[i], _ = c.Table.Insert(baseTokenIdx+i, keys.Row(i), sigs[i])
+	}
+	return ids
+}
+
+// CompressionRatio returns tokens per cluster, i.e. how much the candidate
+// set shrinks for the WiCSum scoring stage.
+func (c *Clusterer) CompressionRatio() float64 {
+	return c.Table.AvgTokensPerCluster()
+}

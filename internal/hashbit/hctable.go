@@ -1,0 +1,156 @@
+package hashbit
+
+import "fmt"
+
+// Cluster is one row of the hash cluster (HC) table: a group of tokens whose
+// key signatures are within Th_hd Hamming distance of the cluster
+// representative. RepKey is the running mean of member keys (Key_cluster in
+// the paper) and is what WiCSum scores against; TokenIdxs maps the cluster
+// back to the original token indices for retrieval.
+type Cluster struct {
+	ID        int
+	TokenIdxs []int
+	// RepSig is the cluster's representative hash-bit pattern (the signature
+	// of the first member; kept stable so streaming assignment is cheap).
+	RepSig Signature
+	// RepKey is the element-wise mean of all member key vectors.
+	RepKey []float32
+}
+
+// Count returns the number of tokens in the cluster (TC_j in Eq. 1).
+func (c *Cluster) Count() int { return len(c.TokenIdxs) }
+
+// addMember appends a token and folds its key into the running mean.
+func (c *Cluster) addMember(tokenIdx int, key []float32) {
+	n := float32(len(c.TokenIdxs))
+	for j, v := range key {
+		c.RepKey[j] = (c.RepKey[j]*n + v) / (n + 1)
+	}
+	c.TokenIdxs = append(c.TokenIdxs, tokenIdx)
+}
+
+// HCTable is the streaming hash cluster table maintained per decoder layer.
+// Each arriving frame's tokens are assigned to the nearest existing cluster
+// (by signature Hamming distance) if within the threshold, otherwise they
+// found a new cluster.
+type HCTable struct {
+	// ThHD is Th_hd, the Hamming distance threshold for joining a cluster.
+	ThHD int
+	// Clusters in creation order; Cluster.ID is the index.
+	Clusters []*Cluster
+	// tokenToCluster maps token index -> cluster ID.
+	tokenToCluster map[int]int
+	// nTokens is the total number of tokens ever inserted.
+	nTokens int
+}
+
+// NewHCTable creates an empty table with Hamming threshold thHD.
+func NewHCTable(thHD int) *HCTable {
+	if thHD < 0 {
+		panic("hashbit: negative Hamming threshold")
+	}
+	return &HCTable{ThHD: thHD, tokenToCluster: make(map[int]int)}
+}
+
+// NumClusters returns the current cluster count.
+func (t *HCTable) NumClusters() int { return len(t.Clusters) }
+
+// NumTokens returns the total tokens inserted.
+func (t *HCTable) NumTokens() int { return t.nTokens }
+
+// ClusterOf returns the cluster ID for a token index, or -1 if unknown.
+func (t *HCTable) ClusterOf(tokenIdx int) int {
+	if id, ok := t.tokenToCluster[tokenIdx]; ok {
+		return id
+	}
+	return -1
+}
+
+// AvgTokensPerCluster returns the mean cluster occupancy (the paper reports
+// an average of 32 tokens per cluster on COIN).
+func (t *HCTable) AvgTokensPerCluster() float64 {
+	if len(t.Clusters) == 0 {
+		return 0
+	}
+	return float64(t.nTokens) / float64(len(t.Clusters))
+}
+
+// Insert assigns one token (global index tokenIdx, key vector key, signature
+// sig) to the nearest cluster within ThHD, creating a new cluster if none
+// qualifies. It returns the cluster ID and the Hamming distance to the chosen
+// representative (0 for a newly created cluster).
+func (t *HCTable) Insert(tokenIdx int, key []float32, sig Signature) (clusterID, dist int) {
+	best, bestDist := -1, t.ThHD // strict: only d < ThHD joins
+	for _, c := range t.Clusters {
+		d := Hamming(sig, c.RepSig)
+		if d < bestDist {
+			best, bestDist = c.ID, d
+		}
+	}
+	if best >= 0 {
+		c := t.Clusters[best]
+		c.addMember(tokenIdx, key)
+		t.tokenToCluster[tokenIdx] = best
+		t.nTokens++
+		return best, bestDist
+	}
+	c := &Cluster{
+		ID:        len(t.Clusters),
+		TokenIdxs: []int{tokenIdx},
+		RepSig:    sig.Clone(),
+		RepKey:    append([]float32(nil), key...),
+	}
+	t.Clusters = append(t.Clusters, c)
+	t.tokenToCluster[tokenIdx] = c.ID
+	t.nTokens++
+	return c.ID, 0
+}
+
+// TokensOf expands a set of cluster IDs into the union of their member token
+// indices (the HC-table lookup that maps selected clusters back to tokens in
+// Fig. 9). The result preserves insertion order within each cluster.
+func (t *HCTable) TokensOf(clusterIDs []int) []int {
+	var out []int
+	for _, id := range clusterIDs {
+		if id < 0 || id >= len(t.Clusters) {
+			panic(fmt.Sprintf("hashbit: cluster ID %d out of range", id))
+		}
+		out = append(out, t.Clusters[id].TokenIdxs...)
+	}
+	return out
+}
+
+// MemoryOverheadBytes estimates the HC table's storage cost: per cluster one
+// representative key (bf16), one signature, and per token a 4-byte index.
+// The paper reports this at 1.67% of the full KV cache.
+func (t *HCTable) MemoryOverheadBytes(keyDim, sigBits int) int {
+	perCluster := keyDim*2 + SignatureWords(sigBits)*8
+	return len(t.Clusters)*perCluster + t.nTokens*4
+}
+
+// InsertInto adds a token directly to a known cluster (bypassing the
+// nearest-signature search); the windowed clusterer uses it after matching
+// against the active set only. It returns the cluster ID.
+func (t *HCTable) InsertInto(clusterID, tokenIdx int, key []float32) int {
+	if clusterID < 0 || clusterID >= len(t.Clusters) {
+		panic(fmt.Sprintf("hashbit: cluster ID %d out of range", clusterID))
+	}
+	t.Clusters[clusterID].addMember(tokenIdx, key)
+	t.tokenToCluster[tokenIdx] = clusterID
+	t.nTokens++
+	return clusterID
+}
+
+// insertNewCluster founds a cluster unconditionally and returns (id, 0).
+func (t *HCTable) insertNewCluster(tokenIdx int, key []float32, sig Signature) (int, int) {
+	c := &Cluster{
+		ID:        len(t.Clusters),
+		TokenIdxs: []int{tokenIdx},
+		RepSig:    sig.Clone(),
+		RepKey:    append([]float32(nil), key...),
+	}
+	t.Clusters = append(t.Clusters, c)
+	t.tokenToCluster[tokenIdx] = c.ID
+	t.nTokens++
+	return c.ID, 0
+}

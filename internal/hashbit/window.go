@@ -1,0 +1,121 @@
+package hashbit
+
+// ActiveWindow bounds the set of clusters new tokens are compared against.
+// The KVMU performs clustering "entirely within the recent KV cache,
+// removing any need to access the CPU or storage for clustering with the
+// offloaded cache" (Sec. V-C): clusters that have not absorbed a token for
+// a while become inactive — their signatures leave the HCU's hash-bit
+// memory — and new tokens can only join active clusters or found new ones.
+// Inactive clusters remain in the HC table for retrieval (their members are
+// still selectable); they just stop growing.
+//
+// Bounding the active set also caps the HCU's comparison work per frame at
+// O(newTokens x MaxActive) regardless of stream length.
+type ActiveWindow struct {
+	// MaxActive is the maximum number of clusters kept active (the HCU
+	// hash-bit memory capacity; 1024 for 4 KB / 32-bit signatures).
+	MaxActive int
+	// order holds active cluster IDs, least-recently-updated first.
+	order []int
+	pos   map[int]int // cluster ID -> index in order
+}
+
+// NewActiveWindow returns a window of at most maxActive clusters.
+func NewActiveWindow(maxActive int) *ActiveWindow {
+	if maxActive <= 0 {
+		panic("hashbit: non-positive active window")
+	}
+	return &ActiveWindow{MaxActive: maxActive, pos: make(map[int]int)}
+}
+
+// Active returns the active cluster IDs (ordering unspecified).
+func (w *ActiveWindow) Active() []int {
+	return append([]int(nil), w.order...)
+}
+
+// Len returns the active count.
+func (w *ActiveWindow) Len() int { return len(w.order) }
+
+// Contains reports whether a cluster is active.
+func (w *ActiveWindow) Contains(id int) bool {
+	_, ok := w.pos[id]
+	return ok
+}
+
+// Touch marks a cluster as most-recently-updated, inserting it (and evicting
+// the least-recently-updated cluster) if needed. It returns the evicted
+// cluster ID, or -1.
+func (w *ActiveWindow) Touch(id int) int {
+	if i, ok := w.pos[id]; ok {
+		// Move to the back.
+		w.order = append(append(w.order[:i:i], w.order[i+1:]...), id)
+		w.reindex(i)
+		return -1
+	}
+	evicted := -1
+	if len(w.order) >= w.MaxActive {
+		evicted = w.order[0]
+		delete(w.pos, evicted)
+		w.order = w.order[1:]
+		w.reindex(0)
+	}
+	w.pos[id] = len(w.order)
+	w.order = append(w.order, id)
+	return evicted
+}
+
+func (w *ActiveWindow) reindex(from int) {
+	for i := from; i < len(w.order); i++ {
+		w.pos[w.order[i]] = i
+	}
+}
+
+// WindowedClusterer is a Clusterer whose assignment only considers active
+// clusters.
+type WindowedClusterer struct {
+	Hasher *Hasher
+	Table  *HCTable
+	Window *ActiveWindow
+}
+
+// NewWindowedClusterer builds the bounded variant.
+func NewWindowedClusterer(c *Clusterer, maxActive int) *WindowedClusterer {
+	return &WindowedClusterer{
+		Hasher: c.Hasher,
+		Table:  c.Table,
+		Window: NewActiveWindow(maxActive),
+	}
+}
+
+// AddFrame clusters the frame's keys against active clusters only.
+func (w *WindowedClusterer) AddFrame(keys interface {
+	Row(int) []float32
+}, rows, baseTokenIdx int) []int {
+	ids := make([]int, rows)
+	for i := 0; i < rows; i++ {
+		key := keys.Row(i)
+		sig := w.Hasher.HashVector(key)
+		best, bestDist := -1, w.Table.ThHD
+		for _, cid := range w.Window.Active() {
+			d := Hamming(sig, w.Table.Clusters[cid].RepSig)
+			if d < bestDist {
+				best, bestDist = cid, d
+			}
+		}
+		var id int
+		if best >= 0 {
+			id = w.Table.InsertInto(best, baseTokenIdx+i, key)
+		} else {
+			id, _ = w.insertNew(baseTokenIdx+i, key, sig)
+		}
+		w.Window.Touch(id)
+		ids[i] = id
+	}
+	return ids
+}
+
+// insertNew founds a cluster unconditionally (bypassing the global nearest
+// search — inactive clusters must not attract new members).
+func (w *WindowedClusterer) insertNew(tokenIdx int, key []float32, sig Signature) (int, int) {
+	return w.Table.insertNewCluster(tokenIdx, key, sig)
+}

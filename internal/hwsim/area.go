@@ -1,0 +1,60 @@
+package hwsim
+
+// UnitBudget is one row of the Table III area/power breakdown for a single
+// V-Rex core synthesised at 14 nm, 0.8 V, 800 MHz.
+type UnitBudget struct {
+	Engine  string // LXE or DRE
+	Unit    string
+	AreaMM2 float64
+	PowerMW float64
+}
+
+// CoreBudget returns the per-core breakdown of Table III.
+func CoreBudget() []UnitBudget {
+	return []UnitBudget{
+		{Engine: "LXE", Unit: "DPE", AreaMM2: 1.37, PowerMW: 2311.39},
+		{Engine: "LXE", Unit: "VPE", AreaMM2: 0.14, PowerMW: 122.06},
+		{Engine: "LXE", Unit: "On-chip Memory", AreaMM2: 0.34, PowerMW: 118.94},
+		{Engine: "DRE", Unit: "KVPU - HCU", AreaMM2: 0.01, PowerMW: 2.99},
+		{Engine: "DRE", Unit: "KVPU - WTU", AreaMM2: 0.02, PowerMW: 39.04},
+		{Engine: "DRE", Unit: "KVMU", AreaMM2: 0.01, PowerMW: 15.01},
+	}
+}
+
+// CoreTotals sums the breakdown: ~1.89 mm^2 and ~2.61 W per core.
+func CoreTotals() (areaMM2, powerMW float64) {
+	for _, u := range CoreBudget() {
+		areaMM2 += u.AreaMM2
+		powerMW += u.PowerMW
+	}
+	return areaMM2, powerMW
+}
+
+// DREShare returns the DRE's fraction of core area and power (the paper
+// reports ~2.0% area and ~2.2-2.4% power).
+func DREShare() (areaFrac, powerFrac float64) {
+	var dreA, dreP, totA, totP float64
+	for _, u := range CoreBudget() {
+		totA += u.AreaMM2
+		totP += u.PowerMW
+		if u.Engine == "DRE" {
+			dreA += u.AreaMM2
+			dreP += u.PowerMW
+		}
+	}
+	return dreA / totA, dreP / totP
+}
+
+// ChipArea returns the total silicon area of an n-core V-Rex (V-Rex8:
+// 15.12 mm^2, V-Rex48: 90.57 mm^2, vs 200 mm^2 AGX Orin / 826 mm^2 A100).
+func ChipArea(cores int) float64 {
+	area, _ := CoreTotals()
+	return area * float64(cores)
+}
+
+// OnChipMemoryBytes returns per-core SRAM: 384 KB for the LXE plus
+// 20.125 KB for the DRE (hash-bit 4 KB + current hash-bit 128 B + 2x8 KB
+// WTU score/count memories).
+func OnChipMemoryBytes() (lxe, dre int) {
+	return 384 * 1024, 4*1024 + 128 + 2*8*1024
+}

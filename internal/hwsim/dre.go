@@ -1,0 +1,78 @@
+package hwsim
+
+import "math"
+
+// DRE unit shape constants (Sec. VI-A): a single V-Rex core is configured
+// with N_HCU-h=1 x N_HCU-w=16 XOR accumulators and N_WTU-h=1 x N_WTU-w=16
+// WTU lanes; hash signatures are N_hp=32 bits; the WTU uses 20 buckets and
+// examines ~16% of entries per row thanks to early exit.
+const (
+	nHCUh        = 1
+	nHCUw        = 16
+	nWTUh        = 1
+	nWTUw        = 16
+	defaultNHp   = 32
+	wtuBuckets   = 20
+	wtuExamineFr = 0.16
+)
+
+// DRECycles reports the per-layer cycle cost of the DRE units for one chunk.
+type DRECycles struct {
+	HCU  float64
+	WTU  float64
+	KVMU float64
+}
+
+// Total returns the serial sum (the units pipeline in practice; Total is an
+// upper bound used for the exposed-latency check).
+func (c DRECycles) Total() float64 { return c.HCU + c.WTU + c.KVMU }
+
+// HCUCycles models hash-bit clustering in hardware: newTokens signatures
+// compared against clusters representatives, each comparison XOR-accumulating
+// nhp bits at nHCUw bits/cycle across nHCUh parallel lanes, plus table
+// update (1 cycle per token).
+func HCUCycles(newTokens, clusters, nhp, cores int) float64 {
+	if newTokens <= 0 || cores <= 0 {
+		return 0
+	}
+	if nhp <= 0 {
+		nhp = defaultNHp
+	}
+	perCompare := math.Ceil(float64(nhp) / nHCUw)
+	compares := float64(newTokens) * float64(clusters)
+	lanes := float64(nHCUh * cores)
+	return compares*perCompare/lanes + float64(newTokens)
+}
+
+// WTUCycles models WiCSum thresholding with early-exit sorting: per score
+// row, a preprocess pass (weighted sum + min/max, clusters/nWTUw cycles) and
+// a token-selection pass touching examineFr of the clusters through the
+// bucket pipeline. Rows are distributed over the cores' WTU lanes.
+func WTUCycles(rows, clusters, cores int, examineFr float64) float64 {
+	if rows <= 0 || clusters <= 0 || cores <= 0 {
+		return 0
+	}
+	if examineFr <= 0 || examineFr > 1 {
+		examineFr = wtuExamineFr
+	}
+	perRowPre := math.Ceil(float64(clusters) / nWTUw)
+	perRowSel := math.Ceil(examineFr*float64(clusters)/nWTUw) + wtuBuckets
+	lanes := float64(nWTUh * cores)
+	return float64(rows) * (perRowPre + perRowSel) / lanes
+}
+
+// KVMUCycles models the management unit's bookkeeping: reordering newly
+// written tokens to cluster-major layout (a streamed scatter, ~1 cycle/token
+// of metadata work — the data movement itself rides the DRAM write of the
+// new KV and is hidden) plus issuing one descriptor per fetch segment.
+func KVMUCycles(newTokens, fetchSegments int) float64 {
+	return float64(newTokens) + 4*float64(fetchSegments)
+}
+
+// DRETime converts DRE cycles at the core frequency into seconds.
+func DRETime(c DRECycles, freq float64) float64 {
+	if freq <= 0 {
+		return 0
+	}
+	return c.Total() / freq
+}

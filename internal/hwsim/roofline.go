@@ -1,0 +1,63 @@
+package hwsim
+
+// RooflinePoint is one system's position in the Fig. 18 roofline analysis.
+type RooflinePoint struct {
+	System string
+	// OpIntensity is FLOPs per byte of off-chip traffic.
+	OpIntensity float64
+	// AchievedFLOPS is useful FLOPs / end-to-end latency.
+	AchievedFLOPS float64
+	// CeilingFLOPS is min(peak compute, OI x memory bandwidth).
+	CeilingFLOPS float64
+	// PeakFraction is Achieved/Ceiling.
+	PeakFraction float64
+}
+
+// Roofline evaluates one device+policy at a workload point (tokensPerFrame
+// new tokens, kvLen cache, batch) and returns its roofline position.
+func Roofline(dev DeviceSpec, llm LLMSpec, pol PolicyModel, tokensPerFrame, kvLen, batch int) RooflinePoint {
+	sim := NewSim(dev, llm, pol)
+	b := sim.FrameLatency(tokensPerFrame, kvLen, batch)
+
+	// The roofline considers the LLM execution phase (the paper's analysis
+	// is of the frame processing stage's compute): vision/host overhead is
+	// excluded from both FLOPs and time.
+	llmFLOPs := llm.LayerLinearFLOPs(tokensPerFrame*batch) * float64(llm.Layers)
+	ratio := pol.FrameRatio
+	attended := ratio*float64(kvLen) + float64(tokensPerFrame)
+	llmFLOPs += 4 * float64(tokensPerFrame) * attended * float64(llm.Dim) * float64(batch) * float64(llm.Layers)
+	llmTime := b.Total - b.VisionTime
+	if dev.HasDRE {
+		// In steady-state streaming the KVMU prefetches the next frame's
+		// selected KV across the whole frame interval (hierarchical memory,
+		// Fig. 12), so the compute engines see no fetch stall; GPU baselines
+		// only overlap within the layer pipeline and stall on PCIe (the
+		// "PCIe Bottleneck" annotation of Fig. 18).
+		llmTime -= b.FetchExposed
+	}
+
+	// Off-chip traffic: weights + attended KV (+ fetched KV on GPUs, whose
+	// compute engines wait on it; on V-Rex it streams in the background).
+	bytes := llm.WeightBytes() +
+		2*attended*float64(llm.KVDim())*llm.BytesPerElem*float64(llm.Layers)*float64(batch)
+	if !dev.HasDRE {
+		bytes += b.FetchBytes
+	}
+
+	oi := llmFLOPs / bytes
+	ceiling := dev.PeakFLOPS
+	if bwBound := oi * dev.Mem.Bandwidth; bwBound < ceiling {
+		ceiling = bwBound
+	}
+	achieved := 0.0
+	if llmTime > 0 {
+		achieved = llmFLOPs / llmTime
+	}
+	return RooflinePoint{
+		System:        dev.Name + "+" + pol.Name,
+		OpIntensity:   oi,
+		AchievedFLOPS: achieved,
+		CeilingFLOPS:  ceiling,
+		PeakFraction:  achieved / ceiling,
+	}
+}

@@ -1,0 +1,64 @@
+package hwsim
+
+import "math"
+
+// DRE on-chip memory capacities (Fig. 10): the hash-bit memory holds the
+// cluster-representative signatures the HCU compares against; the WTU score
+// and token-count memories hold one row's working set. When the working set
+// exceeds SRAM, the units stream from DRAM in tiles, which costs extra
+// cycles — these helpers expose the capacities and the tiling penalty so the
+// cycle models stay honest at large cluster counts.
+const (
+	// HashBitMemBytes is the HCU's key-cache hash-bit memory (4 KB).
+	HashBitMemBytes = 4 * 1024
+	// CurrentHashBitMemBytes holds the arriving frame's signatures (128 B).
+	CurrentHashBitMemBytes = 128
+	// WTUScoreMemBytes / WTUCountMemBytes are per-core row buffers (8 KB each).
+	WTUScoreMemBytes = 8 * 1024
+	WTUCountMemBytes = 8 * 1024
+)
+
+// HCUClusterCapacity returns how many cluster signatures fit in the
+// hash-bit memory for a given signature width.
+func HCUClusterCapacity(nhp int) int {
+	if nhp <= 0 {
+		nhp = defaultNHp
+	}
+	bytesPerSig := (nhp + 7) / 8
+	return HashBitMemBytes / bytesPerSig
+}
+
+// WTUClusterCapacity returns how many score entries (bf16) fit in one WTU
+// core's score memory.
+func WTUClusterCapacity() int { return WTUScoreMemBytes / 2 }
+
+// HCUCyclesTiled extends HCUCycles with SRAM tiling: when the cluster count
+// exceeds the hash-bit memory, the signature set streams through SRAM in
+// tiles and each extra tile pays a refill of the current-frame signatures'
+// comparisons plus the DRAM burst setup (a handful of cycles per tile,
+// amortised — the dominant term is simply that every comparison still
+// happens, so the overhead is a small multiplicative refill factor).
+func HCUCyclesTiled(newTokens, clusters, nhp, cores int) float64 {
+	base := HCUCycles(newTokens, clusters, nhp, cores)
+	cap := HCUClusterCapacity(nhp)
+	if clusters <= cap || cap <= 0 {
+		return base
+	}
+	tiles := math.Ceil(float64(clusters) / float64(cap))
+	// Per-tile: re-load the tile's signatures (cap * sigBytes / 16B-per-cycle
+	// DRAM port) — hidden behind compute except for the setup cycles.
+	const tileSetup = 32
+	return base + tiles*tileSetup
+}
+
+// WTUCyclesTiled extends WTUCycles with score-memory tiling.
+func WTUCyclesTiled(rows, clusters, cores int, examineFr float64) float64 {
+	base := WTUCycles(rows, clusters, cores, examineFr)
+	cap := WTUClusterCapacity()
+	if clusters <= cap || cap <= 0 {
+		return base
+	}
+	tiles := math.Ceil(float64(clusters) / float64(cap))
+	const tileSetup = 32
+	return base + float64(rows)*tiles*tileSetup/float64(nWTUh*cores)
+}

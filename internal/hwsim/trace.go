@@ -1,0 +1,84 @@
+package hwsim
+
+// TracePoint is one sample of the Fig. 17 bandwidth-over-time analysis.
+type TracePoint struct {
+	TimeUS float64
+	// LLMBW is DRAM bandwidth consumed by LLM kernels (bytes/s).
+	LLMBW float64
+	// PredBW is DRAM bandwidth consumed by KV prediction (bytes/s).
+	PredBW float64
+	// RetrievalBW is bandwidth consumed writing fetched KV into DRAM
+	// (PCIe-bound, ~1% of DRAM bandwidth).
+	RetrievalBW float64
+	// Phase labels the active LLM phase ("QKV Gen", "Attention", "FFN").
+	Phase string
+}
+
+// BandwidthTrace reconstructs the per-phase DRAM bandwidth usage of nLayers
+// decoder layers on a V-Rex device (Fig. 17's analysis of concurrent
+// computation): QKV generation and FFN stream weights; attention streams the
+// attended KV; KV prediction briefly spikes while reading cluster metadata
+// concurrently with attention; retrieval trickles constantly at PCIe rate.
+func BandwidthTrace(dev DeviceSpec, llm LLMSpec, pol PolicyModel, tokensPerFrame, kvLen, batch, nLayers, samplesPerPhase int) []TracePoint {
+	sim := NewSim(dev, llm, pol)
+	ratio := pol.FrameRatio
+	attended := int(ratio*float64(kvLen)+0.5) + tokensPerFrame
+	rows := tokensPerFrame * batch
+
+	// Phase durations for one layer.
+	qkvFLOPs := 2 * float64(rows) * float64(llm.Dim) * (float64(llm.Dim) + 2*float64(llm.KVDim()))
+	qkvBytes := (float64(llm.Dim)*float64(llm.Dim)*2 + 2*float64(llm.Dim)*float64(llm.KVDim())*2)
+	qkvT := sim.rooflineTime(qkvFLOPs, dev.DenseEff, qkvBytes)
+
+	attnFLOPs := llm.LayerAttnFLOPs(tokensPerFrame, attended) * float64(batch)
+	attnBytes := llm.LayerKVBytes(attended) * float64(batch)
+	attnT := sim.rooflineTime(attnFLOPs, dev.AttnEff, attnBytes)
+
+	ffnFLOPs := 2 * float64(rows) * float64(llm.Dim) * float64(llm.FFNDim) * 3
+	ffnBytes := 3 * float64(llm.Dim) * float64(llm.FFNDim) * 2
+	ffnT := sim.rooflineTime(ffnFLOPs, dev.DenseEff, ffnBytes)
+
+	// Prediction metadata read: cluster representatives (KVDim each).
+	cand := float64(kvLen)
+	if pol.ClusterCompression > 1 {
+		cand /= pol.ClusterCompression
+	}
+	predBytes := cand * float64(llm.KVDim()) * llm.BytesPerElem
+	predBW := 0.0
+	if attnT > 0 {
+		predDur := attnT * 0.3 // overlapped within attention
+		predBW = predBytes / predDur
+	}
+
+	// Retrieval: constant PCIe-rate DRAM writes while fetching.
+	retrBW := 0.0
+	if pol.Offloads {
+		retrBW = dev.Link.Bandwidth
+		if dev.OffloadSSD != nil && dev.OffloadSSD.ReadBandwidth < retrBW {
+			retrBW = dev.OffloadSSD.ReadBandwidth
+		}
+	}
+
+	var out []TracePoint
+	t := 0.0
+	emit := func(phase string, dur, llmBW, pBW float64) {
+		for i := 0; i < samplesPerPhase; i++ {
+			out = append(out, TracePoint{
+				TimeUS:      (t + dur*float64(i)/float64(samplesPerPhase)) * 1e6,
+				LLMBW:       llmBW,
+				PredBW:      pBW,
+				RetrievalBW: retrBW,
+				Phase:       phase,
+			})
+		}
+		t += dur
+	}
+	for l := 0; l < nLayers; l++ {
+		emit("QKV Gen", qkvT, qkvBytes/qkvT, 0)
+		// Prediction spike in the first 30% of attention.
+		emit("Attention", attnT*0.3, attnBytes/attnT, predBW)
+		emit("Attention", attnT*0.7, attnBytes/attnT, 0)
+		emit("FFN", ffnT, ffnBytes/ffnT, 0)
+	}
+	return out
+}

@@ -1,0 +1,127 @@
+package kvcache
+
+// TransferLog accumulates data-movement accounting for one layer's cache.
+// The hardware simulator converts these counters into PCIe/SSD time and
+// energy; the contiguity counters (segments vs tokens) capture the benefit
+// of the KVMU's cluster-wise mapping.
+type TransferLog struct {
+	// OffloadBytes counts device -> host/storage traffic.
+	OffloadBytes int64
+	// FetchBytes counts host/storage -> device traffic.
+	FetchBytes int64
+	// FetchTokens counts tokens fetched.
+	FetchTokens int64
+	// FetchSegments counts contiguous transfer segments used for those
+	// fetches (lower is better: fewer, larger DMA bursts).
+	FetchSegments int64
+	// OffloadEvents counts eviction batches.
+	OffloadEvents int64
+}
+
+// Add accumulates other into l.
+func (l *TransferLog) Add(other TransferLog) {
+	l.OffloadBytes += other.OffloadBytes
+	l.FetchBytes += other.FetchBytes
+	l.FetchTokens += other.FetchTokens
+	l.FetchSegments += other.FetchSegments
+	l.OffloadEvents += other.OffloadEvents
+}
+
+// Hierarchy manages the tier residency of one LayerCache against a device
+// capacity budget: recent tokens stay on device, the oldest spill to the
+// off-device tier, and selected tokens are fetched back on demand
+// (offloading / selection / pre-fetching, Sec. II-B).
+type Hierarchy struct {
+	Cache *LayerCache
+	// CapacityTokens is the device-tier budget for this layer.
+	CapacityTokens int
+	// OffTier is where evicted tokens go (TierHost for server offload to
+	// CPU DRAM, TierStorage for edge offload to NVMe).
+	OffTier Tier
+	// BytesPerToken is the wire size of one token's K+V rows (bf16: 2 bytes
+	// per element, two rows).
+	BytesPerToken int
+	Log           TransferLog
+	// written marks tokens whose KV has been copied off-device at least
+	// once; only the first demotion pays offload traffic (the off-device
+	// copy is immutable afterwards, so later releases are free).
+	written map[int]bool
+}
+
+// NewHierarchy wraps cache with a device budget of capacityTokens.
+func NewHierarchy(cache *LayerCache, capacityTokens int, offTier Tier, bytesPerElem int) *Hierarchy {
+	if offTier == TierDevice {
+		panic("kvcache: off-tier must not be device")
+	}
+	return &Hierarchy{
+		Cache:          cache,
+		CapacityTokens: capacityTokens,
+		OffTier:        offTier,
+		BytesPerToken:  2 * cache.Dim * bytesPerElem,
+		written:        make(map[int]bool),
+	}
+}
+
+// demote moves token i off-device, charging offload traffic the first time
+// its data leaves the device.
+func (h *Hierarchy) demote(i int) {
+	h.Cache.SetTier(i, h.OffTier)
+	if !h.written[i] {
+		h.written[i] = true
+		h.Log.OffloadBytes += int64(h.BytesPerToken)
+	}
+}
+
+// Enforce evicts the oldest device-resident tokens until the device tier is
+// within capacity. It returns the number of tokens offloaded.
+func (h *Hierarchy) Enforce() int {
+	over := h.Cache.ResidentCount() - h.CapacityTokens
+	if over <= 0 {
+		return 0
+	}
+	evicted := 0
+	for i := 0; i < h.Cache.Len() && evicted < over; i++ {
+		if h.Cache.TierOf(i) == TierDevice {
+			h.demote(i)
+			evicted++
+		}
+	}
+	h.Log.OffloadEvents++
+	return evicted
+}
+
+// Fetch makes the given tokens device-resident, counting transfer bytes and
+// contiguous segments according to layout. Already-resident tokens cost
+// nothing. It returns the per-call transfer statistics (also accumulated
+// into h.Log).
+func (h *Hierarchy) Fetch(tokens []int, layout Layout) TransferLog {
+	var missing []int
+	for _, t := range tokens {
+		if h.Cache.TierOf(t) != TierDevice {
+			missing = append(missing, t)
+		}
+	}
+	var log TransferLog
+	if len(missing) > 0 {
+		segs := layout.Segments(missing)
+		for _, t := range missing {
+			h.Cache.SetTier(t, TierDevice)
+		}
+		log.FetchTokens = int64(len(missing))
+		log.FetchBytes = int64(len(missing)) * int64(h.BytesPerToken)
+		log.FetchSegments = int64(segs)
+	}
+	h.Log.Add(log)
+	return log
+}
+
+// Release demotes fetched tokens back off-device (retrieved entries are
+// transient working-set copies; only the recent window is pinned). Tokens
+// younger than pinnedAfter stay on device.
+func (h *Hierarchy) Release(tokens []int, pinnedAfter int) {
+	for _, t := range tokens {
+		if t < pinnedAfter && h.Cache.TierOf(t) == TierDevice {
+			h.demote(t)
+		}
+	}
+}

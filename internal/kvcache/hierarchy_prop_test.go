@@ -1,0 +1,118 @@
+package kvcache
+
+import (
+	"testing"
+
+	"vrex/internal/mathx"
+)
+
+// TestHierarchyRandomOpsInvariants drives the hierarchy with random
+// append/enforce/fetch/release sequences and checks global invariants after
+// every operation:
+//
+//  1. every token is in exactly one tier (trivially true by representation,
+//     asserted via tier validity),
+//  2. device-resident count never exceeds capacity right after Enforce,
+//  3. transfer accounting only grows, and fetch bytes are consistent with
+//     fetch tokens,
+//  4. a token's data is never lost: Key/Value views always return the
+//     originally appended values regardless of tier shuffling.
+func TestHierarchyRandomOpsInvariants(t *testing.T) {
+	rng := mathx.NewRNG(2024)
+	const dim = 4
+	for trial := 0; trial < 30; trial++ {
+		c := NewLayerCache(dim)
+		capTokens := 4 + rng.Intn(20)
+		h := NewHierarchy(c, capTokens, TierStorage, 2)
+		layout := NewClusterLayout()
+		var prevLog TransferLog
+		appended := map[int]float32{}
+
+		steps := 100 + rng.Intn(100)
+		for s := 0; s < steps; s++ {
+			switch rng.Intn(4) {
+			case 0: // append a small chunk
+				n := 1 + rng.Intn(4)
+				for i := 0; i < n; i++ {
+					v := rng.Norm32()
+					idx := c.Append(row(dim, v), row(dim, -v))
+					appended[idx] = v
+				}
+			case 1:
+				h.Enforce()
+				if got := c.ResidentCount(); got > capTokens+4 {
+					// Enforce runs before the next chunk lands; allow the
+					// chunk slack but nothing more.
+					t.Fatalf("trial %d: resident %d far above capacity %d", trial, got, capTokens)
+				}
+			case 2: // fetch a random subset
+				if c.Len() == 0 {
+					continue
+				}
+				var tokens []int
+				for i := 0; i < 1+rng.Intn(8); i++ {
+					tokens = append(tokens, rng.Intn(c.Len()))
+				}
+				log := h.Fetch(tokens, layout)
+				if log.FetchBytes != log.FetchTokens*int64(h.BytesPerToken) {
+					t.Fatalf("trial %d: fetch bytes %d inconsistent with tokens %d",
+						trial, log.FetchBytes, log.FetchTokens)
+				}
+				for _, tok := range tokens {
+					if c.TierOf(tok) != TierDevice {
+						t.Fatalf("trial %d: fetched token %d not resident", trial, tok)
+					}
+				}
+			case 3: // release a random prefix
+				if c.Len() == 0 {
+					continue
+				}
+				var tokens []int
+				for i := 0; i < 1+rng.Intn(8); i++ {
+					tokens = append(tokens, rng.Intn(c.Len()))
+				}
+				h.Release(tokens, c.Len()-rng.Intn(5))
+			}
+
+			// Monotone accounting.
+			if h.Log.OffloadBytes < prevLog.OffloadBytes ||
+				h.Log.FetchBytes < prevLog.FetchBytes ||
+				h.Log.FetchTokens < prevLog.FetchTokens {
+				t.Fatalf("trial %d: transfer log went backwards", trial)
+			}
+			prevLog = h.Log
+
+			// Data integrity across tier shuffles.
+			for idx, v := range appended {
+				if c.Key(idx)[0] != v || c.Value(idx)[0] != -v {
+					t.Fatalf("trial %d: token %d data corrupted", trial, idx)
+				}
+				tier := c.TierOf(idx)
+				if tier != TierDevice && tier != TierStorage {
+					t.Fatalf("trial %d: token %d in unexpected tier %v", trial, idx, tier)
+				}
+			}
+		}
+	}
+}
+
+// TestHierarchyOffloadChargedOnce: repeated demote/fetch cycles of the same
+// token charge offload traffic exactly once (the off-device copy is
+// immutable) while every re-fetch pays.
+func TestHierarchyOffloadChargedOnce(t *testing.T) {
+	c := NewLayerCache(2)
+	c.Append(row(2, 1), row(2, 2))
+	h := NewHierarchy(c, 0, TierHost, 2)
+	layout := TokenOrderLayout{}
+	for cycle := 0; cycle < 5; cycle++ {
+		h.Enforce()
+		h.Fetch([]int{0}, layout)
+		h.Release([]int{0}, 1)
+	}
+	if h.Log.OffloadBytes != int64(h.BytesPerToken) {
+		t.Fatalf("offload bytes %d, want exactly one token (%d)", h.Log.OffloadBytes, h.BytesPerToken)
+	}
+	if h.Log.FetchTokens != 5 {
+		t.Fatalf("fetch tokens %d, want 5 (one per cycle)", h.Log.FetchTokens)
+	}
+}

@@ -1,0 +1,83 @@
+package kvcache
+
+import "sort"
+
+// Layout maps token indices to storage addresses and reports how many
+// contiguous segments a set of tokens spans. Fewer segments means fewer,
+// larger DMA transfers and better PCIe utilisation — the KVMU's cluster-wise
+// memory mapping exists precisely to reduce this number (Fig. 12).
+type Layout interface {
+	// Segments returns the number of maximal contiguous address runs
+	// covering the given tokens.
+	Segments(tokens []int) int
+}
+
+// TokenOrderLayout stores tokens at their arrival index (the conventional
+// GPU layout). Tokens selected by retrieval are scattered across frames, so
+// fetches fragment into many segments.
+type TokenOrderLayout struct{}
+
+// Segments implements Layout: runs of consecutive token indices.
+func (TokenOrderLayout) Segments(tokens []int) int {
+	return runsOf(tokens, func(t int) int { return t })
+}
+
+// ClusterLayout stores tokens grouped by hash cluster: all members of a
+// cluster occupy consecutive addresses. The KVMU reorders entries to this
+// layout as frames arrive ("KVMU reorders and stores them in memory
+// according to the latest clustering results"), so fetching a selected
+// cluster is a single contiguous transfer.
+type ClusterLayout struct {
+	pos map[int]int // token index -> storage slot
+	n   int
+}
+
+// NewClusterLayout creates an empty cluster layout.
+func NewClusterLayout() *ClusterLayout {
+	return &ClusterLayout{pos: make(map[int]int)}
+}
+
+// SetClusters rebuilds the address map from the cluster membership lists
+// (cluster-major order). Call after each frame's clustering pass.
+func (l *ClusterLayout) SetClusters(clusters [][]int) {
+	l.pos = make(map[int]int, l.n)
+	slot := 0
+	for _, members := range clusters {
+		for _, t := range members {
+			l.pos[t] = slot
+			slot++
+		}
+	}
+	l.n = slot
+}
+
+// Segments implements Layout: runs of consecutive storage slots.
+func (l *ClusterLayout) Segments(tokens []int) int {
+	return runsOf(tokens, func(t int) int {
+		if s, ok := l.pos[t]; ok {
+			return s
+		}
+		// Unknown tokens get isolated virtual slots (spaced by 2 so no two
+		// are ever consecutive) so they each count as a segment.
+		return -2 - 2*t
+	})
+}
+
+// runsOf counts maximal runs of consecutive addresses after sorting.
+func runsOf(tokens []int, addr func(int) int) int {
+	if len(tokens) == 0 {
+		return 0
+	}
+	addrs := make([]int, len(tokens))
+	for i, t := range tokens {
+		addrs[i] = addr(t)
+	}
+	sort.Ints(addrs)
+	runs := 1
+	for i := 1; i < len(addrs); i++ {
+		if addrs[i] != addrs[i-1]+1 && addrs[i] != addrs[i-1] {
+			runs++
+		}
+	}
+	return runs
+}

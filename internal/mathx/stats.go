@@ -1,0 +1,157 @@
+package mathx
+
+import (
+	"math"
+	"sort"
+)
+
+// Softmax writes the softmax of src into dst (which may alias src). It uses
+// the numerically stable max-subtraction form. Both slices must have the same
+// length; zero-length input is a no-op.
+func Softmax(dst, src []float32) {
+	if len(dst) != len(src) {
+		panic("mathx: Softmax length mismatch")
+	}
+	if len(src) == 0 {
+		return
+	}
+	maxv := src[0]
+	for _, v := range src[1:] {
+		if v > maxv {
+			maxv = v
+		}
+	}
+	var sum float64
+	for i, v := range src {
+		e := math.Exp(float64(v - maxv))
+		dst[i] = float32(e)
+		sum += e
+	}
+	inv := float32(1 / sum)
+	for i := range dst {
+		dst[i] *= inv
+	}
+}
+
+// ExpNormalize writes exp(src[i]-max(src)) into dst without the final
+// normalisation. The result is the softmax numerator: a positive "mass" that
+// WiCSum thresholding accumulates. dst may alias src.
+func ExpNormalize(dst, src []float32) {
+	if len(dst) != len(src) {
+		panic("mathx: ExpNormalize length mismatch")
+	}
+	if len(src) == 0 {
+		return
+	}
+	maxv := src[0]
+	for _, v := range src[1:] {
+		if v > maxv {
+			maxv = v
+		}
+	}
+	for i, v := range src {
+		dst[i] = float32(math.Exp(float64(v - maxv)))
+	}
+}
+
+// Dot returns the dot product of a and b, accumulated in float64 for
+// stability. The slices must have equal length.
+func Dot(a, b []float32) float64 {
+	if len(a) != len(b) {
+		panic("mathx: Dot length mismatch")
+	}
+	var s float64
+	for i := range a {
+		s += float64(a[i]) * float64(b[i])
+	}
+	return s
+}
+
+// CosineSimilarity returns the cosine of the angle between a and b, or 0 if
+// either vector is zero.
+func CosineSimilarity(a, b []float32) float64 {
+	dot := Dot(a, b)
+	na := math.Sqrt(Dot(a, a))
+	nb := math.Sqrt(Dot(b, b))
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return dot / (na * nb)
+}
+
+// PearsonCorrelation returns the Pearson correlation coefficient of the two
+// samples, or 0 if either sample has zero variance. The slices must have
+// equal, non-zero length.
+func PearsonCorrelation(xs, ys []float64) float64 {
+	if len(xs) != len(ys) {
+		panic("mathx: PearsonCorrelation length mismatch")
+	}
+	n := float64(len(xs))
+	if n == 0 {
+		return 0
+	}
+	var sx, sy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+	}
+	mx, my := sx/n, sy/n
+	var cov, vx, vy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		cov += dx * dy
+		vx += dx * dx
+		vy += dy * dy
+	}
+	if vx == 0 || vy == 0 {
+		return 0
+	}
+	return cov / math.Sqrt(vx*vy)
+}
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, v := range xs {
+		s += v
+	}
+	return s / float64(len(xs))
+}
+
+// Percentile returns the p-th percentile (0..100) of xs using linear
+// interpolation between closest ranks. It copies xs and is O(n log n).
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	c := append([]float64(nil), xs...)
+	sort.Float64s(c)
+	if p <= 0 {
+		return c[0]
+	}
+	if p >= 100 {
+		return c[len(c)-1]
+	}
+	rank := p / 100 * float64(len(c)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return c[lo]
+	}
+	frac := rank - float64(lo)
+	return c[lo]*(1-frac) + c[hi]*frac
+}
+
+// Clamp bounds v to [lo, hi].
+func Clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,196 @@
+package mathx
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestSoftmaxSumsToOne(t *testing.T) {
+	src := []float32{1, 2, 3, 4}
+	dst := make([]float32, 4)
+	Softmax(dst, src)
+	var sum float64
+	for _, v := range dst {
+		sum += float64(v)
+	}
+	if !almostEq(sum, 1, 1e-5) {
+		t.Fatalf("softmax sum = %v", sum)
+	}
+	for i := 1; i < len(dst); i++ {
+		if dst[i] <= dst[i-1] {
+			t.Fatalf("softmax not monotone for monotone input: %v", dst)
+		}
+	}
+}
+
+func TestSoftmaxStableForLargeInputs(t *testing.T) {
+	src := []float32{1000, 1001, 1002}
+	dst := make([]float32, 3)
+	Softmax(dst, src)
+	for _, v := range dst {
+		if math.IsNaN(float64(v)) || math.IsInf(float64(v), 0) {
+			t.Fatalf("softmax unstable: %v", dst)
+		}
+	}
+}
+
+func TestSoftmaxInPlace(t *testing.T) {
+	s := []float32{0.5, -0.5, 2}
+	want := make([]float32, 3)
+	Softmax(want, s)
+	Softmax(s, s)
+	for i := range s {
+		if s[i] != want[i] {
+			t.Fatalf("in-place softmax mismatch at %d", i)
+		}
+	}
+}
+
+func TestSoftmaxEmpty(t *testing.T) {
+	Softmax(nil, nil) // must not panic
+}
+
+func TestSoftmaxPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Softmax(make([]float32, 2), make([]float32, 3))
+}
+
+func TestExpNormalizeMaxIsOne(t *testing.T) {
+	src := []float32{-3, 0, 5, 2}
+	dst := make([]float32, 4)
+	ExpNormalize(dst, src)
+	var maxv float32
+	for _, v := range dst {
+		if v > maxv {
+			maxv = v
+		}
+		if v <= 0 {
+			t.Fatalf("ExpNormalize produced non-positive mass: %v", dst)
+		}
+	}
+	if !almostEq(float64(maxv), 1, 1e-6) {
+		t.Fatalf("max mass = %v, want 1", maxv)
+	}
+}
+
+func TestExpNormalizePreservesOrder(t *testing.T) {
+	f := func(a, b float32) bool {
+		if math.IsNaN(float64(a)) || math.IsNaN(float64(b)) {
+			return true
+		}
+		// Bound magnitude to avoid inf in exp input difference.
+		a = float32(math.Mod(float64(a), 50))
+		b = float32(math.Mod(float64(b), 50))
+		src := []float32{a, b}
+		dst := make([]float32, 2)
+		ExpNormalize(dst, src)
+		if a < b {
+			return dst[0] <= dst[1]
+		}
+		return dst[0] >= dst[1]
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDot(t *testing.T) {
+	got := Dot([]float32{1, 2, 3}, []float32{4, 5, 6})
+	if got != 32 {
+		t.Fatalf("Dot = %v, want 32", got)
+	}
+}
+
+func TestCosineSimilaritySelf(t *testing.T) {
+	v := []float32{0.3, -0.7, 2.5}
+	if !almostEq(CosineSimilarity(v, v), 1, 1e-6) {
+		t.Fatal("cos(v,v) != 1")
+	}
+}
+
+func TestCosineSimilarityOrthogonal(t *testing.T) {
+	a := []float32{1, 0}
+	b := []float32{0, 1}
+	if !almostEq(CosineSimilarity(a, b), 0, 1e-9) {
+		t.Fatal("orthogonal vectors should have cos 0")
+	}
+}
+
+func TestCosineSimilarityZeroVector(t *testing.T) {
+	if CosineSimilarity([]float32{0, 0}, []float32{1, 1}) != 0 {
+		t.Fatal("zero vector should give 0")
+	}
+}
+
+func TestPearsonPerfectCorrelation(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := []float64{2, 4, 6, 8, 10}
+	if !almostEq(PearsonCorrelation(xs, ys), 1, 1e-12) {
+		t.Fatal("perfectly correlated data should give 1")
+	}
+	neg := []float64{10, 8, 6, 4, 2}
+	if !almostEq(PearsonCorrelation(xs, neg), -1, 1e-12) {
+		t.Fatal("anti-correlated data should give -1")
+	}
+}
+
+func TestPearsonZeroVariance(t *testing.T) {
+	if PearsonCorrelation([]float64{1, 1, 1}, []float64{1, 2, 3}) != 0 {
+		t.Fatal("zero variance should give 0")
+	}
+}
+
+func TestPearsonBoundsProperty(t *testing.T) {
+	r := NewRNG(123)
+	for trial := 0; trial < 50; trial++ {
+		n := 3 + r.Intn(50)
+		xs := make([]float64, n)
+		ys := make([]float64, n)
+		for i := range xs {
+			xs[i] = r.Norm()
+			ys[i] = r.Norm()
+		}
+		c := PearsonCorrelation(xs, ys)
+		if c < -1-1e-9 || c > 1+1e-9 {
+			t.Fatalf("correlation out of bounds: %v", c)
+		}
+	}
+}
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Fatal("mean of empty should be 0")
+	}
+	if Mean([]float64{1, 2, 3}) != 2 {
+		t.Fatal("mean wrong")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{5, 1, 3, 2, 4}
+	cases := []struct {
+		p    float64
+		want float64
+	}{{0, 1}, {100, 5}, {50, 3}, {25, 2}, {75, 4}}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); !almostEq(got, c.want, 1e-9) {
+			t.Errorf("Percentile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Error("empty percentile should be 0")
+	}
+}
+
+func TestClamp(t *testing.T) {
+	if Clamp(5, 0, 1) != 1 || Clamp(-5, 0, 1) != 0 || Clamp(0.5, 0, 1) != 0.5 {
+		t.Fatal("Clamp wrong")
+	}
+}

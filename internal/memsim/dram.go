@@ -1,0 +1,49 @@
+package memsim
+
+// DRAM models a device-attached memory system at the granularity the
+// evaluation needs: sustained bandwidth with an achievable-efficiency factor
+// (row-buffer and refresh losses), plus energy per byte for the energy
+// model. LPDDR5/HBM2e/DDR4 presets follow Table I and the vendor data the
+// paper cites for energy.
+type DRAM struct {
+	Name string
+	// Bandwidth is the peak bytes/second of the interface.
+	Bandwidth float64
+	// Efficiency is the achievable fraction of peak for streaming access.
+	Efficiency float64
+	// EnergyPerByte is access energy in joules/byte (pJ/bit x 8).
+	EnergyPerByte float64
+	// StaticPower is background+refresh power in watts.
+	StaticPower float64
+}
+
+// LPDDR5_256 returns the edge memory of Table I: 204.8 GB/s on a 256-bit bus.
+// LPDDR5 access energy ~4 pJ/bit.
+func LPDDR5_256() DRAM {
+	return DRAM{Name: "LPDDR5", Bandwidth: 204.8e9, Efficiency: 0.85, EnergyPerByte: 32e-12, StaticPower: 1.5}
+}
+
+// HBM2e5120 returns the server memory of Table I: 1935 GB/s on a 5120-bit
+// bus. HBM2e access energy ~3 pJ/bit.
+func HBM2e5120() DRAM {
+	return DRAM{Name: "HBM2e", Bandwidth: 1935e9, Efficiency: 0.85, EnergyPerByte: 24e-12, StaticPower: 10}
+}
+
+// DDR4Host returns host CPU memory for server-side KV offload: ~100 GB/s,
+// ~10 pJ/bit.
+func DDR4Host() DRAM {
+	return DRAM{Name: "DDR4", Bandwidth: 100e9, Efficiency: 0.8, EnergyPerByte: 80e-12, StaticPower: 4}
+}
+
+// AccessTime returns the time to stream bytes through the interface.
+func (d DRAM) AccessTime(bytes float64) float64 {
+	if bytes <= 0 {
+		return 0
+	}
+	return bytes / (d.Bandwidth * d.Efficiency)
+}
+
+// AccessEnergy returns the energy to move bytes, in joules.
+func (d DRAM) AccessEnergy(bytes float64) float64 {
+	return bytes * d.EnergyPerByte
+}

@@ -1,0 +1,171 @@
+package memsim
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNVMeSequentialBandwidth(t *testing.T) {
+	s := NewNVMeSim()
+	// 4 channels x 4KiB / 4.5us = ~3.6 GB/s internal.
+	const bytes = 64 * 1024 * 1024
+	tm := s.SequentialReadTime(bytes)
+	bw := float64(bytes) / tm
+	if bw < 3.0e9 || bw > 4.2e9 {
+		t.Fatalf("sequential bandwidth %v, want ~3.5 GB/s", bw)
+	}
+}
+
+func TestNVMeScatteredSlower(t *testing.T) {
+	s := NewNVMeSim()
+	const bytes = 8 * 1024 * 1024
+	seq := s.SequentialReadTime(bytes)
+	scat := s.ScatteredReadTime(bytes, 2048) // 4 KiB requests
+	if scat <= seq {
+		t.Fatalf("scattered (%v) should be slower than sequential (%v)", scat, seq)
+	}
+}
+
+func TestNVMeCommandOverheadDominatesTinyRequests(t *testing.T) {
+	s := NewNVMeSim()
+	// 4096 x 512B requests: each pays 2us overhead + 4.5us page read over 4
+	// channels -> >= 4096*(2+4.5)us/4.
+	tm := s.ScatteredReadTime(4096*512, 4096)
+	min := 4096 * (2e-6 + 4.5e-6) / 4
+	if tm < min*0.9 {
+		t.Fatalf("tiny-request time %v, want >= %v", tm, min)
+	}
+}
+
+func TestNVMeZeroAndDegenerate(t *testing.T) {
+	s := NewNVMeSim()
+	if got := s.Read(nil); got != 0 {
+		t.Fatal("no requests should finish at 0")
+	}
+	if got := s.Read([]Request{{Bytes: 0}}); got != 0 {
+		t.Fatal("zero-byte request should be free")
+	}
+}
+
+func TestNVMeSubmitTimeRespected(t *testing.T) {
+	s := NewNVMeSim()
+	done := s.Read([]Request{{Bytes: 1024, Submit: 1.0}})
+	if done < 1.0 {
+		t.Fatalf("completion %v before submission", done)
+	}
+}
+
+func TestNVMeChannelParallelism(t *testing.T) {
+	// Twice the channels should nearly halve a parallel workload's time.
+	a := NewNVMeSim()
+	b := NewNVMeSim()
+	b.Channels = 8
+	b.Reset()
+	const bytes = 16 * 1024 * 1024
+	ta := a.ScatteredReadTime(bytes, 64)
+	tb := b.ScatteredReadTime(bytes, 64)
+	ratio := ta / tb
+	if ratio < 1.6 || ratio > 2.4 {
+		t.Fatalf("8-channel speedup %v, want ~2x", ratio)
+	}
+}
+
+func TestNVMeMatchesAnalytic(t *testing.T) {
+	// The analytic SSD model and the event-driven simulator must agree
+	// within 2x across workload shapes (they encode the same device).
+	ssd := KioxiaBG6()
+	sim := NewNVMeSim()
+	for _, c := range []struct {
+		bytes, segs int
+	}{
+		{32 << 20, 1},
+		{32 << 20, 64},
+		{8 << 20, 2048},
+	} {
+		analytic := ssd.ReadTime(float64(c.bytes), c.segs)
+		event := sim.ScatteredReadTime(c.bytes, c.segs)
+		ratio := event / analytic
+		if ratio < 0.4 || ratio > 2.5 {
+			t.Errorf("bytes=%d segs=%d: event %v vs analytic %v (ratio %v)",
+				c.bytes, c.segs, event, analytic, ratio)
+		}
+	}
+}
+
+func TestNVMeEffectiveBandwidthMonotone(t *testing.T) {
+	s := NewNVMeSim()
+	const bytes = 16 << 20
+	prev := math.Inf(1)
+	for _, segs := range []int{1, 16, 256, 4096} {
+		bw := s.EffectiveBandwidth(bytes, segs)
+		if bw > prev*1.05 {
+			t.Fatalf("bandwidth should not improve with fragmentation: %v segs -> %v", segs, bw)
+		}
+		prev = bw
+	}
+}
+
+func TestNVMePanicsOnBadConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	bad := &NVMeSim{Channels: 0, ChunkBytes: 0}
+	bad.Reset()
+	bad.Read([]Request{{Bytes: 1}})
+}
+
+func TestBankModelStreamNearPeak(t *testing.T) {
+	b := NewBankModel()
+	eff := b.StreamEfficiency(1 << 20)
+	if eff < 0.8 {
+		t.Fatalf("stream efficiency %v, want >= 0.8", eff)
+	}
+}
+
+func TestBankModelScatterDegrades(t *testing.T) {
+	b := NewBankModel()
+	stream := b.StreamEfficiency(1 << 20)
+	// 64B touches at 1 MiB stride: every access a row miss.
+	scatter := b.ScatterEfficiency(64, 4096, 1<<20)
+	if scatter >= stream {
+		t.Fatalf("scatter efficiency %v should be below stream %v", scatter, stream)
+	}
+	if scatter > 0.3 {
+		t.Fatalf("pathological scatter efficiency %v, want << 1", scatter)
+	}
+}
+
+func TestBankModelRowHitAccounting(t *testing.T) {
+	b := NewBankModel()
+	b.Reset()
+	// Two sequential bursts in the same row: 1 miss + 1 hit.
+	_, hits, misses := b.Access(0, 128)
+	if hits != 1 || misses != 1 {
+		t.Fatalf("hits=%d misses=%d, want 1/1", hits, misses)
+	}
+	// Re-reading the same row is all hits.
+	_, hits2, misses2 := b.Access(0, 128)
+	if hits2 != 2 || misses2 != 0 {
+		t.Fatalf("re-read hits=%d misses=%d, want 2/0", hits2, misses2)
+	}
+}
+
+func TestBankModelZeroLength(t *testing.T) {
+	b := NewBankModel()
+	if tm, h, m := b.Access(0, 0); tm != 0 || h != 0 || m != 0 {
+		t.Fatal("zero access should be free")
+	}
+}
+
+// TestBankModelExplainsDRAMEfficiency ties the bank model to the analytic
+// DRAM constant: streaming efficiency should be in the ballpark of the 0.85
+// the DRAM presets use.
+func TestBankModelExplainsDRAMEfficiency(t *testing.T) {
+	b := NewBankModel()
+	eff := b.StreamEfficiency(4 << 20)
+	if math.Abs(eff-LPDDR5_256().Efficiency) > 0.15 {
+		t.Fatalf("bank-model stream efficiency %v vs analytic constant %v", eff, LPDDR5_256().Efficiency)
+	}
+}

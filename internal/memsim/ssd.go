@@ -1,0 +1,53 @@
+package memsim
+
+// SSD models an NVMe drive for KV cache offloading on edge deployments
+// (Kioxia BG6-class M.2 in the paper). Reads are issued as one IO per
+// contiguous segment; the drive overlaps up to QueueDepth IOs, so scattered
+// reads are latency-bound while large sequential reads are bandwidth-bound —
+// the behaviour MQSim captures and the KVMU's mapping optimises for.
+type SSD struct {
+	// ReadBandwidth is sustained sequential read bytes/second.
+	ReadBandwidth float64
+	// IOLatency is the per-IO service latency in seconds.
+	IOLatency float64
+	// QueueDepth is the number of in-flight IOs the device overlaps.
+	QueueDepth int
+	// ActivePower is the read-active power in watts.
+	ActivePower float64
+	// IdlePower is the idle power in watts.
+	IdlePower float64
+}
+
+// KioxiaBG6 returns the paper's edge SSD: ~3.5 GB/s sequential read (the
+// PCIe 3.0 x4 link caps it at 4 GB/s), ~60 us read latency, QD 64.
+func KioxiaBG6() SSD {
+	return SSD{
+		ReadBandwidth: 3.5e9,
+		IOLatency:     60e-6,
+		QueueDepth:    64,
+		ActivePower:   4.1,
+		IdlePower:     0.25,
+	}
+}
+
+// ReadTime returns the time to read bytes in the given number of contiguous
+// segments (one IO per segment, overlapped QueueDepth at a time).
+func (s SSD) ReadTime(bytes float64, segments int) float64 {
+	if bytes <= 0 {
+		return 0
+	}
+	if segments <= 0 {
+		segments = 1
+	}
+	qd := s.QueueDepth
+	if qd <= 0 {
+		qd = 1
+	}
+	bandwidthTime := bytes / s.ReadBandwidth
+	// Latency component amortised over the queue depth.
+	latencyTime := float64(segments) * s.IOLatency / float64(qd)
+	if latencyTime > bandwidthTime {
+		return latencyTime
+	}
+	return bandwidthTime
+}

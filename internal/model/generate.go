@@ -1,0 +1,132 @@
+package model
+
+import (
+	"math"
+
+	"vrex/internal/mathx"
+	"vrex/internal/tensor"
+)
+
+// Embedding is a token-id -> vector table (the text side of Fig. 3's input
+// path; video tokens arrive through the vision projector instead).
+type Embedding struct {
+	table *tensor.Matrix // Vocab x Dim
+}
+
+// NewEmbedding builds a deterministic random embedding table.
+func NewEmbedding(vocab, dim int, seed uint64) *Embedding {
+	if vocab <= 0 || dim <= 0 {
+		panic("model: non-positive embedding shape")
+	}
+	e := &Embedding{table: tensor.NewMatrix(vocab, dim)}
+	e.table.Randomize(mathx.NewRNG(seed), 1)
+	return e
+}
+
+// Vocab returns the vocabulary size.
+func (e *Embedding) Vocab() int { return e.table.Rows }
+
+// Embed maps token ids to a (len(ids) x Dim) matrix.
+func (e *Embedding) Embed(ids []int) *tensor.Matrix {
+	out := tensor.NewMatrix(len(ids), e.table.Cols)
+	for i, id := range ids {
+		if id < 0 || id >= e.table.Rows {
+			panic("model: token id out of vocabulary")
+		}
+		copy(out.Row(i), e.table.Row(id))
+	}
+	return out
+}
+
+// LMHead projects hidden states to vocabulary logits. Tied to the embedding
+// table (weight tying, as Llama-class models use for small vocabularies).
+type LMHead struct {
+	emb *Embedding
+}
+
+// NewLMHead returns a head tied to emb.
+func NewLMHead(emb *Embedding) *LMHead { return &LMHead{emb: emb} }
+
+// Logits returns the vocabulary logits for one hidden state row.
+func (h *LMHead) Logits(hidden []float32) []float32 {
+	logits := make([]float32, h.emb.table.Rows)
+	for v := 0; v < h.emb.table.Rows; v++ {
+		logits[v] = float32(mathx.Dot(hidden, h.emb.table.Row(v)))
+	}
+	return logits
+}
+
+// Sampler draws token ids from logits. Temperature 0 is greedy argmax.
+type Sampler struct {
+	Temperature float64
+	rng         *mathx.RNG
+}
+
+// NewSampler returns a sampler; seed only matters for Temperature > 0.
+func NewSampler(temperature float64, seed uint64) *Sampler {
+	if temperature < 0 {
+		panic("model: negative temperature")
+	}
+	return &Sampler{Temperature: temperature, rng: mathx.NewRNG(seed)}
+}
+
+// Sample draws one token id.
+func (s *Sampler) Sample(logits []float32) int {
+	if len(logits) == 0 {
+		panic("model: empty logits")
+	}
+	if s.Temperature == 0 {
+		best, bestV := 0, float32(math.Inf(-1))
+		for i, v := range logits {
+			if v > bestV {
+				best, bestV = i, v
+			}
+		}
+		return best
+	}
+	scaled := make([]float32, len(logits))
+	inv := float32(1 / s.Temperature)
+	for i, v := range logits {
+		scaled[i] = v * inv
+	}
+	mathx.Softmax(scaled, scaled)
+	r := s.rng.Float64()
+	var acc float64
+	for i, p := range scaled {
+		acc += float64(p)
+		if r < acc {
+			return i
+		}
+	}
+	return len(logits) - 1
+}
+
+// GenerateResult carries a generation's outputs.
+type GenerateResult struct {
+	// Tokens are the sampled ids, in order.
+	Tokens []int
+	// PromptMass is the attention-mass recording of the prompt forward (nil
+	// unless record was requested).
+	PromptMass []float64
+}
+
+// Generate runs the text-generation stage (Fig. 3's right side): the prompt
+// chunk is prefilled, then tokens are sampled one by one, each fed back
+// through the model with retrieval policy r. Generation stops after
+// maxTokens or when stop (if non-nil) returns true for a sampled id.
+func (m *Model) Generate(prompt *tensor.Matrix, r Retriever, head *LMHead, emb *Embedding, s *Sampler, maxTokens int, record bool, stop func(int) bool) GenerateResult {
+	res := GenerateResult{}
+	fw := m.Forward(prompt, r, StageText, record)
+	res.PromptMass = fw.AttnMass
+	last := fw.Hidden.Row(fw.Hidden.Rows - 1)
+	for t := 0; t < maxTokens; t++ {
+		id := s.Sample(head.Logits(last))
+		res.Tokens = append(res.Tokens, id)
+		if stop != nil && stop(id) {
+			break
+		}
+		next := m.Forward(emb.Embed([]int{id}), r, StageText, false)
+		last = next.Hidden.Row(0)
+	}
+	return res
+}

@@ -1,0 +1,172 @@
+package model
+
+import (
+	"testing"
+)
+
+func TestEmbeddingShapesAndDeterminism(t *testing.T) {
+	e1 := NewEmbedding(100, 64, 5)
+	e2 := NewEmbedding(100, 64, 5)
+	m1 := e1.Embed([]int{3, 99, 0})
+	m2 := e2.Embed([]int{3, 99, 0})
+	if m1.Rows != 3 || m1.Cols != 64 {
+		t.Fatal("embed shape wrong")
+	}
+	for i := range m1.Data {
+		if m1.Data[i] != m2.Data[i] {
+			t.Fatal("embedding not deterministic")
+		}
+	}
+	if e1.Vocab() != 100 {
+		t.Fatal("vocab wrong")
+	}
+}
+
+func TestEmbeddingPanics(t *testing.T) {
+	e := NewEmbedding(10, 8, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for out-of-vocab id")
+		}
+	}()
+	e.Embed([]int{10})
+}
+
+func TestLMHeadLogitsTracksEmbedding(t *testing.T) {
+	e := NewEmbedding(50, 64, 2)
+	h := NewLMHead(e)
+	// Hidden state equal to token 7's embedding should score token 7 highest
+	// (tied weights).
+	logits := h.Logits(e.table.Row(7))
+	best := 0
+	for i, v := range logits {
+		if v > logits[best] {
+			best = i
+		}
+	}
+	if best != 7 {
+		t.Fatalf("argmax logit = %d, want 7", best)
+	}
+}
+
+func TestSamplerGreedyDeterministic(t *testing.T) {
+	s := NewSampler(0, 1)
+	logits := []float32{0.1, 3.0, -2, 2.9}
+	for i := 0; i < 10; i++ {
+		if s.Sample(logits) != 1 {
+			t.Fatal("greedy sampling must pick the argmax")
+		}
+	}
+}
+
+func TestSamplerTemperatureDiversity(t *testing.T) {
+	s := NewSampler(1.0, 7)
+	logits := []float32{1, 1, 1, 1}
+	seen := map[int]bool{}
+	for i := 0; i < 200; i++ {
+		id := s.Sample(logits)
+		if id < 0 || id > 3 {
+			t.Fatalf("sample %d out of range", id)
+		}
+		seen[id] = true
+	}
+	if len(seen) < 3 {
+		t.Fatalf("uniform logits at T=1 should hit most ids, saw %d", len(seen))
+	}
+}
+
+func TestSamplerSkewRespected(t *testing.T) {
+	s := NewSampler(0.5, 9)
+	logits := []float32{5, 0, 0, 0}
+	hits := 0
+	for i := 0; i < 100; i++ {
+		if s.Sample(logits) == 0 {
+			hits++
+		}
+	}
+	if hits < 90 {
+		t.Fatalf("dominant logit sampled only %d/100", hits)
+	}
+}
+
+func TestSamplerPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewSampler(-1, 1)
+}
+
+func TestSamplerEmptyLogitsPanics(t *testing.T) {
+	s := NewSampler(0, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	s.Sample(nil)
+}
+
+func TestGenerateProducesTokensAndAdvancesCache(t *testing.T) {
+	cfg := DefaultConfig()
+	m := New(cfg)
+	emb := NewEmbedding(64, cfg.Dim, 3)
+	head := NewLMHead(emb)
+	s := NewSampler(0, 1)
+
+	m.Forward(testInput(8, cfg.Dim, 1), DenseRetriever{}, StageFrame, false)
+	prompt := testInput(4, cfg.Dim, 2)
+	before := m.Pos()
+	res := m.Generate(prompt, DenseRetriever{}, head, emb, s, 5, true, nil)
+	if len(res.Tokens) != 5 {
+		t.Fatalf("generated %d tokens, want 5", len(res.Tokens))
+	}
+	for _, id := range res.Tokens {
+		if id < 0 || id >= emb.Vocab() {
+			t.Fatalf("token %d out of vocab", id)
+		}
+	}
+	// Prompt (4) + 5 generated tokens extend the cache.
+	if m.Pos() != before+4+5 {
+		t.Fatalf("pos = %d, want %d", m.Pos(), before+9)
+	}
+	if len(res.PromptMass) != before {
+		t.Fatalf("prompt mass length %d, want %d", len(res.PromptMass), before)
+	}
+}
+
+func TestGenerateStopFunction(t *testing.T) {
+	cfg := DefaultConfig()
+	m := New(cfg)
+	emb := NewEmbedding(64, cfg.Dim, 3)
+	head := NewLMHead(emb)
+	s := NewSampler(0, 1)
+	prompt := testInput(2, cfg.Dim, 4)
+	calls := 0
+	res := m.Generate(prompt, DenseRetriever{}, head, emb, s, 50, false, func(int) bool {
+		calls++
+		return calls >= 3
+	})
+	if len(res.Tokens) != 3 {
+		t.Fatalf("stop after 3 tokens, got %d", len(res.Tokens))
+	}
+}
+
+func TestGenerateGreedyDeterministic(t *testing.T) {
+	run := func() []int {
+		cfg := DefaultConfig()
+		m := New(cfg)
+		emb := NewEmbedding(64, cfg.Dim, 3)
+		head := NewLMHead(emb)
+		s := NewSampler(0, 1)
+		m.Forward(testInput(6, cfg.Dim, 1), DenseRetriever{}, StageFrame, false)
+		return m.Generate(testInput(2, cfg.Dim, 2), DenseRetriever{}, head, emb, s, 8, false, nil).Tokens
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("greedy generation not deterministic")
+		}
+	}
+}

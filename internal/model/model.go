@@ -1,0 +1,225 @@
+package model
+
+import (
+	"math"
+
+	"vrex/internal/kvcache"
+	"vrex/internal/mathx"
+	"vrex/internal/tensor"
+)
+
+// layerWeights holds one decoder layer's parameters.
+type layerWeights struct {
+	wq, wk, wv, wo    *tensor.Matrix
+	w1, w2, w3        *tensor.Matrix // SwiGLU: gate, down, up
+	attnGain, ffnGain []float32
+}
+
+// Model is the functional streaming video LLM backbone. It owns per-layer
+// KV caches and a running position counter; video frames and text chunks are
+// pushed through Forward in arrival order (iterative prefill, Fig. 3).
+type Model struct {
+	Cfg    Config
+	layers []*layerWeights
+	caches []*kvcache.LayerCache
+	pos    int
+}
+
+// New builds a model with deterministic random weights from cfg.Seed. The
+// key projection is tied to the query projection (see package comment).
+func New(cfg Config) *Model {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	rng := mathx.NewRNG(cfg.Seed)
+	m := &Model{Cfg: cfg}
+	scale := 1 / float32(math.Sqrt(float64(cfg.Dim)))
+	for l := 0; l < cfg.Layers; l++ {
+		lw := &layerWeights{
+			wq: tensor.NewMatrix(cfg.Dim, cfg.Dim),
+			wv: tensor.NewMatrix(cfg.Dim, cfg.KVDim()),
+			wo: tensor.NewMatrix(cfg.Dim, cfg.Dim),
+			w1: tensor.NewMatrix(cfg.Dim, cfg.FFNDim),
+			w2: tensor.NewMatrix(cfg.FFNDim, cfg.Dim),
+			w3: tensor.NewMatrix(cfg.Dim, cfg.FFNDim),
+		}
+		lw.wq.Randomize(rng, scale)
+		lw.wv.Randomize(rng, scale)
+		lw.wo.Randomize(rng, scale)
+		lw.w1.Randomize(rng, scale)
+		lw.w2.Randomize(rng, 1/float32(math.Sqrt(float64(cfg.FFNDim))))
+		lw.w3.Randomize(rng, scale)
+		// Tied QK: wk reuses the leading KVDim columns of wq so attention
+		// scores track content similarity (substitution for trained
+		// attention; DESIGN.md).
+		lw.wk = tensor.NewMatrix(cfg.Dim, cfg.KVDim())
+		for i := 0; i < cfg.Dim; i++ {
+			copy(lw.wk.Row(i), lw.wq.Row(i)[:cfg.KVDim()])
+		}
+		lw.attnGain = ones(cfg.Dim)
+		lw.ffnGain = ones(cfg.Dim)
+		m.layers = append(m.layers, lw)
+		m.caches = append(m.caches, kvcache.NewLayerCache(cfg.KVDim()))
+	}
+	return m
+}
+
+func ones(n int) []float32 {
+	v := make([]float32, n)
+	for i := range v {
+		v[i] = 1
+	}
+	return v
+}
+
+// Pos returns the number of tokens processed so far (the next base position).
+func (m *Model) Pos() int { return m.pos }
+
+// Cache returns layer l's KV cache (retrieval policies and the accuracy
+// harness inspect it).
+func (m *Model) Cache(l int) *kvcache.LayerCache { return m.caches[l] }
+
+// Reset clears all caches and the position counter, starting a new session.
+func (m *Model) Reset() {
+	for l := range m.caches {
+		m.caches[l] = kvcache.NewLayerCache(m.Cfg.KVDim())
+	}
+	m.pos = 0
+}
+
+// ForwardResult carries a chunk's outputs.
+type ForwardResult struct {
+	// Hidden is the final-layer hidden state (tokens x Dim).
+	Hidden *tensor.Matrix
+	// AttnMass, when recording, accumulates the softmax attention mass each
+	// past token received from this chunk's queries, summed over layers and
+	// heads. Index = global token index; length = base (tokens before this
+	// chunk). The accuracy harness reads answers from it.
+	AttnMass []float64
+}
+
+// Forward pushes one chunk of embeddings (tokens x Dim) through the model
+// with retrieval policy r at the given stage, appending to the KV caches and
+// advancing the position counter. If record is true, per-token attention
+// mass is accumulated into the result.
+func (m *Model) Forward(x *tensor.Matrix, r Retriever, stage Stage, record bool) ForwardResult {
+	if x.Cols != m.Cfg.Dim {
+		panic("model: input dim mismatch")
+	}
+	base := m.pos
+	n := x.Rows
+	res := ForwardResult{}
+	if record {
+		res.AttnMass = make([]float64, base)
+	}
+	h := x.Clone()
+	for l, lw := range m.layers {
+		normed := tensor.RMSNorm(h, lw.attnGain, 1e-6)
+		q := tensor.MatMul(normed, lw.wq)
+		k := tensor.MatMul(normed, lw.wk)
+		v := tensor.MatMul(normed, lw.wv)
+		m.applyRotary(q, m.Cfg.Heads, base)
+		m.applyRotary(k, m.Cfg.KVHeads, base)
+
+		cache := m.caches[l]
+		for i := 0; i < n; i++ {
+			cache.Append(k.Row(i), v.Row(i))
+		}
+		r.ObserveAppend(l, cache, base, n)
+		sel := r.SelectTokens(l, cache, q, base, stage)
+
+		attnOut := m.attention(q, cache, sel, base, n, res.AttnMass)
+		proj := tensor.MatMul(attnOut, lw.wo)
+		tensor.AddInPlace(h, proj)
+
+		ffnIn := tensor.RMSNorm(h, lw.ffnGain, 1e-6)
+		gate := tensor.MatMul(ffnIn, lw.w1)
+		up := tensor.MatMul(ffnIn, lw.w3)
+		tensor.SiLU(gate)
+		for i := range gate.Data {
+			gate.Data[i] *= up.Data[i]
+		}
+		ffnOut := tensor.MatMul(gate, lw.w2)
+		tensor.AddInPlace(h, ffnOut)
+	}
+	m.pos += n
+	res.Hidden = h
+	return res
+}
+
+// applyRotary rotates the leading RotaryFraction of each head's dimensions
+// for every row of mat (rows are tokens at positions base+i).
+func (m *Model) applyRotary(mat *tensor.Matrix, nHeads, base int) {
+	headDim := m.Cfg.HeadDim()
+	rot := int(float64(headDim) * m.Cfg.RotaryFraction)
+	rot -= rot % 2
+	if rot == 0 {
+		return
+	}
+	for i := 0; i < mat.Rows; i++ {
+		pos := float64(base + i)
+		row := mat.Row(i)
+		for hd := 0; hd < nHeads; hd++ {
+			seg := row[hd*headDim : hd*headDim+rot]
+			for kk := 0; kk < rot/2; kk++ {
+				freq := math.Pow(m.Cfg.RoPETheta, -2*float64(kk)/float64(rot))
+				sin, cos := math.Sincos(pos * freq)
+				a, b := float64(seg[2*kk]), float64(seg[2*kk+1])
+				seg[2*kk] = float32(a*cos - b*sin)
+				seg[2*kk+1] = float32(a*sin + b*cos)
+			}
+		}
+	}
+}
+
+// attention computes causal multi-head attention for the chunk's queries
+// over the selected past tokens plus the chunk's own (causal) tokens.
+// q: n x Dim; sel: past-token indices (< base). attnMass, if non-nil,
+// accumulates mass received by past tokens.
+func (m *Model) attention(q *tensor.Matrix, cache *kvcache.LayerCache, sel []int, base, n int, attnMass []float64) *tensor.Matrix {
+	cfg := m.Cfg
+	headDim := cfg.HeadDim()
+	group := cfg.Heads / cfg.KVHeads
+	sharp := cfg.Sharpness
+	if sharp == 0 {
+		sharp = 1
+	}
+	invSqrt := float32(sharp / math.Sqrt(float64(headDim)))
+	out := tensor.NewMatrix(n, cfg.Dim)
+
+	for i := 0; i < n; i++ {
+		// Candidate set: selected past tokens + in-chunk tokens <= i.
+		cand := make([]int, 0, len(sel)+i+1)
+		cand = append(cand, sel...)
+		for j := 0; j <= i; j++ {
+			cand = append(cand, base+j)
+		}
+		qrow := q.Row(i)
+		orow := out.Row(i)
+		scores := make([]float32, len(cand))
+		for h := 0; h < cfg.Heads; h++ {
+			kvh := h / group
+			qh := qrow[h*headDim : (h+1)*headDim]
+			for ci, tok := range cand {
+				krow := cache.Key(tok)[kvh*headDim : (kvh+1)*headDim]
+				scores[ci] = float32(mathx.Dot(qh, krow)) * invSqrt
+			}
+			mathx.Softmax(scores, scores)
+			oh := orow[h*headDim : (h+1)*headDim]
+			for ci, tok := range cand {
+				w := scores[ci]
+				if w == 0 {
+					continue
+				}
+				vrow := cache.Value(tok)[kvh*headDim : (kvh+1)*headDim]
+				for d := 0; d < headDim; d++ {
+					oh[d] += w * vrow[d]
+				}
+				if attnMass != nil && tok < base {
+					attnMass[tok] += float64(w)
+				}
+			}
+		}
+	}
+	return out
+}

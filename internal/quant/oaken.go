@@ -1,0 +1,190 @@
+// Package quant implements Oaken-style online-offline hybrid KV cache
+// quantization (Kim et al., ISCA 2025 — the SOTA accelerator V-Rex compares
+// against in Fig. 15). Oaken splits each KV vector's values into an inlier
+// group, quantised to 4 bits with thresholds calibrated offline, and a small
+// outlier group kept at higher precision; thresholds are applied online with
+// no per-token calibration cost.
+//
+// The functional implementation here quantises real KV rows and reports
+// exact memory footprints, so the Fig. 15 comparison (4x capacity, OOM
+// beyond 20K) rests on measured bytes rather than a constant.
+package quant
+
+import (
+	"math"
+	"sort"
+
+	"vrex/internal/tensor"
+)
+
+// OakenConfig controls the hybrid quantiser.
+type OakenConfig struct {
+	// OutlierFraction is the fraction of values (by magnitude) stored at
+	// full precision (Oaken keeps ~1-5%).
+	OutlierFraction float64
+	// Bits is the inlier precision (4 in the paper).
+	Bits int
+}
+
+// DefaultOakenConfig returns the paper's setting: 4-bit inliers, 2% outliers.
+func DefaultOakenConfig() OakenConfig {
+	return OakenConfig{OutlierFraction: 0.02, Bits: 4}
+}
+
+// Thresholds are the offline-calibrated outlier boundaries: values with
+// |v| > Cut go to the outlier path.
+type Thresholds struct {
+	Cut float32
+}
+
+// Calibrate derives thresholds from sample rows (the offline phase): Cut is
+// the (1 - OutlierFraction) magnitude quantile of the samples.
+func Calibrate(cfg OakenConfig, samples *tensor.Matrix) Thresholds {
+	if samples == nil || len(samples.Data) == 0 {
+		return Thresholds{Cut: float32(math.Inf(1))}
+	}
+	mags := make([]float64, len(samples.Data))
+	for i, v := range samples.Data {
+		mags[i] = math.Abs(float64(v))
+	}
+	sort.Float64s(mags)
+	q := 1 - cfg.OutlierFraction
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	idx := int(q * float64(len(mags)-1))
+	return Thresholds{Cut: float32(mags[idx])}
+}
+
+// QuantizedRow is one KV row in hybrid representation.
+type QuantizedRow struct {
+	// Codes are the inlier 4-bit codes (one per element; outlier positions
+	// hold 0 and are overridden by Outliers).
+	Codes []uint8
+	// Scale and Min dequantise the inliers.
+	Scale, Min float32
+	// OutlierIdx/OutlierVal list full-precision outliers.
+	OutlierIdx []int32
+	OutlierVal []float32
+	bits       int
+}
+
+// Quantize encodes a row online using the offline thresholds.
+func Quantize(cfg OakenConfig, th Thresholds, row []float32) QuantizedRow {
+	inliers := make([]float32, 0, len(row))
+	var outIdx []int32
+	var outVal []float32
+	for i, v := range row {
+		if absf(v) > th.Cut {
+			outIdx = append(outIdx, int32(i))
+			outVal = append(outVal, v)
+		} else {
+			inliers = append(inliers, v)
+		}
+	}
+	// Quantise inliers over their (narrower) range — the whole point of
+	// outlier separation: the inlier range is tight, so 4 bits suffice.
+	codes, scale, minv := quantizeBits(inliers, cfg.Bits)
+	full := make([]uint8, len(row))
+	ci := 0
+	outSet := make(map[int32]bool, len(outIdx))
+	for _, i := range outIdx {
+		outSet[i] = true
+	}
+	for i := range row {
+		if outSet[int32(i)] {
+			continue
+		}
+		full[i] = codes[ci]
+		ci++
+	}
+	return QuantizedRow{
+		Codes: full, Scale: scale, Min: minv,
+		OutlierIdx: outIdx, OutlierVal: outVal, bits: cfg.Bits,
+	}
+}
+
+func absf(v float32) float32 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// quantizeBits is an n-bit asymmetric quantiser (generalising
+// tensor.QuantizeInt4).
+func quantizeBits(xs []float32, bits int) (codes []uint8, scale, minv float32) {
+	if len(xs) == 0 {
+		return nil, 1, 0
+	}
+	levels := float32(int(1)<<uint(bits)) - 1
+	minv, maxv := xs[0], xs[0]
+	for _, v := range xs[1:] {
+		if v < minv {
+			minv = v
+		}
+		if v > maxv {
+			maxv = v
+		}
+	}
+	scale = (maxv - minv) / levels
+	if scale == 0 {
+		scale = 1
+	}
+	codes = make([]uint8, len(xs))
+	for i, v := range xs {
+		q := int((v-minv)/scale + 0.5)
+		if q < 0 {
+			q = 0
+		}
+		if q > int(levels) {
+			q = int(levels)
+		}
+		codes[i] = uint8(q)
+	}
+	return codes, scale, minv
+}
+
+// Dequantize reconstructs the row.
+func (q QuantizedRow) Dequantize() []float32 {
+	out := make([]float32, len(q.Codes))
+	for i, c := range q.Codes {
+		out[i] = float32(c)*q.Scale + q.Min
+	}
+	for k, i := range q.OutlierIdx {
+		out[i] = q.OutlierVal[k]
+	}
+	return out
+}
+
+// Bytes returns the storage footprint: bits/8 per inlier code + scale/min +
+// (index+value) per outlier.
+func (q QuantizedRow) Bytes() int {
+	inlierBits := len(q.Codes) * q.bits
+	b := (inlierBits + 7) / 8
+	b += 8 // scale + min (fp32)
+	b += len(q.OutlierIdx) * (4 + 2)
+	return b
+}
+
+// CompressionRatio returns fp16 bytes / quantised bytes for a row length.
+func (q QuantizedRow) CompressionRatio() float64 {
+	fp16 := 2 * len(q.Codes)
+	return float64(fp16) / float64(q.Bytes())
+}
+
+// MaxAbsError returns the worst-case reconstruction error against the
+// original row.
+func MaxAbsError(orig []float32, q QuantizedRow) float64 {
+	back := q.Dequantize()
+	var worst float64
+	for i := range orig {
+		if d := math.Abs(float64(orig[i] - back[i])); d > worst {
+			worst = d
+		}
+	}
+	return worst
+}

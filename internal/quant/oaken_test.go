@@ -1,0 +1,187 @@
+package quant
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"vrex/internal/mathx"
+	"vrex/internal/tensor"
+)
+
+func sampleRows(seed uint64, rows, cols int, outlierScale float32) *tensor.Matrix {
+	rng := mathx.NewRNG(seed)
+	m := tensor.NewMatrix(rows, cols)
+	m.Randomize(rng, 1)
+	// Plant heavy outliers in ~2% of positions.
+	for i := range m.Data {
+		if rng.Float64() < 0.02 {
+			m.Data[i] *= outlierScale
+		}
+	}
+	return m
+}
+
+func TestCalibrateQuantile(t *testing.T) {
+	s := sampleRows(1, 64, 64, 10)
+	th := Calibrate(DefaultOakenConfig(), s)
+	// ~2% of magnitudes should exceed the cut.
+	over := 0
+	for _, v := range s.Data {
+		if math.Abs(float64(v)) > float64(th.Cut) {
+			over++
+		}
+	}
+	frac := float64(over) / float64(len(s.Data))
+	if frac < 0.005 || frac > 0.05 {
+		t.Fatalf("outlier fraction %v, want ~0.02", frac)
+	}
+}
+
+func TestCalibrateEmpty(t *testing.T) {
+	th := Calibrate(DefaultOakenConfig(), nil)
+	if !math.IsInf(float64(th.Cut), 1) {
+		t.Fatal("empty calibration should disable outliers")
+	}
+}
+
+func TestRoundTripErrorSmall(t *testing.T) {
+	s := sampleRows(2, 64, 64, 10)
+	cfg := DefaultOakenConfig()
+	th := Calibrate(cfg, s)
+	probe := sampleRows(3, 1, 64, 10).Row(0)
+	q := Quantize(cfg, th, probe)
+	// Inlier range is ~[-cut, cut]; 4-bit step = 2cut/15; error <= step/2.
+	maxErr := MaxAbsError(probe, q)
+	bound := float64(th.Cut) / 15 * 1.01
+	if maxErr > bound {
+		t.Fatalf("max error %v exceeds inlier bound %v", maxErr, bound)
+	}
+}
+
+func TestOutliersExact(t *testing.T) {
+	cfg := DefaultOakenConfig()
+	th := Thresholds{Cut: 2}
+	row := []float32{0.1, -5, 0.3, 7, 0.2}
+	q := Quantize(cfg, th, row)
+	back := q.Dequantize()
+	if back[1] != -5 || back[3] != 7 {
+		t.Fatalf("outliers must be exact: %v", back)
+	}
+	if len(q.OutlierIdx) != 2 {
+		t.Fatalf("outlier count %d, want 2", len(q.OutlierIdx))
+	}
+}
+
+func TestCompressionNear4x(t *testing.T) {
+	s := sampleRows(4, 64, 1024, 10)
+	cfg := DefaultOakenConfig()
+	th := Calibrate(cfg, s)
+	q := Quantize(cfg, th, s.Row(0))
+	r := q.CompressionRatio()
+	// 4-bit inliers + 2% outliers -> ~3.2-4x vs fp16.
+	if r < 2.5 || r > 4.2 {
+		t.Fatalf("compression ratio %v, want ~3-4x", r)
+	}
+}
+
+func TestHybridBeatsPlainInt4OnOutlierData(t *testing.T) {
+	// The reason Oaken separates outliers: with heavy tails, plain int4
+	// wastes its range on the outliers and crushes the inliers.
+	rng := mathx.NewRNG(5)
+	row := make([]float32, 512)
+	for i := range row {
+		row[i] = rng.Norm32()
+	}
+	row[7] = 80
+	row[200] = -75
+
+	cfg := DefaultOakenConfig()
+	sample := tensor.FromRows([][]float32{row})
+	th := Calibrate(cfg, sample)
+	hybrid := MaxAbsError(row, Quantize(cfg, th, row))
+
+	codes, scale, minv := tensor.QuantizeInt4(row)
+	plain := tensor.DequantizeInt4(codes, scale, minv)
+	var plainErr float64
+	for i := range row {
+		if d := math.Abs(float64(row[i] - plain[i])); d > plainErr && math.Abs(float64(row[i])) < 5 {
+			plainErr = d
+		}
+	}
+	if hybrid >= plainErr {
+		t.Fatalf("hybrid inlier error %v should beat plain int4 %v", hybrid, plainErr)
+	}
+}
+
+func TestQuantizeNoOutliers(t *testing.T) {
+	cfg := DefaultOakenConfig()
+	th := Thresholds{Cut: float32(math.Inf(1))}
+	row := []float32{1, 2, 3}
+	q := Quantize(cfg, th, row)
+	if len(q.OutlierIdx) != 0 {
+		t.Fatal("no outliers expected")
+	}
+	back := q.Dequantize()
+	for i := range row {
+		if math.Abs(float64(back[i]-row[i])) > float64(q.Scale) {
+			t.Fatalf("round trip error too large: %v vs %v", back[i], row[i])
+		}
+	}
+}
+
+func TestQuantizeAllOutliers(t *testing.T) {
+	cfg := DefaultOakenConfig()
+	th := Thresholds{Cut: 0}
+	row := []float32{1, -2, 3}
+	q := Quantize(cfg, th, row)
+	if len(q.OutlierIdx) != 3 {
+		t.Fatalf("all values should be outliers, got %d", len(q.OutlierIdx))
+	}
+	back := q.Dequantize()
+	for i := range row {
+		if back[i] != row[i] {
+			t.Fatal("all-outlier round trip must be exact")
+		}
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	cfg := DefaultOakenConfig()
+	f := func(seed uint64) bool {
+		rng := mathx.NewRNG(seed)
+		row := make([]float32, 64)
+		for i := range row {
+			row[i] = rng.Norm32() * (1 + 10*rng.Float32())
+		}
+		sample := tensor.FromRows([][]float32{row})
+		th := Calibrate(cfg, sample)
+		q := Quantize(cfg, th, row)
+		back := q.Dequantize()
+		if len(back) != len(row) {
+			return false
+		}
+		// Error bounded by the inlier quantisation step.
+		step := float64(q.Scale)
+		for i := range row {
+			if math.Abs(float64(row[i]-back[i])) > step/2+1e-5 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBytesAccounting(t *testing.T) {
+	cfg := DefaultOakenConfig()
+	th := Thresholds{Cut: 100}
+	row := make([]float32, 1024)
+	q := Quantize(cfg, th, row)
+	// 1024 x 4 bits = 512B + 8B metadata.
+	if q.Bytes() != 520 {
+		t.Fatalf("bytes = %d, want 520", q.Bytes())
+	}
+}

@@ -1,0 +1,48 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// RenderMarkdown writes the table as GitHub-flavoured Markdown (useful for
+// pasting regenerated results into EXPERIMENTS.md).
+func (t *Table) RenderMarkdown(w io.Writer) {
+	if t.Title != "" {
+		fmt.Fprintf(w, "### %s\n\n", t.Title)
+	}
+	fmt.Fprintf(w, "| %s |\n", strings.Join(t.Headers, " | "))
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = "---"
+	}
+	fmt.Fprintf(w, "| %s |\n", strings.Join(sep, " | "))
+	for _, row := range t.rows {
+		fmt.Fprintf(w, "| %s |\n", strings.Join(row, " | "))
+	}
+}
+
+// Format names a rendering style.
+type Format string
+
+const (
+	// FormatText is the aligned plain-text table (default).
+	FormatText Format = "text"
+	// FormatCSV is comma-separated values.
+	FormatCSV Format = "csv"
+	// FormatMarkdown is a GitHub-flavoured Markdown table.
+	FormatMarkdown Format = "md"
+)
+
+// RenderAs dispatches to the named format; unknown formats fall back to text.
+func (t *Table) RenderAs(w io.Writer, f Format) {
+	switch f {
+	case FormatCSV:
+		t.RenderCSV(w)
+	case FormatMarkdown:
+		t.RenderMarkdown(w)
+	default:
+		t.Render(w)
+	}
+}

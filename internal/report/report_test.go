@@ -1,0 +1,101 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRenderAligned(t *testing.T) {
+	tb := NewTable("demo", "name", "value")
+	tb.AddRow("a", 1)
+	tb.AddRow("longer-name", 2.5)
+	out := tb.String()
+	if !strings.Contains(out, "== demo ==") {
+		t.Fatal("missing title")
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, sep, 2 rows
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	// Header and separator must align with the widest cell.
+	if len(lines[1]) < len("longer-name") {
+		t.Fatal("misaligned header")
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := NewTable("", "a", "b")
+	tb.AddRow(1, 2)
+	var sb strings.Builder
+	tb.RenderCSV(&sb)
+	want := "a,b\n1,2\n"
+	if sb.String() != want {
+		t.Fatalf("CSV = %q, want %q", sb.String(), want)
+	}
+}
+
+func TestFloatFormatting(t *testing.T) {
+	cases := map[float64]string{
+		0:       "0",
+		12345.6: "12346",
+		42.42:   "42.4",
+		0.327:   "0.327",
+		0.00012: "0.00012",
+	}
+	for v, want := range cases {
+		if got := formatFloat(v); got != want {
+			t.Errorf("formatFloat(%v) = %q, want %q", v, got, want)
+		}
+	}
+}
+
+func TestNumRows(t *testing.T) {
+	tb := NewTable("", "x")
+	if tb.NumRows() != 0 {
+		t.Fatal("empty table should have 0 rows")
+	}
+	tb.AddRow(1)
+	if tb.NumRows() != 1 {
+		t.Fatal("NumRows wrong")
+	}
+}
+
+func TestMarkdownRendering(t *testing.T) {
+	tb := NewTable("demo", "a", "b")
+	tb.AddRow(1, 2.5)
+	var sb strings.Builder
+	tb.RenderMarkdown(&sb)
+	out := sb.String()
+	if !strings.Contains(out, "### demo") {
+		t.Fatal("missing markdown title")
+	}
+	if !strings.Contains(out, "| a | b |") || !strings.Contains(out, "| --- | --- |") {
+		t.Fatalf("malformed markdown:\n%s", out)
+	}
+	if !strings.Contains(out, "| 1 | 2.500 |") {
+		t.Fatalf("missing data row:\n%s", out)
+	}
+}
+
+func TestRenderAsDispatch(t *testing.T) {
+	tb := NewTable("", "x")
+	tb.AddRow(1)
+	var txt, csv, md strings.Builder
+	tb.RenderAs(&txt, FormatText)
+	tb.RenderAs(&csv, FormatCSV)
+	tb.RenderAs(&md, FormatMarkdown)
+	if csv.String() != "x\n1\n" {
+		t.Fatalf("csv dispatch wrong: %q", csv.String())
+	}
+	if !strings.Contains(md.String(), "| x |") {
+		t.Fatal("md dispatch wrong")
+	}
+	if txt.Len() == 0 {
+		t.Fatal("text dispatch empty")
+	}
+	var fallback strings.Builder
+	tb.RenderAs(&fallback, Format("bogus"))
+	if fallback.String() != txt.String() {
+		t.Fatal("unknown format should fall back to text")
+	}
+}

@@ -1,0 +1,30 @@
+package retrieval
+
+import (
+	"vrex/internal/kvcache"
+	"vrex/internal/model"
+	"vrex/internal/tensor"
+)
+
+// Dense is the no-retrieval baseline (vanilla VideoLLM-Online): full
+// attention over the entire resident KV cache. Unlike FlexGen it implies no
+// offloading at all — the cache must fit in device memory, which is exactly
+// what fails beyond a few minutes of video (Fig. 4a).
+type Dense struct {
+	tracker
+}
+
+// NewDense returns the policy.
+func NewDense() *Dense { return &Dense{} }
+
+// Name implements Policy.
+func (*Dense) Name() string { return "VideoLLM-Online" }
+
+// ObserveAppend implements model.Retriever.
+func (*Dense) ObserveAppend(int, *kvcache.LayerCache, int, int) {}
+
+// SelectTokens implements model.Retriever.
+func (d *Dense) SelectTokens(_ int, _ *kvcache.LayerCache, _ *tensor.Matrix, base int, stage model.Stage) []int {
+	d.record(stage, base, base)
+	return allPast(base)
+}

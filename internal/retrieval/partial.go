@@ -1,0 +1,128 @@
+package retrieval
+
+import (
+	"math"
+	"sort"
+
+	"vrex/internal/kvcache"
+	"vrex/internal/mathx"
+	"vrex/internal/model"
+	"vrex/internal/tensor"
+)
+
+// PartialScorer approximates attention scores in a reduced key subspace —
+// the mechanism InfiniGen uses (SVD-derived partial query/key weights) to
+// make speculative KV prediction cheap. Here the subspace is chosen
+// data-dependently: the Dims key dimensions with the highest variance across
+// the cache carry most of the score energy, so scoring only those
+// reconstructs the token ranking at a fraction of the compute.
+type PartialScorer struct {
+	// Dims is the number of key dimensions retained (per KV head-slice
+	// ordering is global across the concatenated KV dim).
+	Dims int
+}
+
+// topVarianceDims returns the indices of the Dims highest-variance key
+// dimensions over the first `base` cached tokens.
+func (p PartialScorer) topVarianceDims(cache *kvcache.LayerCache, base int) []int {
+	d := cache.Dim
+	mean := make([]float64, d)
+	m2 := make([]float64, d)
+	for tok := 0; tok < base; tok++ {
+		row := cache.Key(tok)
+		for j, v := range row {
+			mean[j] += float64(v)
+			m2[j] += float64(v) * float64(v)
+		}
+	}
+	n := float64(base)
+	vars := make([]float64, d)
+	for j := range vars {
+		mu := mean[j] / n
+		vars[j] = m2[j]/n - mu*mu
+	}
+	idx := make([]int, d)
+	for j := range idx {
+		idx[j] = j
+	}
+	sort.Slice(idx, func(a, b int) bool { return vars[idx[a]] > vars[idx[b]] })
+	k := p.Dims
+	if k > d {
+		k = d
+	}
+	keep := append([]int(nil), idx[:k]...)
+	sort.Ints(keep)
+	return keep
+}
+
+// Scores returns per-token importance like headScores, but computed only on
+// the retained dimensions. queries is tokens x model-Dim.
+func (p PartialScorer) Scores(cfg model.Config, cache *kvcache.LayerCache, queries *tensor.Matrix, base int) []float64 {
+	if p.Dims <= 0 || p.Dims >= cache.Dim {
+		return headScores(cfg, cache, queries, base)
+	}
+	keep := p.topVarianceDims(cache, base)
+	headDim := cfg.HeadDim()
+	group := cfg.Heads / cfg.KVHeads
+	sharp := cfg.Sharpness
+	if sharp == 0 {
+		sharp = 1
+	}
+	invSqrt := float32(sharp / math.Sqrt(float64(headDim)))
+
+	// Partition retained dims by KV head so query head slices align.
+	perHead := make([][]int, cfg.KVHeads)
+	for _, j := range keep {
+		h := j / headDim
+		perHead[h] = append(perHead[h], j)
+	}
+
+	imp := make([]float64, base)
+	raw := make([]float32, base)
+	norm := make([]float32, base)
+	for qi := 0; qi < queries.Rows; qi++ {
+		qrow := queries.Row(qi)
+		for h := 0; h < cfg.Heads; h++ {
+			kvh := h / group
+			dims := perHead[kvh]
+			if len(dims) == 0 {
+				continue
+			}
+			qh := qrow[h*headDim : (h+1)*headDim]
+			for tok := 0; tok < base; tok++ {
+				krow := cache.Key(tok)
+				var s float64
+				for _, j := range dims {
+					s += float64(qh[j-kvh*headDim]) * float64(krow[j])
+				}
+				raw[tok] = float32(s) * invSqrt
+			}
+			mathx.ExpNormalize(norm[:base], raw[:base])
+			for tok := 0; tok < base; tok++ {
+				if v := float64(norm[tok]); v > imp[tok] {
+					imp[tok] = v
+				}
+			}
+		}
+	}
+	return imp
+}
+
+// Recall measures how much of the exact top-k selection a partial selection
+// recovers (evaluation helper for the predictor's fidelity).
+func Recall(exact, approx []int) float64 {
+	if len(exact) == 0 {
+		return 1
+	}
+	in := make(map[int]bool, len(approx))
+	for _, t := range approx {
+		in[t] = true
+	}
+	hit := 0
+	for _, t := range exact {
+		if in[t] {
+			hit++
+		}
+	}
+	return float64(hit) / float64(len(exact))
+}

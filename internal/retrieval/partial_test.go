@@ -1,0 +1,75 @@
+package retrieval
+
+import (
+	"testing"
+
+	"vrex/internal/mathx"
+	"vrex/internal/model"
+	"vrex/internal/tensor"
+)
+
+func TestPartialScorerFallsBackWhenFullDims(t *testing.T) {
+	cfg := model.DefaultConfig()
+	p := NewDense()
+	m := setup(t, p, 3, 5)
+	q := tensor.NewMatrix(1, cfg.Dim)
+	q.Randomize(mathx.NewRNG(2), 1)
+	exact := headScores(cfg, m.Cache(0), q, m.Pos())
+	full := PartialScorer{Dims: 0}.Scores(cfg, m.Cache(0), q, m.Pos())
+	for i := range exact {
+		if exact[i] != full[i] {
+			t.Fatal("Dims<=0 must match exact scoring")
+		}
+	}
+}
+
+func TestPartialScorerHighRecall(t *testing.T) {
+	cfg := model.DefaultConfig()
+	p := NewDense()
+	m := setup(t, p, 8, 5)
+	base := m.Pos()
+	q := tensor.NewMatrix(4, cfg.Dim)
+	q.Randomize(mathx.NewRNG(3), 1)
+
+	exact := topK(headScores(cfg, m.Cache(0), q, base), base/4)
+	half := PartialScorer{Dims: cfg.KVDim() / 2}
+	approx := topK(half.Scores(cfg, m.Cache(0), q, base), base/4)
+	// Random-selection baseline recall would be ~k/base = 0.25; half-dims
+	// scoring must do meaningfully better (real keys with structured
+	// variance recover more).
+	if r := Recall(exact, approx); r < 0.35 {
+		t.Fatalf("half-dims recall %v, want >= 0.35", r)
+	}
+}
+
+func TestPartialScorerRecallImprovesWithDims(t *testing.T) {
+	cfg := model.DefaultConfig()
+	p := NewDense()
+	m := setup(t, p, 8, 5)
+	base := m.Pos()
+	q := tensor.NewMatrix(4, cfg.Dim)
+	q.Randomize(mathx.NewRNG(4), 1)
+	exact := topK(headScores(cfg, m.Cache(0), q, base), base/4)
+
+	var prev float64 = -1
+	for _, dims := range []int{4, 16, 48} {
+		approx := topK(PartialScorer{Dims: dims}.Scores(cfg, m.Cache(0), q, base), base/4)
+		r := Recall(exact, approx)
+		if r < prev-0.25 {
+			t.Fatalf("recall should broadly improve with dims: %v dims -> %v (prev %v)", dims, r, prev)
+		}
+		prev = r
+	}
+	if prev < 0.55 {
+		t.Fatalf("recall at 48/64 dims = %v, want >= 0.55", prev)
+	}
+}
+
+func TestRecallHelper(t *testing.T) {
+	if Recall(nil, nil) != 1 {
+		t.Fatal("empty exact should be full recall")
+	}
+	if Recall([]int{1, 2, 3, 4}, []int{1, 2}) != 0.5 {
+		t.Fatal("recall arithmetic wrong")
+	}
+}

@@ -1,0 +1,223 @@
+// Package serve simulates multi-stream streaming-video-LLM serving: several
+// concurrent video sessions share one device, frames arrive in real time,
+// queries interleave, and the scheduler processes work in arrival order with
+// optional frame dropping under backlog. It quantifies the paper's closing
+// claim — "clear potential for scalable deployment in large-scale server
+// environments" — by measuring how many concurrent real-time streams each
+// system sustains (the `scale` experiment).
+package serve
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+
+	"vrex/internal/hwsim"
+	"vrex/internal/mathx"
+)
+
+// StreamConfig describes one video session's arrival process.
+type StreamConfig struct {
+	// FPS is the incoming frame rate.
+	FPS float64
+	// TokensPerFrame is the LLM tokens per frame.
+	TokensPerFrame int
+	// QueryEvery is the mean seconds between user queries (0 disables).
+	QueryEvery float64
+	// QueryTokens / AnswerTokens shape each interaction.
+	QueryTokens  int
+	AnswerTokens int
+	// StartKV is the session's pre-existing KV length (e.g. mid-session).
+	StartKV int
+}
+
+// DefaultStreamConfig matches the paper's working scenario at 2 FPS
+// streaming (VideoLLM-Online's operating point).
+func DefaultStreamConfig() StreamConfig {
+	return StreamConfig{
+		FPS:            2,
+		TokensPerFrame: 10,
+		QueryEvery:     15,
+		QueryTokens:    25,
+		AnswerTokens:   39,
+		StartKV:        1000,
+	}
+}
+
+// Config describes a serving run.
+type Config struct {
+	Dev hwsim.DeviceSpec
+	Pol hwsim.PolicyModel
+	// Streams is the number of concurrent sessions.
+	Streams int
+	// Duration is the simulated wall-clock seconds.
+	Duration float64
+	// Stream shapes every session.
+	Stream StreamConfig
+	// DropThreshold: a frame still queued after this many frame intervals
+	// is dropped (<= 0 disables dropping).
+	DropThreshold float64
+	// Seed jitters arrivals.
+	Seed uint64
+}
+
+// StreamMetrics summarises one session.
+type StreamMetrics struct {
+	FramesArrived int
+	FramesServed  int
+	FramesDropped int
+	QueriesServed int
+	// AchievedFPS counts served frames / duration.
+	AchievedFPS float64
+	// P50 / P99 are frame completion latencies (queueing + service).
+	P50, P99 float64
+	// FinalKV is the session's KV length at the end.
+	FinalKV int
+}
+
+// Result is a serving run's outcome.
+type Result struct {
+	PerStream []StreamMetrics
+	// RealTime reports whether every stream served >= 95% of its frames.
+	RealTime bool
+	// Utilization is device busy time / duration.
+	Utilization float64
+}
+
+// event is one arrival.
+type event struct {
+	at     float64
+	stream int
+	query  bool
+	seq    int
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// Run executes the serving simulation.
+func Run(cfg Config) Result {
+	if cfg.Streams <= 0 || cfg.Duration <= 0 {
+		panic(fmt.Sprintf("serve: invalid config streams=%d duration=%v", cfg.Streams, cfg.Duration))
+	}
+	rng := mathx.NewRNG(cfg.Seed)
+	sim := hwsim.NewSim(cfg.Dev, hwsim.Llama3_8B(), cfg.Pol)
+
+	// Build the arrival schedule.
+	var events eventHeap
+	seq := 0
+	for s := 0; s < cfg.Streams; s++ {
+		interval := 1 / cfg.Stream.FPS
+		// Phase-shift streams so arrivals interleave.
+		phase := rng.Float64() * interval
+		for t := phase; t < cfg.Duration; t += interval {
+			events = append(events, event{at: t, stream: s, seq: seq})
+			seq++
+		}
+		if cfg.Stream.QueryEvery > 0 {
+			for t := cfg.Stream.QueryEvery * (0.5 + rng.Float64()); t < cfg.Duration; t += cfg.Stream.QueryEvery {
+				events = append(events, event{at: t, stream: s, query: true, seq: seq})
+				seq++
+			}
+		}
+	}
+	heap.Init(&events)
+
+	kv := make([]int, cfg.Streams)
+	for s := range kv {
+		kv[s] = cfg.Stream.StartKV
+	}
+	metrics := make([]StreamMetrics, cfg.Streams)
+	latencies := make([][]float64, cfg.Streams)
+
+	var deviceFree, busy float64
+	frameInterval := 1 / cfg.Stream.FPS
+	for events.Len() > 0 {
+		ev := heap.Pop(&events).(event)
+		m := &metrics[ev.stream]
+		start := deviceFree
+		if ev.at > start {
+			start = ev.at
+		}
+		if !ev.query {
+			m.FramesArrived++
+			if cfg.DropThreshold > 0 && start-ev.at > cfg.DropThreshold*frameInterval {
+				m.FramesDropped++
+				continue
+			}
+			b := sim.FrameLatency(cfg.Stream.TokensPerFrame, kv[ev.stream], 1)
+			if b.OOM {
+				m.FramesDropped++
+				continue
+			}
+			deviceFree = start + b.Total
+			busy += b.Total
+			kv[ev.stream] += cfg.Stream.TokensPerFrame
+			m.FramesServed++
+			latencies[ev.stream] = append(latencies[ev.stream], deviceFree-ev.at)
+		} else {
+			q := sim.Chunk(cfg.Stream.QueryTokens, kv[ev.stream], 1, hwsim.StageTextPhase)
+			total := q.Total
+			kv[ev.stream] += cfg.Stream.QueryTokens
+			for i := 0; i < cfg.Stream.AnswerTokens; i++ {
+				total += sim.TPOT(kv[ev.stream], 1).Total
+				kv[ev.stream]++
+			}
+			deviceFree = start + total
+			busy += total
+			m.QueriesServed++
+		}
+	}
+
+	res := Result{PerStream: metrics, RealTime: true, Utilization: busy / cfg.Duration}
+	if res.Utilization > 1 {
+		res.Utilization = 1
+	}
+	for s := range metrics {
+		m := &metrics[s]
+		m.AchievedFPS = float64(m.FramesServed) / cfg.Duration
+		m.FinalKV = kv[s]
+		if len(latencies[s]) > 0 {
+			sort.Float64s(latencies[s])
+			m.P50 = mathx.Percentile(latencies[s], 50)
+			m.P99 = mathx.Percentile(latencies[s], 99)
+		}
+		if m.FramesArrived > 0 && float64(m.FramesServed) < 0.95*float64(m.FramesArrived) {
+			res.RealTime = false
+		}
+	}
+	return res
+}
+
+// MaxRealTimeStreams bisects the largest stream count (up to limit) the
+// system serves in real time.
+func MaxRealTimeStreams(cfg Config, limit int) int {
+	lo, hi := 0, limit
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		c := cfg
+		c.Streams = mid
+		if Run(c).RealTime {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	return lo
+}

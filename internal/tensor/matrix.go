@@ -1,0 +1,149 @@
+// Package tensor implements the dense float32 linear-algebra kernels the
+// functional transformer, the vision encoder and the ReSV algorithm are built
+// on: row-major matrices, (transposed) matrix multiplication, normalisation,
+// rotary position embedding, and reduced-precision conversions (bf16, int4)
+// used by the KV cache storage models.
+package tensor
+
+import (
+	"fmt"
+
+	"vrex/internal/mathx"
+)
+
+// Matrix is a dense row-major float32 matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float32 // len == Rows*Cols
+}
+
+// NewMatrix allocates a zeroed Rows x Cols matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic("tensor: negative dimension")
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float32, rows*cols)}
+}
+
+// FromRows builds a matrix from row slices, which must all share a length.
+func FromRows(rows [][]float32) *Matrix {
+	if len(rows) == 0 {
+		return NewMatrix(0, 0)
+	}
+	cols := len(rows[0])
+	m := NewMatrix(len(rows), cols)
+	for i, r := range rows {
+		if len(r) != cols {
+			panic("tensor: ragged rows")
+		}
+		copy(m.Row(i), r)
+	}
+	return m
+}
+
+// Row returns a view (not a copy) of row i.
+func (m *Matrix) Row(i int) []float32 {
+	return m.Data[i*m.Cols : (i+1)*m.Cols]
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float32 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float32) { m.Data[i*m.Cols+j] = v }
+
+// Clone returns a deep copy of m.
+func (m *Matrix) Clone() *Matrix {
+	c := NewMatrix(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// String implements fmt.Stringer with a compact shape description.
+func (m *Matrix) String() string {
+	return fmt.Sprintf("Matrix(%dx%d)", m.Rows, m.Cols)
+}
+
+// Randomize fills m with N(0, scale) variates drawn from rng.
+func (m *Matrix) Randomize(rng *mathx.RNG, scale float32) {
+	for i := range m.Data {
+		m.Data[i] = rng.Norm32() * scale
+	}
+}
+
+// MatMul returns a*b. Panics on shape mismatch.
+func MatMul(a, b *Matrix) *Matrix {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("tensor: MatMul shape mismatch %v x %v", a, b))
+	}
+	out := NewMatrix(a.Rows, b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		orow := out.Row(i)
+		for k := 0; k < a.Cols; k++ {
+			av := arow[k]
+			if av == 0 {
+				continue
+			}
+			brow := b.Row(k)
+			for j := range brow {
+				orow[j] += av * brow[j]
+			}
+		}
+	}
+	return out
+}
+
+// MatMulT returns a * b^T: out[i][j] = dot(a.Row(i), b.Row(j)). This is the
+// natural layout for attention scores (Q x K^T with K stored row-per-token).
+func MatMulT(a, b *Matrix) *Matrix {
+	if a.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: MatMulT shape mismatch %v x %v", a, b))
+	}
+	out := NewMatrix(a.Rows, b.Rows)
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		orow := out.Row(i)
+		for j := 0; j < b.Rows; j++ {
+			orow[j] = float32(mathx.Dot(arow, b.Row(j)))
+		}
+	}
+	return out
+}
+
+// AddInPlace adds b to a element-wise.
+func AddInPlace(a, b *Matrix) {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		panic("tensor: AddInPlace shape mismatch")
+	}
+	for i := range a.Data {
+		a.Data[i] += b.Data[i]
+	}
+}
+
+// ScaleInPlace multiplies every element of m by s.
+func ScaleInPlace(m *Matrix, s float32) {
+	for i := range m.Data {
+		m.Data[i] *= s
+	}
+}
+
+// RowMean returns the column-wise mean of the given rows of m. Rows may be
+// empty, in which case a zero vector is returned.
+func RowMean(m *Matrix, rows []int) []float32 {
+	mean := make([]float32, m.Cols)
+	if len(rows) == 0 {
+		return mean
+	}
+	for _, r := range rows {
+		row := m.Row(r)
+		for j, v := range row {
+			mean[j] += v
+		}
+	}
+	inv := 1 / float32(len(rows))
+	for j := range mean {
+		mean[j] *= inv
+	}
+	return mean
+}

@@ -1,0 +1,44 @@
+package vision
+
+// ViTCost describes the analytic per-frame cost of a real vision tower +
+// projector at paper scale; the performance simulator charges this work to
+// the device's compute roofline. Counts are for a single frame.
+type ViTCost struct {
+	// FLOPs per frame through the tower and projector.
+	FLOPs float64
+	// WeightBytes is the parameter traffic per frame (weights re-read once).
+	WeightBytes float64
+	// OutTokens is the number of LLM tokens emitted per frame after the
+	// projector/resampler.
+	OutTokens int
+}
+
+// SigLIPViTL384Cost returns the cost model for SigLIP-ViT-L-384 (the
+// paper's vision encoder): 24 layers, hidden 1024, MLP 4096, patch 14 →
+// (384/14)^2 ≈ 729 patch tokens, with outTokens tokens surviving the
+// projector (VideoLLM-Online pools to ~10).
+func SigLIPViTL384Cost(outTokens int) ViTCost {
+	const (
+		layers = 24
+		hidden = 1024.0
+		mlp    = 4096.0
+		tokens = 729.0
+	)
+	perLayer := 0.0
+	// QKVO projections: 4 matmuls of [tokens,hidden]x[hidden,hidden].
+	perLayer += 4 * 2 * tokens * hidden * hidden
+	// Attention scores + weighted values: 2 matmuls of [tokens,tokens,hidden].
+	perLayer += 2 * 2 * tokens * tokens * hidden
+	// MLP: two matmuls hidden<->mlp.
+	perLayer += 2 * 2 * tokens * hidden * mlp
+	flops := layers * perLayer
+	// Projector: hidden -> LLM dim 4096, two layers.
+	flops += 2 * 2 * tokens * hidden * 4096
+
+	params := layers*(4*hidden*hidden+2*hidden*mlp) + 2*hidden*4096
+	return ViTCost{
+		FLOPs:       flops,
+		WeightBytes: params * 2, // bf16
+		OutTokens:   outTokens,
+	}
+}

@@ -1,0 +1,90 @@
+package vision
+
+import (
+	"vrex/internal/mathx"
+	"vrex/internal/tensor"
+)
+
+// Encoder is the functional stand-in for the vision tower (SigLIP/CLIP): a
+// fixed random linear patch embedding followed by one token-mixing layer,
+// enough to preserve the input's temporal correlation structure while
+// producing embeddings in the tower's output space.
+type Encoder struct {
+	// EmbedDim is the tower output dimension per token.
+	EmbedDim int
+	patch    *tensor.Matrix // PixelDim x EmbedDim
+	mix      *tensor.Matrix // TokensPerFrame x TokensPerFrame
+	norm     []float32
+}
+
+// NewEncoder builds an encoder for frames of tokensPerFrame x pixelDim into
+// embedDim outputs, with weights drawn deterministically from seed.
+func NewEncoder(tokensPerFrame, pixelDim, embedDim int, seed uint64) *Encoder {
+	rng := mathx.NewRNG(seed)
+	e := &Encoder{
+		EmbedDim: embedDim,
+		patch:    tensor.NewMatrix(pixelDim, embedDim),
+		mix:      tensor.NewMatrix(tokensPerFrame, tokensPerFrame),
+		norm:     make([]float32, embedDim),
+	}
+	e.patch.Randomize(rng, 1/float32(sqrtf(pixelDim)))
+	// Mixing: mostly identity with light neighbour blending (spatial
+	// locality), like an attention layer with a near-diagonal pattern.
+	for i := 0; i < tokensPerFrame; i++ {
+		for j := 0; j < tokensPerFrame; j++ {
+			switch {
+			case i == j:
+				e.mix.Set(i, j, 0.8)
+			case i-j == 1 || j-i == 1:
+				e.mix.Set(i, j, 0.1)
+			}
+		}
+	}
+	for i := range e.norm {
+		e.norm[i] = 1
+	}
+	return e
+}
+
+func sqrtf(n int) float64 {
+	v := float64(n)
+	x := v
+	for i := 0; i < 20; i++ {
+		x = (x + v/x) / 2
+	}
+	return x
+}
+
+// Encode maps a frame's pixel matrix to tower embeddings
+// (TokensPerFrame x EmbedDim).
+func (e *Encoder) Encode(f Frame) *tensor.Matrix {
+	emb := tensor.MatMul(f.Pixels, e.patch)
+	mixed := tensor.MatMul(e.mix, emb)
+	return tensor.RMSNorm(mixed, e.norm, 1e-6)
+}
+
+// Projector is the MLP that adapts vision-tower embeddings to the LLM input
+// dimension (the "MLP projector" module of Fig. 3): Linear -> SiLU -> Linear.
+type Projector struct {
+	w1, w2 *tensor.Matrix
+}
+
+// NewProjector builds an inDim -> hidden -> outDim projector with weights
+// drawn deterministically from seed.
+func NewProjector(inDim, hidden, outDim int, seed uint64) *Projector {
+	rng := mathx.NewRNG(seed)
+	p := &Projector{
+		w1: tensor.NewMatrix(inDim, hidden),
+		w2: tensor.NewMatrix(hidden, outDim),
+	}
+	p.w1.Randomize(rng, 1/float32(sqrtf(inDim)))
+	p.w2.Randomize(rng, 1/float32(sqrtf(hidden)))
+	return p
+}
+
+// Project maps tower embeddings into the LLM embedding space.
+func (p *Projector) Project(emb *tensor.Matrix) *tensor.Matrix {
+	h := tensor.MatMul(emb, p.w1)
+	tensor.SiLU(h)
+	return tensor.MatMul(h, p.w2)
+}

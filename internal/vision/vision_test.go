@@ -1,0 +1,158 @@
+package vision
+
+import (
+	"math"
+	"testing"
+
+	"vrex/internal/mathx"
+)
+
+func TestStreamDeterminism(t *testing.T) {
+	cfg := DefaultStreamConfig()
+	a := NewStream(cfg)
+	b := NewStream(cfg)
+	for i := 0; i < 20; i++ {
+		fa, fb := a.Next(), b.Next()
+		for j := range fa.Pixels.Data {
+			if fa.Pixels.Data[j] != fb.Pixels.Data[j] {
+				t.Fatal("same-seed streams diverged")
+			}
+		}
+		if fa.Index != i || fa.SceneID != fb.SceneID {
+			t.Fatal("frame metadata mismatch")
+		}
+	}
+}
+
+func TestStreamAdjacentFramesSimilar(t *testing.T) {
+	cfg := DefaultStreamConfig()
+	cfg.SceneLength = 0 // no scene changes: pure AR(1)
+	s := NewStream(cfg)
+	prev := s.Next()
+	var sims []float64
+	for i := 0; i < 30; i++ {
+		cur := s.Next()
+		for tok := 0; tok < cfg.TokensPerFrame; tok++ {
+			sims = append(sims, mathx.CosineSimilarity(prev.Pixels.Row(tok), cur.Pixels.Row(tok)))
+		}
+		prev = cur
+	}
+	mean := mathx.Mean(sims)
+	if mean < 0.9 {
+		t.Fatalf("adjacent-frame similarity %v, want >= 0.9 (rho=%v)", mean, cfg.TemporalRho)
+	}
+}
+
+func TestStreamSceneChangesDecorrelate(t *testing.T) {
+	cfg := DefaultStreamConfig()
+	cfg.SceneLength = 2 // frequent changes
+	cfg.Seed = 7
+	s := NewStream(cfg)
+	prev := s.Next()
+	crossScene := []float64{}
+	for i := 0; i < 200; i++ {
+		cur := s.Next()
+		if cur.SceneID != prev.SceneID {
+			for tok := 0; tok < cfg.TokensPerFrame; tok++ {
+				crossScene = append(crossScene, mathx.CosineSimilarity(prev.Pixels.Row(tok), cur.Pixels.Row(tok)))
+			}
+		}
+		prev = cur
+	}
+	if len(crossScene) == 0 {
+		t.Fatal("no scene changes observed")
+	}
+	if m := mathx.Mean(crossScene); math.Abs(m) > 0.3 {
+		t.Fatalf("cross-scene similarity %v, want ~0", m)
+	}
+}
+
+func TestStreamVariancePreserved(t *testing.T) {
+	cfg := DefaultStreamConfig()
+	cfg.SceneLength = 0
+	s := NewStream(cfg)
+	var last Frame
+	for i := 0; i < 500; i++ {
+		last = s.Next()
+	}
+	var ss float64
+	for _, v := range last.Pixels.Data {
+		ss += float64(v) * float64(v)
+	}
+	variance := ss / float64(len(last.Pixels.Data))
+	if variance < 0.5 || variance > 2 {
+		t.Fatalf("AR(1) variance drifted to %v, want ~1", variance)
+	}
+}
+
+func TestEncoderPreservesTemporalSimilarity(t *testing.T) {
+	// The property ReSV needs: similar frames -> similar embeddings.
+	cfg := DefaultStreamConfig()
+	cfg.SceneLength = 0
+	s := NewStream(cfg)
+	enc := NewEncoder(cfg.TokensPerFrame, cfg.PixelDim, 128, 42)
+	e1 := enc.Encode(s.Next())
+	e2 := enc.Encode(s.Next())
+	var sims []float64
+	for tok := 0; tok < cfg.TokensPerFrame; tok++ {
+		sims = append(sims, mathx.CosineSimilarity(e1.Row(tok), e2.Row(tok)))
+	}
+	if m := mathx.Mean(sims); m < 0.85 {
+		t.Fatalf("embedding similarity %v, want >= 0.85", m)
+	}
+}
+
+func TestEncoderShape(t *testing.T) {
+	cfg := DefaultStreamConfig()
+	s := NewStream(cfg)
+	enc := NewEncoder(cfg.TokensPerFrame, cfg.PixelDim, 96, 1)
+	out := enc.Encode(s.Next())
+	if out.Rows != cfg.TokensPerFrame || out.Cols != 96 {
+		t.Fatalf("encoder output %v", out)
+	}
+}
+
+func TestProjectorShapeAndDeterminism(t *testing.T) {
+	cfg := DefaultStreamConfig()
+	s := NewStream(cfg)
+	enc := NewEncoder(cfg.TokensPerFrame, cfg.PixelDim, 96, 1)
+	emb := enc.Encode(s.Next())
+	p1 := NewProjector(96, 128, 64, 5)
+	p2 := NewProjector(96, 128, 64, 5)
+	o1 := p1.Project(emb)
+	o2 := p2.Project(emb)
+	if o1.Rows != cfg.TokensPerFrame || o1.Cols != 64 {
+		t.Fatalf("projector output %v", o1)
+	}
+	for i := range o1.Data {
+		if o1.Data[i] != o2.Data[i] {
+			t.Fatal("same-seed projectors disagree")
+		}
+	}
+}
+
+func TestViTCostSanity(t *testing.T) {
+	c := SigLIPViTL384Cost(10)
+	// ViT-L is ~300M params -> ~600MB bf16? No: 300M x 2B = 600MB is too
+	// high because SigLIP-L is ~428M total with text tower; vision side
+	// ~315M. Accept a broad band.
+	if c.WeightBytes < 200e6 || c.WeightBytes > 900e6 {
+		t.Fatalf("weight bytes %v out of plausible band", c.WeightBytes)
+	}
+	// Per-frame FLOPs for ViT-L/14-384 is in the hundreds of GFLOPs.
+	if c.FLOPs < 1e11 || c.FLOPs > 1e13 {
+		t.Fatalf("FLOPs %v out of plausible band", c.FLOPs)
+	}
+	if c.OutTokens != 10 {
+		t.Fatal("out tokens not propagated")
+	}
+}
+
+func TestStreamPanicsOnBadConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewStream(StreamConfig{TokensPerFrame: 0, PixelDim: 8})
+}

@@ -1,0 +1,147 @@
+// Package wicsum implements ReSV's second stage, weighted cumulative sum
+// (WiCSum) thresholding (Fig. 9 of the paper), and the early-exit bucket
+// sorting dataflow the WTU hardware unit uses to execute it (Fig. 11).
+//
+// Given per-cluster relevance masses (the exp-normalised Query x
+// Key_cluster^T scores) and per-cluster token counts, WiCSum selects, per
+// score-matrix row (one row per query token x attention head), the smallest
+// prefix of descending-sorted clusters whose weighted mass exceeds a fixed
+// fraction Th_r-wics of the row's total weighted mass:
+//
+//	Sum_i      = sum_j mass[i][j] * count[j]                 (Eq. 1)
+//	Th_wics_i  = Sum_i * Th_r-wics                           (Eq. 2)
+//	select smallest t with sum_{j<=t} mass[i][sigma(j)]*count[sigma(j)]
+//	    > Th_wics_i, sigma = descending sort of row i        (Eq. 3)
+//
+// Unlike fixed top-k, the number of selected clusters adapts to the row's
+// score distribution, which is what produces the per-layer/per-head ratio
+// variability of Fig. 20.
+package wicsum
+
+import "sort"
+
+// RowSelection is the outcome of thresholding one score row.
+type RowSelection struct {
+	// Selected holds the chosen cluster indices (unordered set semantics;
+	// stored in selection order, highest mass first for the exact variant).
+	Selected []int
+	// MassCovered is the weighted mass accumulated by the selection.
+	MassCovered float64
+	// TotalMass is Sum_i, the row's full weighted mass.
+	TotalMass float64
+	// Examined counts score entries inspected before the threshold tripped;
+	// the WTU's early exit makes this much smaller than the row length.
+	Examined int
+}
+
+// Fraction returns MassCovered/TotalMass (1 if the row is empty).
+func (r RowSelection) Fraction() float64 {
+	if r.TotalMass == 0 {
+		return 1
+	}
+	return r.MassCovered / r.TotalMass
+}
+
+// SelectRow performs exact WiCSum thresholding on one row: full descending
+// sort, then cumulative accumulation until the weighted mass exceeds
+// ratio * total. mass and counts must have equal length; mass entries must be
+// non-negative (use mathx.ExpNormalize upstream). ratio is Th_r-wics in
+// (0, 1]; values outside are clamped.
+func SelectRow(mass []float32, counts []int, ratio float64) RowSelection {
+	if len(mass) != len(counts) {
+		panic("wicsum: mass/counts length mismatch")
+	}
+	if ratio < 0 {
+		ratio = 0
+	}
+	if ratio > 1 {
+		ratio = 1
+	}
+	n := len(mass)
+	var total float64
+	for j := 0; j < n; j++ {
+		total += float64(mass[j]) * float64(counts[j])
+	}
+	if n == 0 || total == 0 {
+		return RowSelection{TotalMass: total}
+	}
+	order := make([]int, n)
+	for j := range order {
+		order[j] = j
+	}
+	sort.Slice(order, func(a, b int) bool { return mass[order[a]] > mass[order[b]] })
+	th := total * ratio
+	sel := RowSelection{TotalMass: total}
+	for _, j := range order {
+		sel.Examined++
+		sel.Selected = append(sel.Selected, j)
+		sel.MassCovered += float64(mass[j]) * float64(counts[j])
+		if sel.MassCovered > th {
+			break
+		}
+	}
+	return sel
+}
+
+// Selector applies WiCSum thresholding to a whole score matrix and
+// aggregates the per-row selections. Two strategies are available: Exact
+// (software reference, full sort) and EarlyExit (the WTU hardware dataflow).
+type Selector struct {
+	// Ratio is Th_r-wics.
+	Ratio float64
+	// Buckets is the bucket count for the early-exit sorter (hardware uses a
+	// fixed small number; <= 0 disables early-exit and falls back to exact).
+	Buckets int
+}
+
+// MatrixSelection aggregates row selections over a score matrix.
+type MatrixSelection struct {
+	Rows []RowSelection
+	// Union is the sorted union of selected cluster indices over all rows
+	// ("the indices of the clusters selected ... are aggregated across all
+	// rows" in the paper).
+	Union []int
+	// ExaminedFraction is the mean fraction of entries examined per row —
+	// the paper observes ~16% thanks to early exit.
+	ExaminedFraction float64
+}
+
+// SelectMatrix thresholds every row of the masses matrix (rows x clusters)
+// and aggregates. counts must have length == number of columns.
+func (s Selector) SelectMatrix(masses [][]float32, counts []int) MatrixSelection {
+	out := MatrixSelection{}
+	inUnion := make(map[int]bool)
+	var examined, width float64
+	for _, row := range masses {
+		var rs RowSelection
+		if s.Buckets > 0 {
+			rs = SelectRowEarlyExit(row, counts, s.Ratio, s.Buckets)
+		} else {
+			rs = SelectRow(row, counts, s.Ratio)
+		}
+		out.Rows = append(out.Rows, rs)
+		for _, j := range rs.Selected {
+			if !inUnion[j] {
+				inUnion[j] = true
+				out.Union = append(out.Union, j)
+			}
+		}
+		examined += float64(rs.Examined)
+		width += float64(len(row))
+	}
+	sort.Ints(out.Union)
+	if width > 0 {
+		out.ExaminedFraction = examined / width
+	}
+	return out
+}
+
+// SelectedTokenCount returns the number of tokens covered by the union given
+// per-cluster token counts.
+func (m MatrixSelection) SelectedTokenCount(counts []int) int {
+	n := 0
+	for _, j := range m.Union {
+		n += counts[j]
+	}
+	return n
+}
