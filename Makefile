@@ -1,0 +1,38 @@
+# Mirrors .github/workflows/ci.yml so local runs and CI are the same
+# commands: `make ci` is exactly what a PR must pass.
+
+GO ?= go
+
+.PHONY: build test test-race bench bench-smoke fmt fmt-check vet ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test -count=1 ./...
+
+test-race:
+	$(GO) test -race ./...
+
+# Full benchmark sweep (slow; regenerates every paper artifact repeatedly).
+bench:
+	$(GO) test -run xxx -bench=. ./...
+
+# CI's perf smoke: one iteration per benchmark, Quick workloads only.
+bench-smoke:
+	$(GO) test -run xxx -bench=. -benchtime=1x -short ./...
+
+fmt:
+	gofmt -w .
+
+fmt-check:
+	@diff=$$(gofmt -l .); \
+	if [ -n "$$diff" ]; then \
+		echo "gofmt needed on:" >&2; echo "$$diff" >&2; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+# Same steps as the workflow: build, vet, gofmt, race tests, bench smoke.
+ci: build vet fmt-check test-race bench-smoke

@@ -14,14 +14,27 @@ import (
 	"vrex/internal/hwsim"
 	"vrex/internal/mathx"
 	"vrex/internal/model"
+	"vrex/internal/parallel"
+	"vrex/internal/report"
 	"vrex/internal/tensor"
 	"vrex/internal/wicsum"
 	"vrex/internal/workload"
 )
 
-// benchExperiment drives one experiment runner end to end.
+// heavyExperiments run full accuracy evaluations even in Quick mode; they
+// dominate bench wall time (several seconds each), so the -short smoke run
+// used by CI skips them.
+var heavyExperiments = map[string]bool{
+	"tab2": true, "fig19": true, "multiturn": true,
+	"sweep-thwics": true, "sweep-thhd": true, "sweep-nhp": true,
+}
+
+// benchExperiment drives one experiment runner end to end in Quick mode.
 func benchExperiment(b *testing.B, id string) {
 	b.Helper()
+	if testing.Short() && heavyExperiments[id] {
+		b.Skipf("experiment %s runs full-fidelity sessions; skipped in -short", id)
+	}
 	opts := experiments.Options{Sessions: 2, Seed: 7, Quick: true}
 	for i := 0; i < b.N; i++ {
 		if err := experiments.Run(id, opts, io.Discard); err != nil {
@@ -50,7 +63,34 @@ func BenchmarkTable1Hardware(b *testing.B)  { benchExperiment(b, "tab1") }
 func BenchmarkTable2Accuracy(b *testing.B)  { benchExperiment(b, "tab2") }
 func BenchmarkTable3AreaPower(b *testing.B) { benchExperiment(b, "tab3") }
 
+// benchRunAll dispatches the full registry through the parallel engine with
+// the given worker count (Quick mode, accuracy sessions trimmed); comparing
+// the two benchmarks below shows the experiment-level fan-out win directly.
+func benchRunAll(b *testing.B, workers int) {
+	b.Helper()
+	if testing.Short() {
+		b.Skip("full registry dispatch; skipped in -short")
+	}
+	opts := experiments.Options{Sessions: 2, Seed: 7, Quick: true, Parallel: workers}
+	for i := 0; i < b.N; i++ {
+		if err := experiments.RunAll(opts, io.Discard, report.FormatText); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRunAllSequential(b *testing.B) { benchRunAll(b, 1) }
+func BenchmarkRunAllParallel(b *testing.B)   { benchRunAll(b, 0) }
+
 // --- Kernel-level benchmarks ---
+
+// BenchmarkParallelMapOverhead measures the pool's fixed fan-out/fan-in cost
+// on trivial tasks (the floor for any sharded kernel).
+func BenchmarkParallelMapOverhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = parallel.Map(0, 64, func(i int) int { return i })
+	}
+}
 
 // BenchmarkHashBitClustering measures ReSV stage 1 on a frame of keys
 // against a grown cluster table (the HCU's work).

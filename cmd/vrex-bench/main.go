@@ -3,22 +3,27 @@
 // Usage:
 //
 //	vrex-bench -exp fig13          # one experiment
-//	vrex-bench -exp all            # everything
+//	vrex-bench -exp all            # everything, dispatched across workers
+//	vrex-bench -exp all -parallel 1  # fully sequential (identical output)
 //	vrex-bench -exp tab2 -sessions 20 -seed 3
 //	vrex-bench -list               # show experiment IDs
 //
 // Each experiment prints the rows/series of the corresponding paper artifact
 // (see DESIGN.md's per-experiment index and EXPERIMENTS.md for
-// paper-vs-measured values).
+// paper-vs-measured values). Output is byte-identical for every -parallel
+// value: experiments render into private buffers that are emitted in stable
+// order, and all kernel-level sharding is deterministic.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"vrex/internal/experiments"
 	"vrex/internal/report"
+	"vrex/internal/tensor"
 )
 
 func main() {
@@ -27,6 +32,7 @@ func main() {
 	seed := flag.Uint64("seed", 7, "random seed")
 	quick := flag.Bool("quick", false, "shrink functional workloads (smoke mode)")
 	format := flag.String("format", "text", "output format: text | csv | md")
+	par := flag.Int("parallel", runtime.GOMAXPROCS(0), "worker count (1 = sequential)")
 	list := flag.Bool("list", false, "list experiment IDs and exit")
 	flag.Parse()
 
@@ -36,15 +42,14 @@ func main() {
 		}
 		return
 	}
-	opts := experiments.Options{Sessions: *sessions, Seed: *seed, Quick: *quick}
+	tensor.SetWorkers(*par) // matmul kernels sit below Options threading
+	opts := experiments.Options{Sessions: *sessions, Seed: *seed, Quick: *quick, Parallel: *par}
 	ids := []string{*exp}
 	if *exp == "all" {
 		ids = experiments.IDs()
 	}
-	for _, id := range ids {
-		if err := experiments.RunAs(id, opts, os.Stdout, report.Format(*format)); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
+	if err := experiments.RunMany(ids, opts, os.Stdout, report.Format(*format)); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
 }

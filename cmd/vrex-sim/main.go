@@ -1,20 +1,28 @@
-// Command vrex-sim runs the standalone hardware simulator for one
-// device/policy/workload point and prints the latency breakdown, energy and
+// Command vrex-sim runs the standalone hardware simulator for one or more
+// device/policy/workload points and prints the latency breakdown, energy and
 // throughput.
 //
 // Usage:
 //
 //	vrex-sim -device vrex8 -policy resv -kv 40000 -batch 1 -tokens 10
 //	vrex-sim -device agx -policy flexgen -kv 20000 -tpot
+//	vrex-sim -kv 10000,20000,40000,80000 -parallel 4   # sweep, ordered output
+//
+// -kv accepts a comma-separated list; the points are simulated across
+// -parallel workers (default GOMAXPROCS, 1 = sequential) and printed in
+// argument order, so the output is identical for any worker count.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"strconv"
 	"strings"
 
 	"vrex/internal/hwsim"
+	"vrex/internal/parallel"
 )
 
 func deviceByName(name string) (hwsim.DeviceSpec, bool) {
@@ -53,13 +61,53 @@ func policyByName(name string) (hwsim.PolicyModel, bool) {
 	return hwsim.PolicyModel{}, false
 }
 
+// parseKVList parses the -kv flag: one length or a comma-separated sweep.
+func parseKVList(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || v < 0 {
+			return nil, fmt.Errorf("bad KV length %q", part)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// renderPoint simulates one workload point and renders its report.
+func renderPoint(dev hwsim.DeviceSpec, pol hwsim.PolicyModel, kv, batch, tokens int, tpot bool) string {
+	sim := hwsim.NewSim(dev, hwsim.Llama3_8B(), pol)
+	var b hwsim.Breakdown
+	if tpot {
+		b = sim.TPOT(kv, batch)
+	} else {
+		b = sim.FrameLatency(tokens, kv, batch)
+	}
+	if b.OOM {
+		return fmt.Sprintf("%s + %s @ kv=%d batch=%d: OUT OF MEMORY\n", dev.Name, pol.Name, kv, batch)
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s + %s @ kv=%d batch=%d\n", dev.Name, pol.Name, kv, batch)
+	fmt.Fprintf(&sb, "  total latency    : %8.2f ms (%.2f FPS)\n", b.Total*1000, b.FPS())
+	fmt.Fprintf(&sb, "  vision + host    : %8.2f ms\n", b.VisionTime*1000)
+	fmt.Fprintf(&sb, "  linear (QKVO+FFN): %8.2f ms\n", b.LinearTime*1000)
+	fmt.Fprintf(&sb, "  attention        : %8.2f ms\n", b.AttnTime*1000)
+	fmt.Fprintf(&sb, "  KV prediction    : %8.2f ms exposed (%.2f ms busy)\n", b.PredExposed*1000, b.PredRaw*1000)
+	fmt.Fprintf(&sb, "  KV fetch         : %8.2f ms exposed (%.2f ms busy, %.1f MB)\n",
+		b.FetchExposed*1000, b.FetchRaw*1000, b.FetchBytes/1e6)
+	fmt.Fprintf(&sb, "  DRE busy         : %8.3f ms\n", b.DRETime*1000)
+	fmt.Fprintf(&sb, "  energy           : %8.2f J (%.1f GOPS/W)\n", b.EnergyJ, b.GOPSPerWatt())
+	return sb.String()
+}
+
 func main() {
 	device := flag.String("device", "vrex8", "agx | a100 | vrex8 | vrex48")
 	policy := flag.String("policy", "resv", "flexgen | infinigen | infinigenp | rekv | resv | resv-gpu | dense | oaken")
-	kv := flag.Int("kv", 40000, "KV cache sequence length")
+	kv := flag.String("kv", "40000", "KV cache sequence length, or comma-separated sweep")
 	batch := flag.Int("batch", 1, "batch size")
 	tokens := flag.Int("tokens", 10, "new tokens per frame")
 	tpot := flag.Bool("tpot", false, "simulate one generated token instead of a frame")
+	par := flag.Int("parallel", runtime.GOMAXPROCS(0), "worker count for KV sweeps (1 = sequential)")
 	flag.Parse()
 
 	dev, ok := deviceByName(*device)
@@ -72,25 +120,15 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown policy %q\n", *policy)
 		os.Exit(1)
 	}
-	sim := hwsim.NewSim(dev, hwsim.Llama3_8B(), pol)
-	var b hwsim.Breakdown
-	if *tpot {
-		b = sim.TPOT(*kv, *batch)
-	} else {
-		b = sim.FrameLatency(*tokens, *kv, *batch)
+	kvs, err := parseKVList(*kv)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
-	if b.OOM {
-		fmt.Printf("%s + %s @ kv=%d batch=%d: OUT OF MEMORY\n", dev.Name, pol.Name, *kv, *batch)
-		return
+	reports := parallel.Map(*par, len(kvs), func(i int) string {
+		return renderPoint(dev, pol, kvs[i], *batch, *tokens, *tpot)
+	})
+	for _, r := range reports {
+		fmt.Print(r)
 	}
-	fmt.Printf("%s + %s @ kv=%d batch=%d\n", dev.Name, pol.Name, *kv, *batch)
-	fmt.Printf("  total latency    : %8.2f ms (%.2f FPS)\n", b.Total*1000, b.FPS())
-	fmt.Printf("  vision + host    : %8.2f ms\n", b.VisionTime*1000)
-	fmt.Printf("  linear (QKVO+FFN): %8.2f ms\n", b.LinearTime*1000)
-	fmt.Printf("  attention        : %8.2f ms\n", b.AttnTime*1000)
-	fmt.Printf("  KV prediction    : %8.2f ms exposed (%.2f ms busy)\n", b.PredExposed*1000, b.PredRaw*1000)
-	fmt.Printf("  KV fetch         : %8.2f ms exposed (%.2f ms busy, %.1f MB)\n",
-		b.FetchExposed*1000, b.FetchRaw*1000, b.FetchBytes/1e6)
-	fmt.Printf("  DRE busy         : %8.3f ms\n", b.DRETime*1000)
-	fmt.Printf("  energy           : %8.2f J (%.1f GOPS/W)\n", b.EnergyJ, b.GOPSPerWatt())
 }

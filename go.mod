@@ -1,0 +1,3 @@
+module vrex
+
+go 1.24

@@ -8,7 +8,10 @@
 package accuracy
 
 import (
+	"sync"
+
 	"vrex/internal/model"
+	"vrex/internal/parallel"
 	"vrex/internal/workload"
 )
 
@@ -42,6 +45,23 @@ type Evaluator struct {
 	Workload workload.Config
 	// Sessions per task family.
 	Sessions int
+	// Workers shards session evaluation across goroutines: 0 uses
+	// GOMAXPROCS, 1 restores the sequential loop. Sessions are independent
+	// (fresh model + fresh policy each) and results are folded in session
+	// order, so the outcome is identical for any worker count.
+	Workers int
+
+	// sessionCache memoizes generated sessions by (task, index) across
+	// EvaluateTask calls: a multi-policy comparison (e.g. Table II) replays
+	// the same sessions for every policy, and generation is a pure function
+	// of (workload config, task, index).
+	mu           sync.Mutex
+	sessionCache map[sessionKey]*workload.Session
+}
+
+type sessionKey struct {
+	task workload.Task
+	idx  int
 }
 
 // NewEvaluator returns an evaluator with n sessions per task.
@@ -49,19 +69,44 @@ func NewEvaluator(mcfg model.Config, wcfg workload.Config, sessions int) *Evalua
 	return &Evaluator{ModelCfg: mcfg, Workload: wcfg, Sessions: sessions}
 }
 
+// session returns the cached session for (task, si), generating it on miss.
+// Generation happens outside the lock so concurrent workers never serialise
+// on the encoder; distinct (task, si) pairs never duplicate work within one
+// EvaluateTask call.
+func (e *Evaluator) session(gen *workload.Generator, task workload.Task, si int) *workload.Session {
+	key := sessionKey{task: task, idx: si}
+	e.mu.Lock()
+	sess := e.sessionCache[key]
+	e.mu.Unlock()
+	if sess != nil {
+		return sess
+	}
+	sess = gen.Session(task, si)
+	e.mu.Lock()
+	if e.sessionCache == nil {
+		e.sessionCache = make(map[sessionKey]*workload.Session)
+	}
+	e.sessionCache[key] = sess
+	e.mu.Unlock()
+	return sess
+}
+
 // EvaluateTask measures one policy on one task family. The policy factory is
-// invoked once per session.
+// invoked once per session; sessions run across the evaluator's worker pool
+// and fold in session order.
 func (e *Evaluator) EvaluateTask(task workload.Task, factory PolicyFactory) Result {
 	gen := workload.NewGenerator(e.Workload, e.ModelCfg.Dim)
 	res := Result{Task: task, FrameRatio: -1, TextRatio: -1}
-	correct, total := 0, 0
-	var lastPolicy model.Retriever
 
-	for si := 0; si < e.Sessions; si++ {
-		sess := gen.Session(task, si)
+	type sessionOutcome struct {
+		correct, total int
+		policy         model.Retriever
+	}
+	outcomes := parallel.Map(e.Workers, e.Sessions, func(si int) sessionOutcome {
+		sess := e.session(gen, task, si)
 		m := model.New(e.ModelCfg)
 		pol := factory()
-		lastPolicy = pol
+		out := sessionOutcome{policy: pol}
 
 		for _, fe := range sess.FrameEmbeds {
 			m.Forward(fe, pol, model.StageFrame, false)
@@ -69,12 +114,21 @@ func (e *Evaluator) EvaluateTask(task workload.Task, factory PolicyFactory) Resu
 		frameTokens := m.Pos()
 
 		for _, q := range sess.Queries {
-			out := m.Forward(q.Embeddings, pol, model.StageText, true)
-			if answerScene(out.AttnMass, sess, frameTokens) == q.TargetScene {
-				correct++
+			fwd := m.Forward(q.Embeddings, pol, model.StageText, true)
+			if answerScene(fwd.AttnMass, sess, frameTokens) == q.TargetScene {
+				out.correct++
 			}
-			total++
+			out.total++
 		}
+		return out
+	})
+
+	correct, total := 0, 0
+	var lastPolicy model.Retriever
+	for _, out := range outcomes {
+		correct += out.correct
+		total += out.total
+		lastPolicy = out.policy
 	}
 	if total > 0 {
 		res.Accuracy = float64(correct) / float64(total)

@@ -1,0 +1,57 @@
+package accuracy
+
+import (
+	"testing"
+
+	"vrex/internal/core"
+	"vrex/internal/model"
+	"vrex/internal/retrieval"
+	"vrex/internal/workload"
+)
+
+// TestEvaluateTaskParallelEquivalence: session fan-out must not change any
+// field of the result, for a stateless policy and for stateful ReSV.
+func TestEvaluateTaskParallelEquivalence(t *testing.T) {
+	mcfg := model.DefaultConfig()
+	factories := map[string]PolicyFactory{
+		"dense": func() model.Retriever { return retrieval.NewDense() },
+		"resv":  func() model.Retriever { return core.New(mcfg, core.DefaultConfig()) },
+	}
+	for name, factory := range factories {
+		ev := evaluator(2)
+		ev.Workers = 1
+		seq := ev.EvaluateTask(workload.TaskStep, factory)
+		// 8 workers > 2 sessions also covers the workers-exceed-tasks path.
+		for _, w := range []int{2, 8} {
+			evp := evaluator(2)
+			evp.Workers = w
+			par := evp.EvaluateTask(workload.TaskStep, factory)
+			if seq != par {
+				t.Fatalf("%s workers=%d: %+v != %+v", name, w, par, seq)
+			}
+		}
+	}
+}
+
+// TestSessionCacheReuse: evaluating two policies on one evaluator generates
+// each (task, index) session exactly once and returns pointer-identical
+// sessions, without changing results vs a fresh evaluator.
+func TestSessionCacheReuse(t *testing.T) {
+	ev := evaluator(2)
+	first := ev.EvaluateTask(workload.TaskNext, func() model.Retriever { return retrieval.NewDense() })
+	if len(ev.sessionCache) != 2 {
+		t.Fatalf("cache holds %d sessions, want 2", len(ev.sessionCache))
+	}
+	cached := ev.sessionCache[sessionKey{task: workload.TaskNext, idx: 0}]
+	second := ev.EvaluateTask(workload.TaskNext, func() model.Retriever { return retrieval.NewDense() })
+	if ev.sessionCache[sessionKey{task: workload.TaskNext, idx: 0}] != cached {
+		t.Fatal("cached session was regenerated")
+	}
+	if first != second {
+		t.Fatalf("cache changed results: %+v != %+v", second, first)
+	}
+	fresh := evaluator(2).EvaluateTask(workload.TaskNext, func() model.Retriever { return retrieval.NewDense() })
+	if fresh != first {
+		t.Fatalf("cached evaluator diverged from fresh: %+v != %+v", first, fresh)
+	}
+}

@@ -1,0 +1,89 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"vrex/internal/mathx"
+	"vrex/internal/model"
+)
+
+// TestReSVParallelEquivalence drives identical sessions through a sequential
+// (Workers=1) and a sharded (Workers=8) retriever and requires exactly the
+// same selections and statistics — the engine's core guarantee.
+func TestReSVParallelEquivalence(t *testing.T) {
+	mcfg := model.DefaultConfig()
+	run := func(workers int) (*model.Model, *ReSV) {
+		cfg := DefaultConfig()
+		cfg.Workers = workers
+		m := model.New(mcfg)
+		r := New(mcfg, cfg)
+		rng := mathx.NewRNG(11)
+		for _, f := range driftFrames(8, 6, mcfg.Dim, 0.97, rng) {
+			m.Forward(f, r, model.StageFrame, false)
+		}
+		q := frameInput(4, mcfg.Dim, rng)
+		m.Forward(q, r, model.StageText, true)
+		return m, r
+	}
+	mSeq, rSeq := run(1)
+	mPar, rPar := run(8)
+
+	if mSeq.Pos() != mPar.Pos() {
+		t.Fatalf("positions diverged: %d vs %d", mSeq.Pos(), mPar.Pos())
+	}
+	if !reflect.DeepEqual(*rSeq.Stats(), *rPar.Stats()) {
+		t.Fatalf("stats diverged:\nseq: %+v\npar: %+v", *rSeq.Stats(), *rPar.Stats())
+	}
+	for l := 0; l < mcfg.Layers; l++ {
+		a, b := rSeq.HCTable(l), rPar.HCTable(l)
+		if a.NumClusters() != b.NumClusters() {
+			t.Fatalf("layer %d cluster count diverged: %d vs %d",
+				l, a.NumClusters(), b.NumClusters())
+		}
+		for ci := range a.Clusters {
+			if !reflect.DeepEqual(a.Clusters[ci].TokenIdxs, b.Clusters[ci].TokenIdxs) {
+				t.Fatalf("layer %d cluster %d membership diverged", l, ci)
+			}
+		}
+	}
+}
+
+// TestReSVSelectTokensEquivalence compares the raw selection lists, which is
+// where any ordering nondeterminism would surface first.
+func TestReSVSelectTokensEquivalence(t *testing.T) {
+	mcfg := model.DefaultConfig()
+	type sel struct {
+		layer  int
+		tokens []int
+	}
+	collect := func(workers int) []sel {
+		cfg := DefaultConfig()
+		cfg.Workers = workers
+		m := model.New(mcfg)
+		r := New(mcfg, cfg)
+		rng := mathx.NewRNG(5)
+		frames := driftFrames(6, 6, mcfg.Dim, 0.97, rng)
+		var out []sel
+		for fi, f := range frames {
+			m.Forward(f, r, model.StageFrame, false)
+			if fi < 2 {
+				continue // no past yet on the first frames
+			}
+			base := m.Pos()
+			q := frameInput(3, mcfg.Dim, mathx.NewRNG(uint64(100+fi)))
+			for l := 0; l < mcfg.Layers; l++ {
+				toks := r.SelectTokens(l, m.Cache(l), q, base, model.StageText)
+				out = append(out, sel{layer: l, tokens: append([]int(nil), toks...)})
+			}
+		}
+		return out
+	}
+	seq := collect(1)
+	for _, w := range []int{2, 8} {
+		par := collect(w)
+		if !reflect.DeepEqual(seq, par) {
+			t.Fatalf("selections diverged between workers=1 and workers=%d", w)
+		}
+	}
+}

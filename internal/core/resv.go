@@ -26,6 +26,7 @@ import (
 	"vrex/internal/kvcache"
 	"vrex/internal/mathx"
 	"vrex/internal/model"
+	"vrex/internal/parallel"
 	"vrex/internal/tensor"
 	"vrex/internal/wicsum"
 )
@@ -50,6 +51,10 @@ type Config struct {
 	DisableClustering bool
 	// Seed draws the hyperplanes.
 	Seed uint64
+	// Workers shards the per-head WiCSum scoring and the HC-table candidate
+	// scan across goroutines: 0 uses GOMAXPROCS, 1 restores the sequential
+	// kernel. Selections are identical for any worker count.
+	Workers int
 }
 
 // DefaultConfig returns the paper's evaluation hyperparameters.
@@ -105,7 +110,7 @@ func New(modelCfg model.Config, cfg Config) *ReSV {
 	r := &ReSV{
 		cfg:      cfg,
 		modelCfg: modelCfg,
-		selector: wicsum.Selector{Ratio: cfg.ThWics, Buckets: cfg.Buckets},
+		selector: wicsum.Selector{Ratio: cfg.ThWics, Buckets: cfg.Buckets, Workers: cfg.Workers},
 		rng:      mathx.NewRNG(cfg.Seed),
 		stats:    NewStats(modelCfg.Layers, modelCfg.Heads),
 	}
@@ -192,17 +197,26 @@ func (r *ReSV) SelectTokens(layer int, cache *kvcache.LayerCache, queries *tenso
 	table := ls.clusterer.Table
 	// Candidate clusters: those containing at least one past token. Clusters
 	// composed purely of in-chunk tokens are skipped (in-chunk attention is
-	// causal and automatic).
-	var cands []candidate
-	for _, c := range table.Clusters {
+	// causal and automatic). The HC-table scan is sharded across the pool
+	// (each cluster's past-token count is independent); the serial compaction
+	// afterwards keeps candidate order identical to the sequential scan.
+	scanWorkers := r.cfg.Workers
+	if len(table.Clusters) < 64 {
+		scanWorkers = 1
+	}
+	pastCounts := parallel.Map(scanWorkers, len(table.Clusters), func(i int) int {
 		past := 0
-		for _, tok := range c.TokenIdxs {
+		for _, tok := range table.Clusters[i].TokenIdxs {
 			if tok < base {
 				past++
 			}
 		}
-		if past > 0 {
-			cands = append(cands, candidate{id: c.ID, count: past})
+		return past
+	})
+	var cands []candidate
+	for i, c := range table.Clusters {
+		if pastCounts[i] > 0 {
+			cands = append(cands, candidate{id: c.ID, count: pastCounts[i]})
 		}
 	}
 	if len(cands) == 0 {
@@ -215,26 +229,33 @@ func (r *ReSV) SelectTokens(layer int, cache *kvcache.LayerCache, queries *tenso
 
 	// Score matrix: one row per (query token, head) pair; columns = candidate
 	// clusters. Scores are exp-normalised per row so WiCSum accumulates
-	// attention mass.
+	// attention mass. Rows are independent, so the per-head scoring — the
+	// KVPU's per-head parallelism in hardware — is sharded across the pool
+	// with each row written to its index slot (order never depends on
+	// scheduling).
 	nRows := queries.Rows * r.modelCfg.Heads
-	masses := make([][]float32, 0, nRows)
-	rowHead := make([]int, 0, nRows)
-	scores := make([]float32, len(cands))
-	for qi := 0; qi < queries.Rows; qi++ {
-		qrow := queries.Row(qi)
-		for h := 0; h < r.modelCfg.Heads; h++ {
-			kvh := h / group
-			qh := qrow[h*headDim : (h+1)*headDim]
-			for ci, c := range cands {
-				rep := table.Clusters[c.id].RepKey[kvh*headDim : (kvh+1)*headDim]
-				scores[ci] = float32(mathx.Dot(qh, rep)) * invSqrt
-			}
-			row := make([]float32, len(cands))
-			mathx.ExpNormalize(row, scores)
-			masses = append(masses, row)
-			rowHead = append(rowHead, h)
-		}
+	rowWorkers := r.cfg.Workers
+	if nRows*len(cands) < 2048 {
+		rowWorkers = 1
 	}
+	masses := make([][]float32, nRows)
+	rowHead := make([]int, nRows)
+	parallel.ForEach(rowWorkers, nRows, func(row int) {
+		qi := row / r.modelCfg.Heads
+		h := row % r.modelCfg.Heads
+		kvh := h / group
+		qrow := queries.Row(qi)
+		qh := qrow[h*headDim : (h+1)*headDim]
+		scores := make([]float32, len(cands))
+		for ci, c := range cands {
+			rep := table.Clusters[c.id].RepKey[kvh*headDim : (kvh+1)*headDim]
+			scores[ci] = float32(mathx.Dot(qh, rep)) * invSqrt
+		}
+		mass := make([]float32, len(cands))
+		mathx.ExpNormalize(mass, scores)
+		masses[row] = mass
+		rowHead[row] = h
+	})
 
 	sel := r.selector.SelectMatrix(masses, counts)
 

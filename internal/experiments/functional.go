@@ -88,8 +88,9 @@ func Fig7Similarity(opts Options) []*report.Table {
 }
 
 // table2Policies returns the Table II policy lineup as factories, in paper
-// row order.
-func table2Policies(mcfg model.Config, tpf int) []struct {
+// row order. resvCfg carries the experiment's ReSV configuration (worker
+// count included).
+func table2Policies(mcfg model.Config, tpf int, resvCfg core.Config) []struct {
 	Name    string
 	Factory accuracy.PolicyFactory
 } {
@@ -101,7 +102,7 @@ func table2Policies(mcfg model.Config, tpf int) []struct {
 		{"InfiniGen", func() model.Retriever { return retrieval.NewInfiniGen(mcfg, 0.068) }},
 		{"InfiniGenP", func() model.Retriever { return retrieval.NewInfiniGenP(mcfg, 0.5, 0.068) }},
 		{"ReKV", func() model.Retriever { return retrieval.NewReKV(mcfg, tpf, 0.584, 0.312) }},
-		{"V-Rex's ReSV", func() model.Retriever { return core.New(mcfg, core.DefaultConfig()) }},
+		{"V-Rex's ReSV", func() model.Retriever { return core.New(mcfg, resvCfg) }},
 	}
 }
 
@@ -110,13 +111,13 @@ func table2Policies(mcfg model.Config, tpf int) []struct {
 func Table2Accuracy(opts Options) []*report.Table {
 	mcfg := functionalModelConfig(opts.Seed)
 	wcfg := workload.DefaultConfig()
-	ev := accuracy.NewEvaluator(mcfg, wcfg, opts.sessions())
+	ev := opts.evaluator(mcfg, wcfg)
 
 	acc := report.NewTable("Table II: accuracy (top-1, planted-saliency proxy)",
 		"method", "Step", "Next", "Proc.+", "Task", "Proc.", "Avg")
 	ratio := report.NewTable("Table II: retrieval ratio [frame% / text%]",
 		"method", "Step", "Next", "Proc.+", "Task", "Proc.", "Avg")
-	for _, pol := range table2Policies(mcfg, wcfg.Stream.TokensPerFrame) {
+	for _, pol := range table2Policies(mcfg, wcfg.Stream.TokensPerFrame, opts.resvConfig()) {
 		rs := ev.EvaluateAll(pol.Factory)
 		accRow := []interface{}{pol.Name}
 		ratRow := []interface{}{pol.Name}
@@ -149,9 +150,9 @@ func formatRatioPair(frame, text float64) string {
 func Fig19ReSVAblation(opts Options) []*report.Table {
 	mcfg := functionalModelConfig(opts.Seed)
 	wcfg := workload.DefaultConfig()
-	ev := accuracy.NewEvaluator(mcfg, wcfg, opts.sessions())
+	ev := opts.evaluator(mcfg, wcfg)
 
-	noCluster := core.DefaultConfig()
+	noCluster := opts.resvConfig()
 	noCluster.DisableClustering = true
 	variants := []struct {
 		Name    string
@@ -159,7 +160,7 @@ func Fig19ReSVAblation(opts Options) []*report.Table {
 	}{
 		{"VideoLLM-Online", func() model.Retriever { return retrieval.NewDense() }},
 		{"ReSV w/o Clustering", func() model.Retriever { return core.New(mcfg, noCluster) }},
-		{"ReSV", func() model.Retriever { return core.New(mcfg, core.DefaultConfig()) }},
+		{"ReSV", func() model.Retriever { return core.New(mcfg, opts.resvConfig()) }},
 	}
 
 	// Performance plane: baseline is the GPU without retrieval optimisation
@@ -201,7 +202,7 @@ func Fig20RatioDistribution(opts Options) []*report.Table {
 	sess := gen.Session(workload.TaskStep, 0)
 
 	m := model.New(mcfg)
-	resv := core.New(mcfg, core.DefaultConfig())
+	resv := core.New(mcfg, opts.resvConfig())
 	for _, fe := range sess.FrameEmbeds {
 		m.Forward(fe, resv, model.StageFrame, false)
 	}

@@ -28,7 +28,7 @@ func MultiTurnCoherence(opts Options) []*report.Table {
 	cases := []policyCase{
 		{"VideoLLM-Online (dense)", func() model.Retriever { return retrieval.NewDense() }},
 		{"Pruning (H2O-style, 30%)", func() model.Retriever { return retrieval.NewPruning(mcfg, 0.3) }},
-		{"ReSV (retrieval)", func() model.Retriever { return core.New(mcfg, core.DefaultConfig()) }},
+		{"ReSV (retrieval)", func() model.Retriever { return core.New(mcfg, opts.resvConfig()) }},
 	}
 
 	gen := workload.NewGenerator(wcfg, mcfg.Dim)

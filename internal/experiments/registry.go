@@ -6,11 +6,17 @@
 package experiments
 
 import (
+	"bytes"
 	"fmt"
 	"io"
 	"sort"
 
+	"vrex/internal/accuracy"
+	"vrex/internal/core"
+	"vrex/internal/model"
+	"vrex/internal/parallel"
 	"vrex/internal/report"
+	"vrex/internal/workload"
 )
 
 // Options tunes experiment cost; the defaults match EXPERIMENTS.md.
@@ -21,6 +27,29 @@ type Options struct {
 	Seed uint64
 	// Quick shrinks functional workloads for smoke tests and benchmarks.
 	Quick bool
+	// Parallel is the worker count for experiment dispatch (RunAll/RunMany)
+	// and is threaded into the runners' inner kernels: 0 uses GOMAXPROCS,
+	// 1 restores fully sequential execution. Output is identical either way.
+	Parallel int
+}
+
+// workers resolves the Options worker count for fan-out sites.
+func (o Options) workers() int { return parallel.Workers(o.Parallel) }
+
+// resvConfig returns the paper-default ReSV configuration with the
+// experiment's worker count threaded into the kernel shards.
+func (o Options) resvConfig() core.Config {
+	cfg := core.DefaultConfig()
+	cfg.Workers = o.Parallel
+	return cfg
+}
+
+// evaluator builds an accuracy evaluator that shares the experiment's worker
+// count for session-level fan-out.
+func (o Options) evaluator(mcfg model.Config, wcfg workload.Config) *accuracy.Evaluator {
+	ev := accuracy.NewEvaluator(mcfg, wcfg, o.sessions())
+	ev.Workers = o.Parallel
+	return ev
 }
 
 // DefaultOptions returns the full-fidelity settings.
@@ -97,6 +126,64 @@ func RunAs(id string, opts Options, w io.Writer, format report.Format) error {
 		fmt.Fprintln(w)
 	}
 	return nil
+}
+
+// RunMany executes the given experiments across opts.Parallel workers and
+// writes their rendered tables to w in argument order. Each runner renders
+// into a private buffer; the ordered streaming fan-in below emits an
+// experiment's output as soon as every earlier id has been written — so the
+// concatenation is byte-identical to running the ids sequentially, output is
+// progressive rather than held until the slowest runner finishes, and only
+// the out-of-order suffix is retained in memory. Unknown ids are rejected
+// before any runner starts.
+func RunMany(ids []string, opts Options, w io.Writer, format report.Format) error {
+	for _, id := range ids {
+		if _, ok := registry[id]; !ok {
+			return fmt.Errorf("experiments: unknown experiment %q (known: %v)", id, IDs())
+		}
+	}
+	type rendered struct {
+		idx int
+		out []byte
+	}
+	// Buffered to len(ids): the fan-out goroutine can never block on send,
+	// so an early return (write error) leaks nothing.
+	results := make(chan rendered, len(ids))
+	var workerPanic any
+	go func() {
+		defer close(results)
+		defer func() { workerPanic = recover() }()
+		parallel.ForEach(opts.workers(), len(ids), func(i int) {
+			var buf bytes.Buffer
+			for _, t := range registry[ids[i]](opts) {
+				t.RenderAs(&buf, format)
+				fmt.Fprintln(&buf)
+			}
+			results <- rendered{idx: i, out: buf.Bytes()}
+		})
+	}()
+	pending := make(map[int][]byte)
+	next := 0
+	for r := range results {
+		pending[r.idx] = r.out
+		for out, ok := pending[next]; ok; out, ok = pending[next] {
+			if _, err := w.Write(out); err != nil {
+				return err
+			}
+			delete(pending, next)
+			next++
+		}
+	}
+	if workerPanic != nil {
+		panic(workerPanic)
+	}
+	return nil
+}
+
+// RunAll executes every registered experiment (sorted-ID order) across
+// opts.Parallel workers.
+func RunAll(opts Options, w io.Writer, format report.Format) error {
+	return RunMany(IDs(), opts, w, format)
 }
 
 // Get returns the runner for an ID (nil if unknown); bench_test.go uses it.

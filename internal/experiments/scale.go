@@ -25,6 +25,7 @@ func ScaleServing(opts Options) []*report.Table {
 		return serve.Config{
 			Dev: dev, Pol: pol, Streams: 1, Duration: duration,
 			Stream: sc, DropThreshold: 4, Seed: opts.Seed,
+			Workers: opts.Parallel,
 		}
 	}
 	type sys struct {

@@ -10,11 +10,9 @@ import (
 
 // sweepEval measures mean accuracy and frame/text ratios for one ReSV
 // configuration over a reduced task set (Step + Task keep the sweep fast
-// while spanning easy/hard queries).
-func sweepEval(opts Options, cfg core.Config) (acc, frame, text float64) {
-	mcfg := functionalModelConfig(opts.Seed)
-	wcfg := workload.DefaultConfig()
-	ev := accuracy.NewEvaluator(mcfg, wcfg, opts.sessions())
+// while spanning easy/hard queries). The evaluator is shared across sweep
+// values so its session cache is generated once per sweep.
+func sweepEval(ev *accuracy.Evaluator, mcfg model.Config, cfg core.Config) (acc, frame, text float64) {
 	tasks := []workload.Task{workload.TaskStep, workload.TaskTask}
 	var n float64
 	for _, task := range tasks {
@@ -37,10 +35,12 @@ func SweepThWics(opts Options) []*report.Table {
 	if opts.Quick {
 		values = []float64{0.3, 0.8}
 	}
+	mcfg := functionalModelConfig(opts.Seed)
+	ev := opts.evaluator(mcfg, workload.DefaultConfig())
 	for _, th := range values {
-		cfg := core.DefaultConfig()
+		cfg := opts.resvConfig()
 		cfg.ThWics = th
-		acc, fr, tx := sweepEval(opts, cfg)
+		acc, fr, tx := sweepEval(ev, mcfg, cfg)
 		t.AddRow(th, 100*acc, 100*fr, 100*tx)
 	}
 	return []*report.Table{t}
@@ -59,10 +59,11 @@ func SweepThHD(opts Options) []*report.Table {
 	mcfg := functionalModelConfig(opts.Seed)
 	wcfg := workload.DefaultConfig()
 	gen := workload.NewGenerator(wcfg, mcfg.Dim)
+	ev := opts.evaluator(mcfg, wcfg)
 	for _, th := range values {
-		cfg := core.DefaultConfig()
+		cfg := opts.resvConfig()
 		cfg.ThHD = th
-		acc, fr, _ := sweepEval(opts, cfg)
+		acc, fr, _ := sweepEval(ev, mcfg, cfg)
 		// Cluster occupancy on a reference session.
 		m := model.New(mcfg)
 		r := core.New(mcfg, cfg)
@@ -88,8 +89,9 @@ func SweepNHp(opts Options) []*report.Table {
 	mcfg := functionalModelConfig(opts.Seed)
 	wcfg := workload.DefaultConfig()
 	gen := workload.NewGenerator(wcfg, mcfg.Dim)
+	ev := opts.evaluator(mcfg, wcfg)
 	for _, nhp := range values {
-		cfg := core.DefaultConfig()
+		cfg := opts.resvConfig()
 		cfg.NHp = nhp
 		// Th_hd scales with signature length to keep the same angular
 		// acceptance (7/32 of the bits).
@@ -97,7 +99,7 @@ func SweepNHp(opts Options) []*report.Table {
 		if cfg.ThHD < 1 {
 			cfg.ThHD = 1
 		}
-		acc, fr, _ := sweepEval(opts, cfg)
+		acc, fr, _ := sweepEval(ev, mcfg, cfg)
 		m := model.New(mcfg)
 		r := core.New(mcfg, cfg)
 		sess := gen.Session(workload.TaskStep, 0)

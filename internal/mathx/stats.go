@@ -60,8 +60,18 @@ func Dot(a, b []float32) float64 {
 	if len(a) != len(b) {
 		panic("mathx: Dot length mismatch")
 	}
-	var s float64
-	for i := range a {
+	// Four independent accumulators break the loop-carried add dependency
+	// (the hot path: attention scores and ReSV cluster scoring).
+	var s0, s1, s2, s3 float64
+	i := 0
+	for ; i+4 <= len(a); i += 4 {
+		s0 += float64(a[i]) * float64(b[i])
+		s1 += float64(a[i+1]) * float64(b[i+1])
+		s2 += float64(a[i+2]) * float64(b[i+2])
+		s3 += float64(a[i+3]) * float64(b[i+3])
+	}
+	s := s0 + s1 + s2 + s3
+	for ; i < len(a); i++ {
 		s += float64(a[i]) * float64(b[i])
 	}
 	return s

@@ -1,0 +1,141 @@
+// Package parallel provides the repository's bounded worker pool and the
+// deterministic fan-out/fan-in primitives built on it. Every concurrent path
+// in the codebase — experiment dispatch, ReSV kernel sharding, serving-stream
+// advancement — goes through this package so that one invariant holds
+// everywhere: parallel output is byte-identical to sequential output.
+//
+// The invariant follows from two rules the primitives enforce:
+//
+//   - ordered fan-in: Map and ForEach hand out tasks by index and write each
+//     result into its index slot, so merge order never depends on scheduling;
+//   - derived seeds: a task that needs randomness derives its generator from
+//     SeedFor(base, index), a pure function of the caller's seed and the task
+//     index, never from a generator shared across workers.
+//
+// Callers pick a worker count (0 means runtime.GOMAXPROCS(0), 1 runs fully
+// on the caller's goroutine), and output never depends on the choice:
+// `-parallel N` on the CLIs is purely a performance knob. Note the guarantee
+// is identity across worker counts, not identity with pre-engine releases —
+// kernel accumulation orders (Dot, MatMul) and the serving arrival seeding
+// changed when the engine landed.
+package parallel
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a requested worker count: n > 0 is taken as-is, anything
+// else defaults to runtime.GOMAXPROCS(0).
+func Workers(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Panic wraps a panic that escaped a worker goroutine. ForEach and Map
+// re-raise it on the calling goroutine so a panicking task crashes the
+// program with the same semantics as its sequential loop (plus the task
+// index and the worker's stack for debugging).
+type Panic struct {
+	// Index is the task index whose function panicked.
+	Index int
+	// Value is the value originally passed to panic.
+	Value any
+	// Stack is the panicking worker goroutine's stack trace, captured at
+	// recovery (the re-raise on the caller's goroutine would otherwise lose
+	// the real fault line).
+	Stack []byte
+}
+
+func (p *Panic) Error() string {
+	return fmt.Sprintf("parallel: task %d panicked: %v\nworker stack:\n%s", p.Index, p.Value, p.Stack)
+}
+
+// ForEach runs fn(i) for every i in [0, n) on at most workers goroutines
+// (resolved via Workers). Tasks are claimed from a shared atomic counter, so
+// the pool is bounded and work-stealing; with workers <= 1 (or n <= 1) fn
+// runs inline on the caller's goroutine — the exact sequential loop.
+//
+// If any fn panics, the pool stops claiming new tasks (in-flight tasks
+// finish), then ForEach re-panics on the caller's goroutine with a *Panic
+// carrying the first failing index — matching the sequential loop, which
+// would not have run the tasks after the failing one either.
+func ForEach(workers, n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	w := Workers(workers)
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var (
+		next    atomic.Int64
+		stopped atomic.Bool
+		wg      sync.WaitGroup
+		once    sync.Once
+		first   *Panic
+	)
+	for g := 0; g < w; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stopped.Load() {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if p := run(i, fn); p != nil {
+					stopped.Store(true)
+					once.Do(func() { first = p })
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if first != nil {
+		panic(first)
+	}
+}
+
+// run executes fn(i), converting a panic into a *Panic value.
+func run(i int, fn func(int)) (p *Panic) {
+	defer func() {
+		if r := recover(); r != nil {
+			p = &Panic{Index: i, Value: r, Stack: debug.Stack()}
+		}
+	}()
+	fn(i)
+	return nil
+}
+
+// Map runs fn(i) for every i in [0, n) across at most workers goroutines and
+// returns the results in index order, independent of execution order. Panic
+// semantics match ForEach.
+func Map[T any](workers, n int, fn func(i int) T) []T {
+	out := make([]T, n)
+	ForEach(workers, n, func(i int) { out[i] = fn(i) })
+	return out
+}
+
+// SeedFor derives the seed for task i from a base seed. It is a pure
+// splitmix64-style mix, so per-task generators are decorrelated from each
+// other and from the parent stream, yet fully determined by (base, i) — the
+// cornerstone of parallel/sequential equivalence for randomized tasks.
+func SeedFor(base uint64, i int) uint64 {
+	z := base + 0x9e3779b97f4a7c15*(uint64(i)+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}

@@ -14,6 +14,7 @@ import (
 
 	"vrex/internal/hwsim"
 	"vrex/internal/mathx"
+	"vrex/internal/parallel"
 )
 
 // StreamConfig describes one video session's arrival process.
@@ -57,8 +58,17 @@ type Config struct {
 	// DropThreshold: a frame still queued after this many frame intervals
 	// is dropped (<= 0 disables dropping).
 	DropThreshold float64
-	// Seed jitters arrivals.
+	// Seed jitters arrivals. Each stream derives an independent sub-seed
+	// from it, so stream s's arrival process never depends on how many other
+	// streams exist or on scheduling order.
 	Seed uint64
+	// Workers advances independent streams concurrently between the
+	// scheduler barriers (schedule construction before the device loop,
+	// per-stream metric reduction after it): 0 uses GOMAXPROCS, 1 is
+	// sequential. The device loop itself is the barrier — one shared device
+	// serves arrivals in global order — and results are identical for any
+	// worker count.
+	Workers int
 }
 
 // StreamMetrics summarises one session.
@@ -116,25 +126,36 @@ func Run(cfg Config) Result {
 	if cfg.Streams <= 0 || cfg.Duration <= 0 {
 		panic(fmt.Sprintf("serve: invalid config streams=%d duration=%v", cfg.Streams, cfg.Duration))
 	}
-	rng := mathx.NewRNG(cfg.Seed)
 	sim := hwsim.NewSim(cfg.Dev, hwsim.Llama3_8B(), cfg.Pol)
 
-	// Build the arrival schedule.
-	var events eventHeap
-	seq := 0
-	for s := 0; s < cfg.Streams; s++ {
+	// Build the arrival schedule: streams are independent, so each one's
+	// arrival process is generated concurrently from its own derived seed
+	// (parallel.SeedFor keeps stream s's jitter a pure function of cfg.Seed
+	// and s). The ordered fan-in and the deterministic seq renumbering below
+	// make the merged schedule identical for any worker count.
+	perStream := parallel.Map(cfg.Workers, cfg.Streams, func(s int) []event {
+		rng := mathx.NewRNG(parallel.SeedFor(cfg.Seed, s))
 		interval := 1 / cfg.Stream.FPS
+		var evs []event
 		// Phase-shift streams so arrivals interleave.
 		phase := rng.Float64() * interval
 		for t := phase; t < cfg.Duration; t += interval {
-			events = append(events, event{at: t, stream: s, seq: seq})
-			seq++
+			evs = append(evs, event{at: t, stream: s})
 		}
 		if cfg.Stream.QueryEvery > 0 {
 			for t := cfg.Stream.QueryEvery * (0.5 + rng.Float64()); t < cfg.Duration; t += cfg.Stream.QueryEvery {
-				events = append(events, event{at: t, stream: s, query: true, seq: seq})
-				seq++
+				evs = append(evs, event{at: t, stream: s, query: true})
 			}
+		}
+		return evs
+	})
+	var events eventHeap
+	seq := 0
+	for _, evs := range perStream {
+		for _, ev := range evs {
+			ev.seq = seq
+			seq++
+			events = append(events, ev)
 		}
 	}
 	heap.Init(&events)
@@ -189,7 +210,10 @@ func Run(cfg Config) Result {
 	if res.Utilization > 1 {
 		res.Utilization = 1
 	}
-	for s := range metrics {
+	// Post-barrier reduction: each stream's latency sort and percentiles are
+	// independent, so they run across the pool; the real-time verdict folds
+	// in stream order afterwards.
+	parallel.ForEach(cfg.Workers, cfg.Streams, func(s int) {
 		m := &metrics[s]
 		m.AchievedFPS = float64(m.FramesServed) / cfg.Duration
 		m.FinalKV = kv[s]
@@ -198,6 +222,9 @@ func Run(cfg Config) Result {
 			m.P50 = mathx.Percentile(latencies[s], 50)
 			m.P99 = mathx.Percentile(latencies[s], 99)
 		}
+	})
+	for s := range metrics {
+		m := &metrics[s]
 		if m.FramesArrived > 0 && float64(m.FramesServed) < 0.95*float64(m.FramesArrived) {
 			res.RealTime = false
 		}

@@ -7,8 +7,10 @@ package tensor
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"vrex/internal/mathx"
+	"vrex/internal/parallel"
 )
 
 // Matrix is a dense row-major float32 matrix.
@@ -71,43 +73,91 @@ func (m *Matrix) Randomize(rng *mathx.RNG, scale float32) {
 	}
 }
 
-// MatMul returns a*b. Panics on shape mismatch.
+// matmulGrain is the flop count below which MatMul/MatMulT stay on the
+// caller's goroutine: sharding tiny products costs more in hand-off than the
+// multiply itself.
+const matmulGrain = 1 << 16
+
+// matmulWorkers is the process-wide worker bound for MatMul/MatMulT (these
+// kernels sit below every call path, so the knob is a package setting rather
+// than a parameter threaded through each caller). 0 means GOMAXPROCS.
+var matmulWorkers atomic.Int64
+
+// SetWorkers bounds the worker count MatMul and MatMulT shard across:
+// 0 uses GOMAXPROCS, 1 pins the kernels to the caller's goroutine. The CLIs
+// wire their -parallel flag here so `-parallel 1` is fully sequential.
+// Results are identical for any setting.
+func SetWorkers(n int) { matmulWorkers.Store(int64(n)) }
+
+// workersFor resolves the worker count for a product of the given flop
+// count.
+func workersFor(flops int) int {
+	if flops < matmulGrain {
+		return 1
+	}
+	return int(matmulWorkers.Load())
+}
+
+// MatMul returns a*b. Panics on shape mismatch. Output rows are independent,
+// so large products are sharded row-wise across the worker pool; the result
+// is identical for any worker count.
 func MatMul(a, b *Matrix) *Matrix {
 	if a.Cols != b.Rows {
 		panic(fmt.Sprintf("tensor: MatMul shape mismatch %v x %v", a, b))
 	}
 	out := NewMatrix(a.Rows, b.Cols)
-	for i := 0; i < a.Rows; i++ {
-		arow := a.Row(i)
-		orow := out.Row(i)
-		for k := 0; k < a.Cols; k++ {
-			av := arow[k]
-			if av == 0 {
-				continue
-			}
-			brow := b.Row(k)
-			for j := range brow {
-				orow[j] += av * brow[j]
-			}
+	parallel.ForEach(workersFor(a.Rows*a.Cols*b.Cols), a.Rows, func(i int) {
+		matmulRow(a.Row(i), b, out.Row(i))
+	})
+	return out
+}
+
+// matmulRow accumulates one output row: orow += arow * b. The k-loop is
+// unrolled 4-wide so each pass touches four B rows per load/store of the
+// output row, which is the kernel's memory bottleneck.
+func matmulRow(arow []float32, b *Matrix, orow []float32) {
+	n := b.Cols
+	k := 0
+	for ; k+4 <= len(arow); k += 4 {
+		a0, a1, a2, a3 := arow[k], arow[k+1], arow[k+2], arow[k+3]
+		if a0 == 0 && a1 == 0 && a2 == 0 && a3 == 0 {
+			continue
+		}
+		b0 := b.Data[k*n : k*n+n]
+		b1 := b.Data[(k+1)*n : (k+1)*n+n]
+		b2 := b.Data[(k+2)*n : (k+2)*n+n]
+		b3 := b.Data[(k+3)*n : (k+3)*n+n]
+		for j := 0; j < n; j++ {
+			orow[j] += a0*b0[j] + a1*b1[j] + a2*b2[j] + a3*b3[j]
 		}
 	}
-	return out
+	for ; k < len(arow); k++ {
+		av := arow[k]
+		if av == 0 {
+			continue
+		}
+		brow := b.Row(k)
+		for j := range brow {
+			orow[j] += av * brow[j]
+		}
+	}
 }
 
 // MatMulT returns a * b^T: out[i][j] = dot(a.Row(i), b.Row(j)). This is the
 // natural layout for attention scores (Q x K^T with K stored row-per-token).
+// Like MatMul it shards output rows across the pool above the grain size.
 func MatMulT(a, b *Matrix) *Matrix {
 	if a.Cols != b.Cols {
 		panic(fmt.Sprintf("tensor: MatMulT shape mismatch %v x %v", a, b))
 	}
 	out := NewMatrix(a.Rows, b.Rows)
-	for i := 0; i < a.Rows; i++ {
+	parallel.ForEach(workersFor(a.Rows*a.Cols*b.Rows), a.Rows, func(i int) {
 		arow := a.Row(i)
 		orow := out.Row(i)
 		for j := 0; j < b.Rows; j++ {
 			orow[j] = float32(mathx.Dot(arow, b.Row(j)))
 		}
-	}
+	})
 	return out
 }
 

@@ -1,0 +1,43 @@
+package wicsum
+
+import (
+	"reflect"
+	"testing"
+
+	"vrex/internal/mathx"
+)
+
+// TestSelectMatrixParallelEquivalence: sharded row thresholding must produce
+// exactly the sequential result — same rows, same union order, same
+// examined-fraction accumulation — for both sorter variants.
+func TestSelectMatrixParallelEquivalence(t *testing.T) {
+	rng := mathx.NewRNG(9)
+	const rows, cols = 64, 300
+	masses := make([][]float32, rows)
+	counts := make([]int, cols)
+	for j := range counts {
+		counts[j] = 1 + rng.Intn(32)
+	}
+	for i := range masses {
+		row := make([]float32, cols)
+		for j := range row {
+			row[j] = rng.Float32()
+		}
+		masses[i] = row
+	}
+	for _, buckets := range []int{0, 20} {
+		seq := Selector{Ratio: 0.3, Buckets: buckets, Workers: 1}.SelectMatrix(masses, counts)
+		for _, w := range []int{2, 4, 16} {
+			par := Selector{Ratio: 0.3, Buckets: buckets, Workers: w}.SelectMatrix(masses, counts)
+			if !reflect.DeepEqual(seq.Rows, par.Rows) {
+				t.Fatalf("buckets=%d workers=%d: rows diverged", buckets, w)
+			}
+			if !reflect.DeepEqual(seq.Union, par.Union) {
+				t.Fatalf("buckets=%d workers=%d: union diverged", buckets, w)
+			}
+			if seq.ExaminedFraction != par.ExaminedFraction {
+				t.Fatalf("buckets=%d workers=%d: examined fraction diverged", buckets, w)
+			}
+		}
+	}
+}

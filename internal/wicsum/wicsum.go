@@ -18,7 +18,11 @@
 // variability of Fig. 20.
 package wicsum
 
-import "sort"
+import (
+	"sort"
+
+	"vrex/internal/parallel"
+)
 
 // RowSelection is the outcome of thresholding one score row.
 type RowSelection struct {
@@ -92,6 +96,11 @@ type Selector struct {
 	// Buckets is the bucket count for the early-exit sorter (hardware uses a
 	// fixed small number; <= 0 disables early-exit and falls back to exact).
 	Buckets int
+	// Workers shards row thresholding across goroutines (the software
+	// analogue of the WTU's per-head parallelism): 0 uses GOMAXPROCS, 1 is
+	// sequential. The selection is identical for any worker count — rows are
+	// independent and the union is merged in row order.
+	Workers int
 }
 
 // MatrixSelection aggregates row selections over a score matrix.
@@ -109,17 +118,25 @@ type MatrixSelection struct {
 // SelectMatrix thresholds every row of the masses matrix (rows x clusters)
 // and aggregates. counts must have length == number of columns.
 func (s Selector) SelectMatrix(masses [][]float32, counts []int) MatrixSelection {
-	out := MatrixSelection{}
+	// Fan out: rows are thresholded independently, results land in row order.
+	// Small matrices stay on the caller's goroutine.
+	workers := s.Workers
+	if len(masses) < 4 {
+		workers = 1
+	}
+	rows := parallel.Map(workers, len(masses), func(i int) RowSelection {
+		if s.Buckets > 0 {
+			return SelectRowEarlyExit(masses[i], counts, s.Ratio, s.Buckets)
+		}
+		return SelectRow(masses[i], counts, s.Ratio)
+	})
+
+	// Fan in: aggregate in row order, so the union and the examined-fraction
+	// accumulation are byte-identical to the sequential loop.
+	out := MatrixSelection{Rows: rows}
 	inUnion := make(map[int]bool)
 	var examined, width float64
-	for _, row := range masses {
-		var rs RowSelection
-		if s.Buckets > 0 {
-			rs = SelectRowEarlyExit(row, counts, s.Ratio, s.Buckets)
-		} else {
-			rs = SelectRow(row, counts, s.Ratio)
-		}
-		out.Rows = append(out.Rows, rs)
+	for i, rs := range rows {
 		for _, j := range rs.Selected {
 			if !inUnion[j] {
 				inUnion[j] = true
@@ -127,7 +144,7 @@ func (s Selector) SelectMatrix(masses [][]float32, counts []int) MatrixSelection
 			}
 		}
 		examined += float64(rs.Examined)
-		width += float64(len(row))
+		width += float64(len(masses[i]))
 	}
 	sort.Ints(out.Union)
 	if width > 0 {
