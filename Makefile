@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test test-race bench bench-smoke fmt fmt-check vet ci
+.PHONY: build test test-race bench bench-smoke bench-json examples fmt fmt-check vet ci
 
 build:
 	$(GO) build ./...
@@ -22,6 +22,19 @@ bench:
 bench-smoke:
 	$(GO) test -run xxx -bench=. -benchtime=1x -short ./...
 
+# Machine-readable bench artifact (Quick workloads): one JSON object per
+# table, uploaded by the bench-smoke CI job.
+bench-json:
+	$(GO) run ./cmd/vrex-bench -exp all -quick -format json > bench-smoke.json
+
+# Build and run every example binary as a smoke test.
+examples:
+	$(GO) build ./examples/...
+	@for d in examples/*/; do \
+		echo "== $$d"; \
+		$(GO) run ./$$d > /dev/null || exit 1; \
+	done
+
 fmt:
 	gofmt -w .
 
@@ -34,5 +47,6 @@ fmt-check:
 vet:
 	$(GO) vet ./...
 
-# Same steps as the workflow: build, vet, gofmt, race tests, bench smoke.
-ci: build vet fmt-check test-race bench-smoke
+# Same steps as the workflow: build, vet, gofmt, race tests, examples,
+# bench smoke + JSON artifact.
+ci: build vet fmt-check test-race examples bench-smoke bench-json

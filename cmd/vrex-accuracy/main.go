@@ -2,10 +2,13 @@
 // functional plane: the planted-saliency QA proxy over COIN-like sessions,
 // for any subset of the retrieval policies.
 //
-// Usage:
+// Policies come from the retrieval registry and accept spec-string
+// parameters, so baselines can be re-budgeted from the command line:
 //
 //	vrex-accuracy -sessions 10
 //	vrex-accuracy -policy resv -task Next -sessions 20
+//	vrex-accuracy -policy 'rekv(frame=0.58,text=0.31)'
+//	vrex-accuracy -list-policies
 package main
 
 import (
@@ -15,7 +18,6 @@ import (
 	"strings"
 
 	"vrex/internal/accuracy"
-	"vrex/internal/core"
 	"vrex/internal/model"
 	"vrex/internal/report"
 	"vrex/internal/retrieval"
@@ -24,10 +26,18 @@ import (
 
 func main() {
 	sessions := flag.Int("sessions", 10, "sessions per task family")
-	policy := flag.String("policy", "all", "all | dense | infinigen | infinigenp | rekv | resv | resv-nocluster")
+	policy := flag.String("policy", "all", "'all' or a policy spec (see -list-policies)")
 	task := flag.String("task", "all", "all | Step | Next | Proc. | Proc.+ | Task")
 	seed := flag.Uint64("seed", 7, "random seed")
+	list := flag.Bool("list-policies", false, "list registered policy names and exit")
 	flag.Parse()
+
+	if *list {
+		for _, n := range retrieval.Names() {
+			fmt.Println(n)
+		}
+		return
+	}
 
 	mcfg := model.DefaultConfig()
 	mcfg.Seed = *seed
@@ -35,28 +45,25 @@ func main() {
 	wcfg.Seed = *seed
 	ev := accuracy.NewEvaluator(mcfg, wcfg, *sessions)
 
-	factories := map[string]accuracy.PolicyFactory{
-		"dense":      func() model.Retriever { return retrieval.NewDense() },
-		"infinigen":  func() model.Retriever { return retrieval.NewInfiniGen(mcfg, 0.068) },
-		"infinigenp": func() model.Retriever { return retrieval.NewInfiniGenP(mcfg, 0.5, 0.068) },
-		"rekv": func() model.Retriever {
-			return retrieval.NewReKV(mcfg, wcfg.Stream.TokensPerFrame, 0.584, 0.312)
-		},
-		"resv": func() model.Retriever { return core.New(mcfg, core.DefaultConfig()) },
-		"resv-nocluster": func() model.Retriever {
-			c := core.DefaultConfig()
-			c.DisableClustering = true
-			return core.New(mcfg, c)
-		},
-	}
-	order := []string{"dense", "infinigen", "infinigenp", "rekv", "resv"}
+	specs := []string{"dense", "infinigen", "infinigenp", "rekv", "resv"}
 	if *policy != "all" {
-		name := strings.ToLower(*policy)
-		if _, ok := factories[name]; !ok {
-			fmt.Fprintf(os.Stderr, "unknown policy %q\n", *policy)
+		specs = []string{*policy}
+	}
+	// Resolve every spec up front so a typo fails before any evaluation runs.
+	factories := make([]accuracy.PolicyFactory, len(specs))
+	for i, spec := range specs {
+		spec := spec
+		if _, err := retrieval.FromSpec(spec, mcfg); err != nil {
+			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		order = []string{name}
+		factories[i] = func() model.Retriever {
+			p, err := retrieval.FromSpec(spec, mcfg)
+			if err != nil {
+				panic(err) // validated above
+			}
+			return p
+		}
 	}
 
 	tasks := workload.Tasks()
@@ -68,7 +75,7 @@ func main() {
 			}
 		}
 		if len(sel) == 0 {
-			fmt.Fprintf(os.Stderr, "unknown task %q\n", *task)
+			fmt.Fprintf(os.Stderr, "unknown task %q (known: all, Step, Next, Proc., Proc.+, Task)\n", *task)
 			os.Exit(1)
 		}
 		tasks = sel
@@ -76,10 +83,10 @@ func main() {
 
 	t := report.NewTable("Accuracy and retrieval ratios (planted-saliency proxy)",
 		"policy", "task", "accuracy_pct", "frame_ratio_pct", "text_ratio_pct", "queries")
-	for _, name := range order {
+	for i, spec := range specs {
 		for _, tk := range tasks {
-			r := ev.EvaluateTask(tk, factories[name])
-			t.AddRow(name, tk.String(), 100*r.Accuracy, 100*r.FrameRatio, 100*r.TextRatio, r.Queries)
+			r := ev.EvaluateTask(tk, factories[i])
+			t.AddRow(spec, tk.String(), 100*r.Accuracy, 100*r.FrameRatio, 100*r.TextRatio, r.Queries)
 		}
 	}
 	t.Render(os.Stdout)

@@ -6,13 +6,16 @@
 //	vrex-bench -exp all            # everything, dispatched across workers
 //	vrex-bench -exp all -parallel 1  # fully sequential (identical output)
 //	vrex-bench -exp tab2 -sessions 20 -seed 3
+//	vrex-bench -exp fleet -format json   # machine-readable artifact
 //	vrex-bench -list               # show experiment IDs
 //
 // Each experiment prints the rows/series of the corresponding paper artifact
-// (see DESIGN.md's per-experiment index and EXPERIMENTS.md for
-// paper-vs-measured values). Output is byte-identical for every -parallel
-// value: experiments render into private buffers that are emitted in stable
-// order, and all kernel-level sharding is deterministic.
+// (see EXPERIMENTS.md for the experiment index and regeneration commands).
+// Output is byte-identical for every -parallel value: experiments render
+// into private buffers that are emitted in stable order, and all
+// kernel-level sharding is deterministic. -format json emits one JSON
+// object per table (newline-delimited), the shape CI uploads as its
+// bench-smoke artifact.
 package main
 
 import (
@@ -31,7 +34,7 @@ func main() {
 	sessions := flag.Int("sessions", 10, "sessions per task for accuracy experiments")
 	seed := flag.Uint64("seed", 7, "random seed")
 	quick := flag.Bool("quick", false, "shrink functional workloads (smoke mode)")
-	format := flag.String("format", "text", "output format: text | csv | md")
+	format := flag.String("format", "text", "output format: text | csv | md | json")
 	par := flag.Int("parallel", runtime.GOMAXPROCS(0), "worker count (1 = sequential)")
 	list := flag.Bool("list", false, "list experiment IDs and exit")
 	flag.Parse()
@@ -42,13 +45,18 @@ func main() {
 		}
 		return
 	}
+	f, err := report.ParseFormat(*format)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 	tensor.SetWorkers(*par) // matmul kernels sit below Options threading
 	opts := experiments.Options{Sessions: *sessions, Seed: *seed, Quick: *quick, Parallel: *par}
 	ids := []string{*exp}
 	if *exp == "all" {
 		ids = experiments.IDs()
 	}
-	if err := experiments.RunMany(ids, opts, os.Stdout, report.Format(*format)); err != nil {
+	if err := experiments.RunMany(ids, opts, os.Stdout, f); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}

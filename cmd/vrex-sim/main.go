@@ -1,16 +1,27 @@
-// Command vrex-sim runs the standalone hardware simulator for one or more
-// device/policy/workload points and prints the latency breakdown, energy and
-// throughput.
+// Command vrex-sim runs the standalone hardware simulator — either a
+// single-device workload-point study or, with the Scenario flags, a
+// multi-device serving simulation over a heterogeneous stream mix.
 //
-// Usage:
+// Point mode (default):
 //
 //	vrex-sim -device vrex8 -policy resv -kv 40000 -batch 1 -tokens 10
 //	vrex-sim -device agx -policy flexgen -kv 20000 -tpot
+//	vrex-sim -policy 'rekv(frame=0.58,text=0.31)' -kv 40000
 //	vrex-sim -kv 10000,20000,40000,80000 -parallel 4   # sweep, ordered output
 //
-// -kv accepts a comma-separated list; the points are simulated across
-// -parallel workers (default GOMAXPROCS, 1 = sequential) and printed in
-// argument order, so the output is identical for any worker count.
+// Serving mode (enabled by any of -mix, -devices, -balancer, -streams,
+// -duration, -drop, -churn-arrivals, -churn-life, -seed):
+//
+//	vrex-sim -policy 'rekv(frame=0.58,text=0.31)' -devices 4 \
+//	    -balancer least-loaded -mix '2fps:0.7,4fps:0.3'
+//	vrex-sim -devices 2 -mix 2fps -streams 8 -churn-arrivals 0.5 -churn-life 30
+//
+// Policies come from the hwsim registry and accept parameter overrides in
+// the spec string; -list-policies prints every registered policy, balancer
+// and stream class name. -kv accepts a comma-separated list; the points are
+// simulated across -parallel workers (default GOMAXPROCS, 1 = sequential)
+// and printed in argument order, so the output is identical for any worker
+// count.
 package main
 
 import (
@@ -23,6 +34,8 @@ import (
 
 	"vrex/internal/hwsim"
 	"vrex/internal/parallel"
+	"vrex/internal/report"
+	"vrex/internal/serve"
 )
 
 func deviceByName(name string) (hwsim.DeviceSpec, bool) {
@@ -37,28 +50,6 @@ func deviceByName(name string) (hwsim.DeviceSpec, bool) {
 		return hwsim.VRex48(), true
 	}
 	return hwsim.DeviceSpec{}, false
-}
-
-func policyByName(name string) (hwsim.PolicyModel, bool) {
-	switch strings.ToLower(name) {
-	case "flexgen":
-		return hwsim.FlexGenModel(), true
-	case "infinigen":
-		return hwsim.InfiniGenModel(), true
-	case "infinigenp":
-		return hwsim.InfiniGenPModel(), true
-	case "rekv":
-		return hwsim.ReKVModel(), true
-	case "resv":
-		return hwsim.ReSVModel(), true
-	case "resv-gpu", "resvongpu":
-		return hwsim.ReSVOnGPUModel(), true
-	case "dense":
-		return hwsim.DenseModel(), true
-	case "oaken":
-		return hwsim.OakenModel(), true
-	}
-	return hwsim.PolicyModel{}, false
 }
 
 // parseKVList parses the -kv flag: one length or a comma-separated sweep.
@@ -100,35 +91,145 @@ func renderPoint(dev hwsim.DeviceSpec, pol hwsim.PolicyModel, kv, batch, tokens 
 	return sb.String()
 }
 
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
+}
+
+func listPolicies() {
+	fmt.Println("policies (hwsim registry; parameters: frame, text, segment, cluster, reuse, quantbits):")
+	for _, n := range hwsim.PolicyModelNames() {
+		fmt.Printf("  %s\n", n)
+	}
+	fmt.Println("balancers (-balancer):")
+	for _, n := range serve.BalancerNames() {
+		fmt.Printf("  %s\n", n)
+	}
+	fmt.Println("stream classes (-mix class:weight,...):")
+	for _, n := range serve.ClassNames() {
+		fmt.Printf("  %s\n", n)
+	}
+}
+
 func main() {
 	device := flag.String("device", "vrex8", "agx | a100 | vrex8 | vrex48")
-	policy := flag.String("policy", "resv", "flexgen | infinigen | infinigenp | rekv | resv | resv-gpu | dense | oaken")
-	kv := flag.String("kv", "40000", "KV cache sequence length, or comma-separated sweep")
-	batch := flag.Int("batch", 1, "batch size")
-	tokens := flag.Int("tokens", 10, "new tokens per frame")
-	tpot := flag.Bool("tpot", false, "simulate one generated token instead of a frame")
-	par := flag.Int("parallel", runtime.GOMAXPROCS(0), "worker count for KV sweeps (1 = sequential)")
+	policy := flag.String("policy", "resv", "policy spec, e.g. resv or 'rekv(frame=0.58,text=0.31)' (see -list-policies)")
+	kv := flag.String("kv", "40000", "KV cache sequence length, or comma-separated sweep (point mode)")
+	batch := flag.Int("batch", 1, "batch size (point mode)")
+	tokens := flag.Int("tokens", 10, "new tokens per frame (point mode)")
+	tpot := flag.Bool("tpot", false, "simulate one generated token instead of a frame (point mode)")
+	par := flag.Int("parallel", runtime.GOMAXPROCS(0), "worker count (1 = sequential)")
+	mix := flag.String("mix", "2fps", "serving: weighted stream mix, e.g. '2fps:0.7,4fps:0.3'")
+	devices := flag.Int("devices", 1, "serving: fleet size")
+	balancer := flag.String("balancer", "round-robin", "serving: session balancer (see -list-policies)")
+	streams := flag.Int("streams", 8, "serving: sessions active at t=0")
+	duration := flag.Float64("duration", 20, "serving: simulated seconds")
+	drop := flag.Float64("drop", 4, "serving: drop frames queued longer than this many frame intervals (0 disables)")
+	churnArrivals := flag.Float64("churn-arrivals", 0, "serving: mean session arrivals per second (0 disables churn)")
+	churnLife := flag.Float64("churn-life", 0, "serving: mean session lifetime seconds (0 = whole run)")
+	seed := flag.Uint64("seed", 1, "serving: arrival jitter seed")
+	list := flag.Bool("list-policies", false, "list registered policies, balancers and stream classes, then exit")
 	flag.Parse()
+
+	if *list {
+		listPolicies()
+		return
+	}
+	if args := flag.Args(); len(args) > 0 {
+		fail("unexpected arguments %q: vrex-sim takes only flags", args)
+	}
+
+	set := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	servingFlags := []string{"mix", "devices", "balancer", "streams", "duration", "drop", "churn-arrivals", "churn-life", "seed"}
+	pointFlags := []string{"kv", "batch", "tokens", "tpot"}
+	serving := false
+	for _, f := range servingFlags {
+		if set[f] {
+			serving = true
+		}
+	}
+	if serving {
+		for _, f := range pointFlags {
+			if set[f] {
+				fail("-%s applies to point mode, but serving flags (-mix/-devices/-balancer/...) were given;\ndrop -%s, or remove the serving flags to run a workload point", f, f)
+			}
+		}
+	}
 
 	dev, ok := deviceByName(*device)
 	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown device %q\n", *device)
-		os.Exit(1)
+		fail("unknown device %q (known: agx, a100, vrex8, vrex48)", *device)
 	}
-	pol, ok := policyByName(*policy)
-	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown policy %q\n", *policy)
-		os.Exit(1)
-	}
-	kvs, err := parseKVList(*kv)
+	pol, err := hwsim.ParsePolicy(*policy)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fail("%v\nrun 'vrex-sim -list-policies' for registered policies", err)
 	}
-	reports := parallel.Map(*par, len(kvs), func(i int) string {
-		return renderPoint(dev, pol, kvs[i], *batch, *tokens, *tpot)
-	})
-	for _, r := range reports {
-		fmt.Print(r)
+
+	if !serving {
+		kvs, err := parseKVList(*kv)
+		if err != nil {
+			fail("%v\n-kv takes one KV length or a comma-separated sweep, e.g. -kv 10000,20000", err)
+		}
+		reports := parallel.Map(*par, len(kvs), func(i int) string {
+			return renderPoint(dev, pol, kvs[i], *batch, *tokens, *tpot)
+		})
+		for _, r := range reports {
+			fmt.Print(r)
+		}
+		return
 	}
+
+	classes, err := serve.ParseMix(*mix)
+	if err != nil {
+		fail("%v\nrun 'vrex-sim -list-policies' for stream class names", err)
+	}
+	bal, err := serve.NewBalancer(*balancer)
+	if err != nil {
+		fail("%v", err)
+	}
+	switch {
+	case *devices < 1:
+		fail("-devices must be >= 1, got %d", *devices)
+	case *duration <= 0:
+		fail("-duration must be positive, got %v", *duration)
+	case *streams < 0 || (*streams == 0 && *churnArrivals <= 0):
+		fail("need sessions to serve: set -streams >= 1 or -churn-arrivals > 0")
+	case *churnArrivals < 0 || *churnLife < 0:
+		fail("-churn-arrivals and -churn-life must be non-negative")
+	case *drop < 0:
+		fail("-drop must be non-negative (0 disables dropping)")
+	}
+
+	cfg := serve.Config{
+		Dev: dev, Pol: pol,
+		Streams: *streams, Duration: *duration,
+		Classes: classes, Devices: *devices, Balancer: bal,
+		Churn:         serve.ChurnConfig{ArrivalRate: *churnArrivals, MeanLifetime: *churnLife},
+		DropThreshold: *drop, Seed: *seed, Workers: *par,
+	}
+	res := serve.Run(cfg)
+
+	verdict := "real-time"
+	if !res.RealTime {
+		verdict = "NOT real-time"
+	}
+	fmt.Printf("%s + %s | %d device(s), %s balancer | %d sessions over %gs | %s, fleet utilization %.0f%%\n\n",
+		dev.Name, pol.Name, *devices, bal.Name(), len(res.PerStream), *duration, verdict, 100*res.Utilization)
+
+	classTab := report.NewTable("serving: per-class metrics",
+		"class", "sessions", "arrived", "served", "dropped", "queries", "fps_per_stream", "p50_ms", "p99_ms", "realtime_sessions")
+	for _, cm := range append(res.PerClass, res.Aggregate) {
+		classTab.AddRow(cm.Class, cm.Sessions, cm.FramesArrived, cm.FramesServed,
+			cm.FramesDropped, cm.QueriesServed, cm.MeanFPS, 1000*cm.P50, 1000*cm.P99, cm.RealTimeSessions)
+	}
+	classTab.Render(os.Stdout)
+	fmt.Println()
+
+	devTab := report.NewTable("serving: per-device metrics",
+		"device", "sessions", "frames", "queries", "util_pct")
+	for d, dm := range res.PerDevice {
+		devTab.AddRow(d, dm.Sessions, dm.FramesServed, dm.QueriesServed, 100*dm.Utilization)
+	}
+	devTab.Render(os.Stdout)
 }

@@ -71,7 +71,8 @@ func mark(ok bool) string {
 	return "WRONG"
 }
 
-// answer reads the attended-scene argmax (the QA proxy of DESIGN.md).
+// answer reads the attended-scene argmax (the planted-saliency QA proxy of
+// internal/accuracy).
 func answer(mass []float64, sess *workload.Session, frameTokens int) int {
 	nScenes := sess.SceneOf[len(sess.SceneOf)-1] + 1
 	perScene := make([]float64, nScenes)

@@ -1,5 +1,5 @@
 // Package accuracy evaluates retrieval policies on the planted-saliency QA
-// proxy (DESIGN.md's substitution for COIN top-1 accuracy): a query is
+// proxy (this repo's substitution for COIN top-1 accuracy): a query is
 // answered by the scene whose tokens receive the most attention mass from
 // the question forward pass. A retrieval policy that drops the evidence
 // tokens — during frame prefill (degrading the KV entries themselves) or

@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"fmt"
+
+	"vrex/internal/hwsim"
+	"vrex/internal/report"
+	"vrex/internal/serve"
+)
+
+// FleetServing extends the scale study to the Scenario API: a fleet of
+// V-Rex48 devices serves a heterogeneous stream mix under open-loop session
+// churn, swept across fleet sizes and balancing policies. It quantifies how
+// the paper's single-device serving advantage composes into a multi-device
+// deployment — capacity should scale near-linearly with fleet size when the
+// balancer keeps per-device load even, and per-class latency shows whether a
+// mix component is starved.
+func FleetServing(opts Options) []*report.Table {
+	duration := 20.0
+	perDevLimit := 32
+	if opts.Quick {
+		duration = 8
+		perDevLimit = 12
+	}
+	mixes := []struct {
+		name string
+		spec string
+	}{
+		{"uniform 2fps", "2fps:1"},
+		{"2fps:0.7 + 4fps:0.3", "2fps:0.7,4fps:0.3"},
+	}
+	fleets := []int{1, 2, 4}
+	balancers := serve.BalancerNames()
+
+	mk := func(mixSpec string, devices int, bal serve.Balancer) serve.Config {
+		classes, err := serve.ParseMix(mixSpec)
+		if err != nil {
+			panic(fmt.Sprintf("experiments: fleet mix %q: %v", mixSpec, err))
+		}
+		// Query-free mid-session streams, as in the scale study's capacity
+		// measurement, but deeper into the session (40K KV) so per-device
+		// capacity is low enough for balancer differences to show.
+		for i := range classes {
+			classes[i].Stream.QueryEvery = 0
+			classes[i].Stream.StartKV = 40000
+		}
+		return serve.Config{
+			Dev: hwsim.VRex48(), Pol: hwsim.ReSVModel(),
+			Streams: 1, Duration: duration, Classes: classes,
+			Devices: devices, Balancer: bal,
+			DropThreshold: 4, Seed: opts.Seed, Workers: opts.Parallel,
+		}
+	}
+
+	// Capacity sweep: max real-time streams per (mix, balancer, fleet size).
+	capTab := report.NewTable("Fleet: max concurrent real-time streams (V-Rex48 + ReSV, 40K KV)",
+		"mix", "balancer", "dev1", "dev2", "dev4")
+	for _, mix := range mixes {
+		for _, balName := range balancers {
+			row := []any{mix.name, balName}
+			for _, n := range fleets {
+				bal, err := serve.NewBalancer(balName)
+				if err != nil {
+					panic(err)
+				}
+				row = append(row, serve.MaxRealTimeStreams(mk(mix.spec, n, bal), n*perDevLimit))
+			}
+			capTab.AddRow(row...)
+		}
+	}
+
+	// Operating-point detail: per-class and aggregate quality on a 4-device
+	// fleet under session churn, per balancer.
+	streams := 12
+	churn := serve.ChurnConfig{ArrivalRate: 0.4, MeanLifetime: duration / 2}
+	if opts.Quick {
+		streams = 6
+	}
+	qual := report.NewTable(
+		fmt.Sprintf("Fleet: per-class quality, 4 devices, %d initial streams + churn", streams),
+		"balancer", "class", "sessions", "fps_per_stream", "p50_ms", "p99_ms", "dropped_pct", "realtime_sessions")
+	for _, balName := range balancers {
+		bal, err := serve.NewBalancer(balName)
+		if err != nil {
+			panic(err)
+		}
+		cfg := mk(mixes[1].spec, 4, bal)
+		cfg.Streams = streams
+		cfg.Churn = churn
+		res := serve.Run(cfg)
+		for _, cm := range append(res.PerClass, res.Aggregate) {
+			qual.AddRow(balName, cm.Class, cm.Sessions, cm.MeanFPS,
+				1000*cm.P50, 1000*cm.P99, 100*cm.DropRate, cm.RealTimeSessions)
+		}
+	}
+	return []*report.Table{capTab, qual}
+}

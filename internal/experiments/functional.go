@@ -119,8 +119,8 @@ func Table2Accuracy(opts Options) []*report.Table {
 		"method", "Step", "Next", "Proc.+", "Task", "Proc.", "Avg")
 	for _, pol := range table2Policies(mcfg, wcfg.Stream.TokensPerFrame, opts.resvConfig()) {
 		rs := ev.EvaluateAll(pol.Factory)
-		accRow := []interface{}{pol.Name}
-		ratRow := []interface{}{pol.Name}
+		accRow := []any{pol.Name}
+		ratRow := []any{pol.Name}
 		var fr, tx float64
 		for _, r := range rs {
 			accRow = append(accRow, 100*r.Accuracy)

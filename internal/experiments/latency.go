@@ -71,10 +71,10 @@ func Fig13LatencyEnergy(Options) []*report.Table {
 			"system", "kv1K", "kv5K", "kv10K", "kv20K", "kv40K")
 		for _, sys := range tr.systems {
 			name := sys.Dev.Name + "+" + sys.Pol.Name
-			rowLat := []interface{}{name}
-			rowLatB := []interface{}{name}
-			rowTpot := []interface{}{name}
-			rowEff := []interface{}{name}
+			rowLat := []any{name}
+			rowLatB := []any{name}
+			rowTpot := []any{name}
+			rowEff := []any{name}
 			for _, kv := range kvSweep {
 				sim := hwsim.NewSim(sys.Dev, llm, sys.Pol)
 				f1 := sim.FrameLatency(10, kv, 1)
@@ -93,7 +93,7 @@ func Fig13LatencyEnergy(Options) []*report.Table {
 		// Speedup summary row: baseline (FlexGen) over the V-Rex system.
 		base := tr.systems[0]
 		vrex := tr.systems[len(tr.systems)-1]
-		spd := []interface{}{"speedup FlexGen/V-Rex"}
+		spd := []any{"speedup FlexGen/V-Rex"}
 		for _, kv := range kvSweep {
 			b := hwsim.NewSim(base.Dev, llm, base.Pol).FrameLatency(10, kv, 1)
 			v := hwsim.NewSim(vrex.Dev, llm, vrex.Pol).FrameLatency(10, kv, 1)
@@ -143,7 +143,7 @@ func Fig15Throughput(Options) []*report.Table {
 		{hwsim.AGXOrin(), hwsim.OakenModel()},
 		{hwsim.VRex8(), hwsim.ReSVModel()},
 	} {
-		row := []interface{}{s.dev.Name + "+" + s.pol.Name}
+		row := []any{s.dev.Name + "+" + s.pol.Name}
 		for _, kv := range kvSweep {
 			b := hwsim.NewSim(s.dev, llm, s.pol).FrameLatency(10, kv, 16)
 			if b.OOM {

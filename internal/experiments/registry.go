@@ -90,12 +90,14 @@ var registry = map[string]Runner{
 	"tab2":  Table2Accuracy,
 	"tab3":  Table3AreaPower,
 	// Extensions beyond the paper's artifacts: hyperparameter ablation
-	// benches (DESIGN.md) and the serving-scale study.
+	// benches, the serving-scale study, and the fleet × balancer × mix
+	// sweep built on the Scenario API (see EXPERIMENTS.md).
 	"multiturn":    MultiTurnCoherence,
 	"sweep-thwics": SweepThWics,
 	"sweep-thhd":   SweepThHD,
 	"sweep-nhp":    SweepNHp,
 	"scale":        ScaleServing,
+	"fleet":        FleetServing,
 }
 
 // IDs returns the registered experiment IDs, sorted.

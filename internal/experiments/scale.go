@@ -47,7 +47,7 @@ func ScaleServing(opts Options) []*report.Table {
 		"system", "kv5K", "kv20K")
 	for _, group := range [][]sys{edge, server} {
 		for _, s := range group {
-			row := []interface{}{s.dev.Name + "+" + s.pol.Name}
+			row := []any{s.dev.Name + "+" + s.pol.Name}
 			for _, kv := range []int{5000, 20000} {
 				row = append(row, serve.MaxRealTimeStreams(mk(s.dev, s.pol, kv), limit))
 			}

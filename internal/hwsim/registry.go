@@ -1,0 +1,84 @@
+package hwsim
+
+import (
+	"fmt"
+
+	"vrex/internal/named"
+	"vrex/internal/policyspec"
+)
+
+// PolicyModelFactory builds a policy model's default parameterization; spec
+// parameters are applied on top by ParsePolicy.
+type PolicyModelFactory func() PolicyModel
+
+// policyModels is the performance-plane policy registry: every PolicyModel
+// constructor registers under a canonical lower-case name (plus aliases), so
+// CLIs and experiments can select models declaratively from spec strings
+// like "rekv(frame=0.58,text=0.31)" instead of hard-coding constructors.
+var policyModels = named.New[PolicyModelFactory]("hwsim", "policy")
+
+// RegisterPolicyModel registers a factory under name (lower-cased); extra
+// names are aliases. Re-registering a name panics: registry names are part
+// of the CLI surface.
+func RegisterPolicyModel(name string, f PolicyModelFactory, aliases ...string) {
+	policyModels.Register(name, f, aliases...)
+}
+
+func init() {
+	RegisterPolicyModel("flexgen", FlexGenModel)
+	RegisterPolicyModel("infinigen", InfiniGenModel)
+	RegisterPolicyModel("infinigenp", InfiniGenPModel)
+	RegisterPolicyModel("rekv", ReKVModel)
+	RegisterPolicyModel("resv", ReSVModel)
+	RegisterPolicyModel("resv-gpu", ReSVOnGPUModel, "resvongpu", "resv-on-gpu")
+	RegisterPolicyModel("dense", DenseModel)
+	RegisterPolicyModel("oaken", OakenModel)
+}
+
+// PolicyModelNames returns the canonical registered names, sorted.
+func PolicyModelNames() []string { return policyModels.Names() }
+
+// policyParamKeys are the typed parameters every policy model accepts; each
+// overrides the corresponding PolicyModel field.
+var policyParamKeys = []string{"frame", "text", "segment", "cluster", "reuse", "quantbits"}
+
+// ParsePolicy builds a PolicyModel from a spec string: a registered name
+// with optional parameter overrides, e.g. "rekv(frame=0.58,text=0.31)".
+// Parameters: frame/text (retrieval ratios in [0,1]), segment (contiguous
+// fetch run length in tokens), cluster (tokens per predicted cluster), reuse
+// (resident-reuse fraction in [0,1]), quantbits (resident-KV precision).
+func ParsePolicy(spec string) (PolicyModel, error) {
+	sp, err := policyspec.Parse(spec)
+	if err != nil {
+		return PolicyModel{}, err
+	}
+	f, ok := policyModels.Lookup(sp.Name)
+	if !ok {
+		return PolicyModel{}, policyModels.Unknown(sp.Name)
+	}
+	m := f()
+	m.FrameRatio = sp.Float("frame", m.FrameRatio)
+	m.TextRatio = sp.Float("text", m.TextRatio)
+	m.SegmentTokens = sp.Float("segment", m.SegmentTokens)
+	m.ClusterCompression = sp.Float("cluster", m.ClusterCompression)
+	m.ResidentReuse = sp.Float("reuse", m.ResidentReuse)
+	m.KVQuantBits = sp.Int("quantbits", m.KVQuantBits)
+	if err := sp.CheckConsumed(policyParamKeys...); err != nil {
+		return PolicyModel{}, err
+	}
+	for _, r := range []struct {
+		key string
+		v   float64
+	}{{"frame", m.FrameRatio}, {"text", m.TextRatio}, {"reuse", m.ResidentReuse}} {
+		if r.v < 0 || r.v > 1 {
+			return PolicyModel{}, fmt.Errorf("hwsim: policy %q: %s=%v out of [0,1]", sp.Name, r.key, r.v)
+		}
+	}
+	if m.SegmentTokens < 1 || m.ClusterCompression < 1 {
+		return PolicyModel{}, fmt.Errorf("hwsim: policy %q: segment and cluster must be >= 1", sp.Name)
+	}
+	if m.KVQuantBits < 1 || m.KVQuantBits > 16 {
+		return PolicyModel{}, fmt.Errorf("hwsim: policy %q: quantbits=%d out of [1,16]", sp.Name, m.KVQuantBits)
+	}
+	return m, nil
+}

@@ -59,11 +59,11 @@ type Request struct {
 // channelHeap orders channels by next-free time.
 type channelHeap []float64
 
-func (h channelHeap) Len() int            { return len(h) }
-func (h channelHeap) Less(i, j int) bool  { return h[i] < h[j] }
-func (h channelHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *channelHeap) Push(x interface{}) { *h = append(*h, x.(float64)) }
-func (h *channelHeap) Pop() interface{} {
+func (h channelHeap) Len() int           { return len(h) }
+func (h channelHeap) Less(i, j int) bool { return h[i] < h[j] }
+func (h channelHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *channelHeap) Push(x any)        { *h = append(*h, x.(float64)) }
+func (h *channelHeap) Pop() any {
 	old := *h
 	n := len(old)
 	x := old[n-1]

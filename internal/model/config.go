@@ -6,7 +6,7 @@
 // newly appended KV entries and selects which past tokens attention may use.
 //
 // The functional plane runs at small dimensions with deterministic random
-// weights; per DESIGN.md, query/key projections are tied so attention scores
+// weights; query/key projections are tied so attention scores
 // track content similarity (the stand-in for trained attention), and rotary
 // embedding is applied to half the head dimensions (partial rotary) so
 // semantic matching survives long distances.

@@ -51,7 +51,7 @@ func New(cfg Config) *Model {
 		lw.w3.Randomize(rng, scale)
 		// Tied QK: wk reuses the leading KVDim columns of wq so attention
 		// scores track content similarity (substitution for trained
-		// attention; DESIGN.md).
+		// attention; see the package comment of internal/model/config.go).
 		lw.wk = tensor.NewMatrix(cfg.Dim, cfg.KVDim())
 		for i := 0; i < cfg.Dim; i++ {
 			copy(lw.wk.Row(i), lw.wq.Row(i)[:cfg.KVDim()])

@@ -1,0 +1,73 @@
+// Package named is the small name→value registry shared by the policy,
+// policy-model and balancer registries: lower-cased names, optional aliases,
+// panics on duplicate registration (registry names are CLI surface), and
+// sorted name listings with consistent unknown-name errors.
+package named
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Registry maps lower-cased names (and aliases) to values of type T.
+type Registry[T any] struct {
+	// pkg and kind label panics and errors, e.g. "hwsim" / "policy".
+	pkg, kind string
+	items     map[string]T
+	aliases   map[string]string
+}
+
+// New returns an empty registry; pkg and kind prefix its messages.
+func New[T any](pkg, kind string) *Registry[T] {
+	return &Registry[T]{pkg: pkg, kind: kind, items: map[string]T{}, aliases: map[string]string{}}
+}
+
+// Register adds v under name; extra names are aliases. Re-registering any
+// name or alias panics.
+func (r *Registry[T]) Register(name string, v T, aliases ...string) {
+	name = strings.ToLower(name)
+	if r.taken(name) {
+		panic(fmt.Sprintf("%s: %s %q registered twice", r.pkg, r.kind, name))
+	}
+	r.items[name] = v
+	for _, a := range aliases {
+		a = strings.ToLower(a)
+		if r.taken(a) {
+			panic(fmt.Sprintf("%s: %s alias %q registered twice", r.pkg, r.kind, a))
+		}
+		r.aliases[a] = name
+	}
+}
+
+func (r *Registry[T]) taken(name string) bool {
+	_, dup := r.items[name]
+	_, dupAlias := r.aliases[name]
+	return dup || dupAlias
+}
+
+// Lookup resolves a name or alias, case-insensitively.
+func (r *Registry[T]) Lookup(name string) (T, bool) {
+	name = strings.ToLower(strings.TrimSpace(name))
+	if canon, ok := r.aliases[name]; ok {
+		name = canon
+	}
+	v, ok := r.items[name]
+	return v, ok
+}
+
+// Names returns the canonical registered names (no aliases), sorted.
+func (r *Registry[T]) Names() []string {
+	names := make([]string, 0, len(r.items))
+	for n := range r.items {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Unknown builds the standard unknown-name error listing valid names.
+func (r *Registry[T]) Unknown(name string) error {
+	return fmt.Errorf("%s: unknown %s %q (known: %s)",
+		r.pkg, r.kind, name, strings.Join(r.Names(), ", "))
+}

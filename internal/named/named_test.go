@@ -1,0 +1,43 @@
+package named
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestRegisterLookupNames(t *testing.T) {
+	r := New[int]("pkg", "thing")
+	r.Register("Beta", 2)
+	r.Register("alpha", 1, "A", "first")
+	if got := r.Names(); !reflect.DeepEqual(got, []string{"alpha", "beta"}) {
+		t.Fatalf("Names() = %v", got)
+	}
+	for _, name := range []string{"alpha", "ALPHA", " a ", "first"} {
+		if v, ok := r.Lookup(name); !ok || v != 1 {
+			t.Fatalf("Lookup(%q) = %v, %v", name, v, ok)
+		}
+	}
+	if _, ok := r.Lookup("gamma"); ok {
+		t.Fatal("unknown name resolved")
+	}
+	err := r.Unknown("gamma")
+	if err == nil || !strings.Contains(err.Error(), `pkg: unknown thing "gamma" (known: alpha, beta)`) {
+		t.Fatalf("Unknown() = %v", err)
+	}
+}
+
+func TestDuplicatePanics(t *testing.T) {
+	r := New[int]("pkg", "thing")
+	r.Register("x", 1, "y")
+	for _, dup := range []string{"x", "y"} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("re-registering %q should panic", dup)
+				}
+			}()
+			r.Register(dup, 2)
+		}()
+	}
+}

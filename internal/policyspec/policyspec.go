@@ -1,0 +1,125 @@
+// Package policyspec parses the declarative policy spec strings shared by
+// the hwsim and retrieval registries: a lower-case policy name with optional
+// typed parameters, e.g.
+//
+//	resv
+//	rekv(frame=0.58,text=0.31)
+//	infinigen(text=0.068)
+//
+// Registries consume parameters by key; any key left unconsumed is a spec
+// error reported back to the caller, so typos in CLI flags fail loudly
+// instead of silently using defaults.
+package policyspec
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Spec is one parsed policy spec: a normalised name plus keyed numeric
+// parameters. Consume parameters with Float/Int and finish with Unused to
+// reject unknown keys.
+type Spec struct {
+	// Name is the policy name, lower-cased and trimmed.
+	Name string
+
+	params map[string]float64
+	used   map[string]bool
+}
+
+// Parse parses "name" or "name(k=v,k2=v2)". Names are case-insensitive;
+// whitespace around tokens is ignored; duplicate keys and malformed numbers
+// are errors.
+func Parse(s string) (*Spec, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, fmt.Errorf("policyspec: empty spec")
+	}
+	name := s
+	var arg string
+	if i := strings.IndexByte(s, '('); i >= 0 {
+		if !strings.HasSuffix(s, ")") {
+			return nil, fmt.Errorf("policyspec: %q: missing closing parenthesis", s)
+		}
+		name = s[:i]
+		arg = s[i+1 : len(s)-1]
+	}
+	name = strings.ToLower(strings.TrimSpace(name))
+	if name == "" || strings.ContainsAny(name, "()=,") {
+		return nil, fmt.Errorf("policyspec: %q: malformed policy name", s)
+	}
+	sp := &Spec{Name: name, params: map[string]float64{}, used: map[string]bool{}}
+	if strings.TrimSpace(arg) == "" {
+		// "name" and "name()" are equivalent.
+		return sp, nil
+	}
+	for _, kv := range strings.Split(arg, ",") {
+		k, v, ok := strings.Cut(kv, "=")
+		if !ok {
+			return nil, fmt.Errorf("policyspec: %q: parameter %q is not key=value", s, strings.TrimSpace(kv))
+		}
+		key := strings.ToLower(strings.TrimSpace(k))
+		if key == "" {
+			return nil, fmt.Errorf("policyspec: %q: empty parameter key", s)
+		}
+		if _, dup := sp.params[key]; dup {
+			return nil, fmt.Errorf("policyspec: %q: duplicate parameter %q", s, key)
+		}
+		f, err := strconv.ParseFloat(strings.TrimSpace(v), 64)
+		if err != nil {
+			return nil, fmt.Errorf("policyspec: %q: parameter %s: bad number %q", s, key, strings.TrimSpace(v))
+		}
+		sp.params[key] = f
+	}
+	return sp, nil
+}
+
+// Float consumes the parameter key, returning def when absent.
+func (s *Spec) Float(key string, def float64) float64 {
+	if v, ok := s.params[key]; ok {
+		s.used[key] = true
+		return v
+	}
+	return def
+}
+
+// Int consumes the parameter key as an integer (truncating), returning def
+// when absent.
+func (s *Spec) Int(key string, def int) int {
+	if v, ok := s.params[key]; ok {
+		s.used[key] = true
+		return int(v)
+	}
+	return def
+}
+
+// Has reports whether the key was given (without consuming it).
+func (s *Spec) Has(key string) bool {
+	_, ok := s.params[key]
+	return ok
+}
+
+// Unused returns the sorted parameter keys never consumed by Float/Int —
+// unknown parameters the registry should reject.
+func (s *Spec) Unused() []string {
+	var out []string
+	for k := range s.params {
+		if !s.used[k] {
+			out = append(out, k)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// CheckConsumed returns an error naming any unconsumed parameters, listing
+// the keys the policy does accept.
+func (s *Spec) CheckConsumed(known ...string) error {
+	if u := s.Unused(); len(u) > 0 {
+		return fmt.Errorf("policyspec: policy %q does not accept parameter(s) %s (known: %s)",
+			s.Name, strings.Join(u, ", "), strings.Join(known, ", "))
+	}
+	return nil
+}

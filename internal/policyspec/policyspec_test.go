@@ -1,0 +1,86 @@
+package policyspec
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestParseBareName(t *testing.T) {
+	sp, err := Parse("  ReSV ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.Name != "resv" {
+		t.Fatalf("name %q, want resv", sp.Name)
+	}
+	if got := sp.Float("frame", 0.5); got != 0.5 {
+		t.Fatalf("absent param must default: got %v", got)
+	}
+	if err := sp.CheckConsumed("frame"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseParams(t *testing.T) {
+	sp, err := Parse("rekv( frame = 0.58 , text=0.31, size=10 )")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.Float("frame", 0) != 0.58 || sp.Float("text", 0) != 0.31 {
+		t.Fatal("params not parsed")
+	}
+	if sp.Int("size", 0) != 10 {
+		t.Fatal("int param not parsed")
+	}
+	if err := sp.CheckConsumed("frame", "text", "size"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnusedReported(t *testing.T) {
+	sp, err := Parse("resv(typo=1,other=2)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sp.Unused(); !reflect.DeepEqual(got, []string{"other", "typo"}) {
+		t.Fatalf("unused %v", got)
+	}
+	if err := sp.CheckConsumed("frame", "text"); err == nil {
+		t.Fatal("unknown params must be rejected")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, bad := range []string{
+		"", "  ", "rekv(frame=0.5", "rekv(frame)", "rekv(=1)",
+		"rekv(frame=zero)", "rekv(frame=1,frame=2)",
+		"(frame=1)", "a=b",
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) should fail", bad)
+		}
+	}
+}
+
+func TestEmptyParamList(t *testing.T) {
+	for _, s := range []string{"rekv()", "rekv(  )"} {
+		sp, err := Parse(s)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", s, err)
+		}
+		if sp.Name != "rekv" || len(sp.Unused()) != 0 {
+			t.Fatalf("Parse(%q) = %+v", s, sp)
+		}
+	}
+}
+
+func TestHas(t *testing.T) {
+	sp, _ := Parse("x(a=1)")
+	if !sp.Has("a") || sp.Has("b") {
+		t.Fatal("Has wrong")
+	}
+	// Has must not consume.
+	if err := sp.CheckConsumed("a"); err == nil {
+		t.Fatal("Has must not mark the key consumed")
+	}
+}

@@ -1,0 +1,32 @@
+package report
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// jsonTable is the machine-readable wire form of a Table: cells carry the
+// same formatted strings as the text/CSV/Markdown renderers, so every format
+// agrees on values and the output stays byte-deterministic.
+type jsonTable struct {
+	Title   string     `json:"title"`
+	Headers []string   `json:"headers"`
+	Rows    [][]string `json:"rows"`
+}
+
+// RenderJSON writes the table as a single-line JSON object; a stream of
+// tables (vrex-bench -format json) is therefore newline-delimited JSON,
+// ready for jq or artifact ingestion.
+func (t *Table) RenderJSON(w io.Writer) {
+	rows := t.rows
+	if rows == nil {
+		rows = [][]string{}
+	}
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(jsonTable{Title: t.Title, Headers: t.Headers, Rows: rows}); err != nil {
+		// Tables hold only strings; encoding cannot fail short of a broken
+		// writer, which the text renderers ignore too.
+		fmt.Fprintf(w, "{}\n")
+	}
+}

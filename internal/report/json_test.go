@@ -1,0 +1,53 @@
+package report
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestRenderJSON(t *testing.T) {
+	tab := NewTable("demo", "a", "b")
+	tab.AddRow("x", 1.5)
+	tab.AddRow("y", 20000.0)
+	var sb strings.Builder
+	tab.RenderAs(&sb, FormatJSON)
+	out := sb.String()
+	if !strings.HasSuffix(out, "\n") || strings.Count(out, "\n") != 1 {
+		t.Fatalf("want exactly one line, got %q", out)
+	}
+	var got struct {
+		Title   string     `json:"title"`
+		Headers []string   `json:"headers"`
+		Rows    [][]string `json:"rows"`
+	}
+	if err := json.Unmarshal([]byte(out), &got); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if got.Title != "demo" || len(got.Headers) != 2 || len(got.Rows) != 2 {
+		t.Fatalf("round-trip mismatch: %+v", got)
+	}
+	// Cells must match the shared cell formatter used by text/CSV.
+	if got.Rows[0][1] != "1.500" || got.Rows[1][1] != "20000" {
+		t.Fatalf("cell formatting diverged: %+v", got.Rows)
+	}
+}
+
+func TestRenderJSONEmptyTable(t *testing.T) {
+	var sb strings.Builder
+	NewTable("empty", "h").RenderJSON(&sb)
+	if strings.Contains(sb.String(), "null") {
+		t.Fatalf("empty rows must encode as [], got %q", sb.String())
+	}
+}
+
+func TestParseFormat(t *testing.T) {
+	for _, ok := range []string{"text", "csv", "md", "json"} {
+		if _, err := ParseFormat(ok); err != nil {
+			t.Errorf("ParseFormat(%q): %v", ok, err)
+		}
+	}
+	if _, err := ParseFormat("xml"); err == nil {
+		t.Error("ParseFormat(xml) should fail")
+	}
+}

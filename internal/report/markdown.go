@@ -33,7 +33,18 @@ const (
 	FormatCSV Format = "csv"
 	// FormatMarkdown is a GitHub-flavoured Markdown table.
 	FormatMarkdown Format = "md"
+	// FormatJSON is one JSON object per table (newline-delimited).
+	FormatJSON Format = "json"
 )
+
+// ParseFormat validates a format name (e.g. a CLI flag value).
+func ParseFormat(s string) (Format, error) {
+	switch f := Format(s); f {
+	case FormatText, FormatCSV, FormatMarkdown, FormatJSON:
+		return f, nil
+	}
+	return "", fmt.Errorf("report: unknown format %q (known: text, csv, md, json)", s)
+}
 
 // RenderAs dispatches to the named format; unknown formats fall back to text.
 func (t *Table) RenderAs(w io.Writer, f Format) {
@@ -42,6 +53,8 @@ func (t *Table) RenderAs(w io.Writer, f Format) {
 		t.RenderCSV(w)
 	case FormatMarkdown:
 		t.RenderMarkdown(w)
+	case FormatJSON:
+		t.RenderJSON(w)
 	default:
 		t.Render(w)
 	}

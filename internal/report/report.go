@@ -22,7 +22,7 @@ func NewTable(title string, headers ...string) *Table {
 }
 
 // AddRow appends a row; values are formatted with %v.
-func (t *Table) AddRow(cells ...interface{}) {
+func (t *Table) AddRow(cells ...any) {
 	row := make([]string, len(cells))
 	for i, c := range cells {
 		switch v := c.(type) {

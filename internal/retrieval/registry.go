@@ -1,0 +1,128 @@
+package retrieval
+
+import (
+	"fmt"
+
+	"vrex/internal/core"
+	"vrex/internal/model"
+	"vrex/internal/named"
+	"vrex/internal/policyspec"
+)
+
+// Factory builds a functional-plane policy from a parsed spec. It must
+// consume every parameter it accepts via the Spec accessors and call
+// Spec.CheckConsumed so unknown parameters are rejected.
+type Factory func(cfg model.Config, sp *policyspec.Spec) (Policy, error)
+
+// registry is the functional policy registry: the baselines and core.ReSV
+// register here in init, so CLIs and experiments construct policies from
+// spec strings instead of hard-coding constructors.
+var registry = named.New[Factory]("retrieval", "policy")
+
+// Register adds a factory under name (lower-cased); duplicate names panic —
+// registry names are part of the CLI surface.
+func Register(name string, f Factory) { registry.Register(name, f) }
+
+// Names returns the registered policy names, sorted.
+func Names() []string { return registry.Names() }
+
+// FromSpec builds a policy from a spec string like
+// "rekv(frame=0.58,text=0.31)"; cfg is the model the policy will serve.
+func FromSpec(spec string, cfg model.Config) (Policy, error) {
+	sp, err := policyspec.Parse(spec)
+	if err != nil {
+		return nil, err
+	}
+	f, ok := registry.Lookup(sp.Name)
+	if !ok {
+		return nil, registry.Unknown(sp.Name)
+	}
+	return f(cfg, sp)
+}
+
+func ratioParam(sp *policyspec.Spec, key string, def float64) (float64, error) {
+	v := sp.Float(key, def)
+	if v <= 0 || v > 1 {
+		return 0, fmt.Errorf("retrieval: policy %q: %s=%v out of (0,1]", sp.Name, key, v)
+	}
+	return v, nil
+}
+
+func init() {
+	Register("dense", func(_ model.Config, sp *policyspec.Spec) (Policy, error) {
+		if err := sp.CheckConsumed(); err != nil {
+			return nil, err
+		}
+		return NewDense(), nil
+	})
+	Register("flexgen", func(_ model.Config, sp *policyspec.Spec) (Policy, error) {
+		if err := sp.CheckConsumed(); err != nil {
+			return nil, err
+		}
+		return NewFlexGen(), nil
+	})
+	Register("infinigen", func(cfg model.Config, sp *policyspec.Spec) (Policy, error) {
+		text, err := ratioParam(sp, "text", 0.068)
+		if err != nil {
+			return nil, err
+		}
+		if err := sp.CheckConsumed("text"); err != nil {
+			return nil, err
+		}
+		return NewInfiniGen(cfg, text), nil
+	})
+	Register("infinigenp", func(cfg model.Config, sp *policyspec.Spec) (Policy, error) {
+		frame, err := ratioParam(sp, "frame", 0.5)
+		if err != nil {
+			return nil, err
+		}
+		text, err := ratioParam(sp, "text", 0.068)
+		if err != nil {
+			return nil, err
+		}
+		if err := sp.CheckConsumed("frame", "text"); err != nil {
+			return nil, err
+		}
+		return NewInfiniGenP(cfg, frame, text), nil
+	})
+	Register("rekv", func(cfg model.Config, sp *policyspec.Spec) (Policy, error) {
+		frame, err := ratioParam(sp, "frame", 0.584)
+		if err != nil {
+			return nil, err
+		}
+		text, err := ratioParam(sp, "text", 0.312)
+		if err != nil {
+			return nil, err
+		}
+		size := sp.Int("framesize", 10)
+		if size <= 0 {
+			return nil, fmt.Errorf("retrieval: policy %q: framesize must be positive", sp.Name)
+		}
+		if err := sp.CheckConsumed("frame", "text", "framesize"); err != nil {
+			return nil, err
+		}
+		return NewReKV(cfg, size, frame, text), nil
+	})
+	Register("resv", resvFactory(false))
+	Register("resv-nocluster", resvFactory(true))
+}
+
+// resvFactory builds core.ReSV from a spec: nhp/thhd/thwics/recent override
+// the paper-default hyperparameters of core.DefaultConfig.
+func resvFactory(disableClustering bool) Factory {
+	return func(mcfg model.Config, sp *policyspec.Spec) (Policy, error) {
+		cfg := core.DefaultConfig()
+		cfg.DisableClustering = disableClustering
+		cfg.NHp = sp.Int("nhp", cfg.NHp)
+		cfg.ThHD = sp.Int("thhd", cfg.ThHD)
+		cfg.ThWics = sp.Float("thwics", cfg.ThWics)
+		cfg.RecentWindow = sp.Int("recent", cfg.RecentWindow)
+		if err := sp.CheckConsumed("nhp", "thhd", "thwics", "recent"); err != nil {
+			return nil, err
+		}
+		if err := cfg.Validate(); err != nil {
+			return nil, fmt.Errorf("retrieval: policy %q: %w", sp.Name, err)
+		}
+		return core.New(mcfg, cfg), nil
+	}
+}

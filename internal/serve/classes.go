@@ -1,0 +1,81 @@
+package serve
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// builtinClasses are the named stream shapes CLIs compose mixes from
+// ("-mix 2fps:0.7,4fps:0.3"). All derive from the paper's 2 FPS working
+// scenario; each varies one axis of the session shape.
+func builtinClasses() map[string]StreamConfig {
+	base := DefaultStreamConfig()
+	fps := func(f float64) StreamConfig { c := base; c.FPS = f; return c }
+	queryHeavy := base
+	queryHeavy.QueryEvery = 5
+	longCtx := base
+	longCtx.StartKV = 20000
+	quiet := base
+	quiet.QueryEvery = 0
+	return map[string]StreamConfig{
+		"1fps":        fps(1),
+		"2fps":        base,
+		"4fps":        fps(4),
+		"query-heavy": queryHeavy,
+		"longctx":     longCtx,
+		"quiet":       quiet,
+	}
+}
+
+// ClassNames returns the built-in stream class names, sorted.
+func ClassNames() []string {
+	m := builtinClasses()
+	names := make([]string, 0, len(m))
+	for n := range m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ClassByName resolves a built-in stream class shape.
+func ClassByName(name string) (StreamConfig, bool) {
+	c, ok := builtinClasses()[strings.ToLower(strings.TrimSpace(name))]
+	return c, ok
+}
+
+// ParseMix parses a weighted stream mix spec: comma-separated
+// "class:weight" terms ("2fps:0.7,4fps:0.3"); the weight defaults to 1 when
+// omitted ("2fps"). Class names resolve via ClassByName.
+func ParseMix(spec string) ([]StreamClass, error) {
+	var mix []StreamClass
+	seen := map[string]bool{}
+	for _, term := range strings.Split(spec, ",") {
+		name, weightStr, hasWeight := strings.Cut(term, ":")
+		name = strings.ToLower(strings.TrimSpace(name))
+		sc, ok := ClassByName(name)
+		if !ok {
+			return nil, fmt.Errorf("serve: unknown stream class %q in mix %q (known: %s)",
+				name, spec, strings.Join(ClassNames(), ", "))
+		}
+		if seen[name] {
+			return nil, fmt.Errorf("serve: stream class %q repeated in mix %q", name, spec)
+		}
+		seen[name] = true
+		weight := 1.0
+		if hasWeight {
+			w, err := strconv.ParseFloat(strings.TrimSpace(weightStr), 64)
+			if err != nil || w <= 0 {
+				return nil, fmt.Errorf("serve: mix %q: weight of %q must be a positive number", spec, name)
+			}
+			weight = w
+		}
+		mix = append(mix, StreamClass{Name: name, Weight: weight, Stream: sc})
+	}
+	if len(mix) == 0 {
+		return nil, fmt.Errorf("serve: empty mix spec")
+	}
+	return mix, nil
+}

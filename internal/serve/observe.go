@@ -1,0 +1,65 @@
+package serve
+
+// EventKind classifies an Observer callback.
+type EventKind int
+
+const (
+	// EventSessionStart: a session joined and was assigned a device.
+	EventSessionStart EventKind = iota
+	// EventSessionEnd: a session's presence window closed.
+	EventSessionEnd
+	// EventFrameServed: a video frame finished service.
+	EventFrameServed
+	// EventFrameDropped: a frame was dropped (backlog or OOM).
+	EventFrameDropped
+	// EventQueryServed: a query (prefill + full answer) finished service.
+	EventQueryServed
+)
+
+// String names the kind for logs and traces.
+func (k EventKind) String() string {
+	switch k {
+	case EventSessionStart:
+		return "session-start"
+	case EventSessionEnd:
+		return "session-end"
+	case EventFrameServed:
+		return "frame-served"
+	case EventFrameDropped:
+		return "frame-dropped"
+	case EventQueryServed:
+		return "query-served"
+	}
+	return "unknown"
+}
+
+// Event is one scheduling observation. Events are delivered from the
+// single-threaded device loop in deterministic global arrival order, for
+// every Workers setting.
+type Event struct {
+	Kind EventKind
+	// Time is the arrival time of the underlying event (not its completion).
+	Time    float64
+	Session int
+	// Class is the session's stream class name; Device its fleet member
+	// (-1 before assignment).
+	Class  string
+	Device int
+	// Latency is the completion latency (queueing + service) for
+	// EventFrameServed / EventQueryServed, 0 otherwise.
+	Latency float64
+	// KV is the session's KV length after the event.
+	KV int
+}
+
+// Observer receives scheduling events; wire one through Config.Observer to
+// collect custom metrics without touching the engine.
+type Observer interface {
+	Observe(Event)
+}
+
+// ObserverFunc adapts a function to the Observer interface.
+type ObserverFunc func(Event)
+
+// Observe implements Observer.
+func (f ObserverFunc) Observe(e Event) { f(e) }

@@ -1,15 +1,23 @@
-// Package serve simulates multi-stream streaming-video-LLM serving: several
-// concurrent video sessions share one device, frames arrive in real time,
-// queries interleave, and the scheduler processes work in arrival order with
-// optional frame dropping under backlog. It quantifies the paper's closing
-// claim — "clear potential for scalable deployment in large-scale server
-// environments" — by measuring how many concurrent real-time streams each
-// system sustains (the `scale` experiment).
+// Package serve simulates multi-stream streaming-video-LLM serving under the
+// Scenario API: a fleet of devices serves concurrent video sessions drawn
+// from a weighted mix of stream classes, frames arrive in real time, queries
+// interleave, whole sessions arrive and depart (open-loop churn), and a
+// pluggable balancer places each session on a device. The scheduler
+// processes work in arrival order with optional frame dropping under
+// backlog. It quantifies the paper's closing claim — "clear potential for
+// scalable deployment in large-scale server environments" — by measuring how
+// many concurrent real-time streams each system sustains (the `scale` and
+// `fleet` experiments).
+//
+// A Config with no Classes, no Churn and at most one device reduces exactly
+// to the original single-device, homogeneous-stream simulation: the golden
+// tests in internal/experiments pin that path byte-for-byte.
 package serve
 
 import (
 	"container/heap"
 	"fmt"
+	"math"
 	"sort"
 
 	"vrex/internal/hwsim"
@@ -45,39 +53,89 @@ func DefaultStreamConfig() StreamConfig {
 	}
 }
 
+// StreamClass is one component of a heterogeneous stream mix: a named
+// session shape with a selection weight. Sessions draw their class with
+// probability Weight / sum(Weights).
+type StreamClass struct {
+	Name   string
+	Weight float64
+	Stream StreamConfig
+}
+
+// ChurnConfig describes open-loop session churn: whole sessions arriving as
+// a Poisson process and departing after exponentially distributed lifetimes.
+// The zero value disables churn (the closed population of Config.Streams
+// sessions runs for the whole duration).
+type ChurnConfig struct {
+	// ArrivalRate is the mean session arrivals per second (0 disables).
+	ArrivalRate float64
+	// MeanLifetime is the mean session lifetime in seconds; 0 means sessions
+	// stay for the rest of the run.
+	MeanLifetime float64
+}
+
 // Config describes a serving run.
 type Config struct {
 	Dev hwsim.DeviceSpec
 	Pol hwsim.PolicyModel
-	// Streams is the number of concurrent sessions.
+	// Streams is the number of sessions active at t=0.
 	Streams int
 	// Duration is the simulated wall-clock seconds.
 	Duration float64
-	// Stream shapes every session.
+	// Stream shapes every session when Classes is empty (the original
+	// homogeneous API, kept for back-compat).
 	Stream StreamConfig
+	// Classes, when non-empty, is the weighted mix sessions draw their shape
+	// from; it takes precedence over Stream.
+	Classes []StreamClass
+	// Churn adds open-loop session arrivals/departures.
+	Churn ChurnConfig
+	// Devices is the fleet size; 0 or 1 simulates a single device.
+	Devices int
+	// Balancer places each arriving session on a device; nil defaults to
+	// round-robin. Run calls Reset before use, so one Balancer value can be
+	// reused across runs.
+	Balancer Balancer
+	// Observer, when non-nil, receives every scheduling event in
+	// deterministic order (see Event).
+	Observer Observer
 	// DropThreshold: a frame still queued after this many frame intervals
 	// is dropped (<= 0 disables dropping).
 	DropThreshold float64
-	// Seed jitters arrivals. Each stream derives an independent sub-seed
-	// from it, so stream s's arrival process never depends on how many other
-	// streams exist or on scheduling order.
+	// Seed jitters arrivals. Each session derives an independent sub-seed
+	// from it, so session s's arrival process never depends on how many other
+	// sessions exist or on scheduling order.
 	Seed uint64
-	// Workers advances independent streams concurrently between the
+	// Workers advances independent sessions concurrently between the
 	// scheduler barriers (schedule construction before the device loop,
-	// per-stream metric reduction after it): 0 uses GOMAXPROCS, 1 is
-	// sequential. The device loop itself is the barrier — one shared device
-	// serves arrivals in global order — and results are identical for any
-	// worker count.
+	// per-session metric reduction after it): 0 uses GOMAXPROCS, 1 is
+	// sequential. The device loop itself is the barrier — devices serve
+	// arrivals in global order — and results are identical for any worker
+	// count.
 	Workers int
+}
+
+// classes returns the effective mix: Classes, or the legacy single Stream.
+func (cfg *Config) classes() []StreamClass {
+	if len(cfg.Classes) > 0 {
+		return cfg.Classes
+	}
+	return []StreamClass{{Name: "default", Weight: 1, Stream: cfg.Stream}}
 }
 
 // StreamMetrics summarises one session.
 type StreamMetrics struct {
+	// Class names the session's stream class; Device is the fleet member the
+	// balancer placed it on.
+	Class  string
+	Device int
+
 	FramesArrived int
 	FramesServed  int
 	FramesDropped int
 	QueriesServed int
-	// AchievedFPS counts served frames / duration.
+	// AchievedFPS counts served frames over the session's presence window
+	// (the whole run for non-churned sessions).
 	AchievedFPS float64
 	// P50 / P99 are frame completion latencies (queueing + service).
 	P50, P99 float64
@@ -85,21 +143,66 @@ type StreamMetrics struct {
 	FinalKV int
 }
 
-// Result is a serving run's outcome.
-type Result struct {
-	PerStream []StreamMetrics
-	// RealTime reports whether every stream served >= 95% of its frames.
-	RealTime bool
-	// Utilization is device busy time / duration.
+// ClassMetrics aggregates the sessions of one stream class (or, for
+// Result.Aggregate, every session).
+type ClassMetrics struct {
+	Class    string
+	Sessions int
+
+	FramesArrived int
+	FramesServed  int
+	FramesDropped int
+	QueriesServed int
+	// MeanFPS is the mean per-session achieved FPS (each session's rate over
+	// its own presence window).
+	MeanFPS float64
+	// P50 / P99 are percentiles of the pooled frame completion latencies.
+	P50, P99 float64
+	// DropRate is dropped / arrived frames (0 when nothing arrived).
+	DropRate float64
+	// RealTimeSessions counts sessions that served >= 95% of their frames.
+	RealTimeSessions int
+}
+
+// DeviceMetrics summarises one fleet member.
+type DeviceMetrics struct {
+	// Sessions counts sessions the balancer assigned to this device.
+	Sessions      int
+	FramesServed  int
+	QueriesServed int
+	// Utilization is this device's busy time / duration.
 	Utilization float64
 }
 
+// Result is a serving run's outcome.
+type Result struct {
+	PerStream []StreamMetrics
+	// PerClass aggregates sessions by stream class, in mix order; Aggregate
+	// pools every session.
+	PerClass  []ClassMetrics
+	Aggregate ClassMetrics
+	// PerDevice summarises each fleet member.
+	PerDevice []DeviceMetrics
+	// RealTime reports whether every stream served >= 95% of its frames.
+	RealTime bool
+	// Utilization is fleet busy time / (duration * devices).
+	Utilization float64
+}
+
+// event kinds, in the order they sort at equal timestamps within a session.
+const (
+	evStart = iota // session joins: balancer assignment
+	evFrame        // video frame arrival
+	evQuery        // user query arrival
+	evEnd          // session leaves: balancer state release
+)
+
 // event is one arrival.
 type event struct {
-	at     float64
-	stream int
-	query  bool
-	seq    int
+	at      float64
+	session int
+	kind    int
+	seq     int
 }
 
 type eventHeap []event
@@ -111,9 +214,9 @@ func (h eventHeap) Less(i, j int) bool {
 	}
 	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any {
 	old := *h
 	n := len(old)
 	x := old[n-1]
@@ -121,37 +224,154 @@ func (h *eventHeap) Pop() interface{} {
 	return x
 }
 
-// Run executes the serving simulation.
-func Run(cfg Config) Result {
-	if cfg.Streams <= 0 || cfg.Duration <= 0 {
-		panic(fmt.Sprintf("serve: invalid config streams=%d duration=%v", cfg.Streams, cfg.Duration))
-	}
-	sim := hwsim.NewSim(cfg.Dev, hwsim.Llama3_8B(), cfg.Pol)
+// Derived-seed domains: each randomness consumer hashes its own salt into
+// the config seed so the per-session arrival jitter (salt 0) stays a pure
+// function of (Seed, session) regardless of churn or mix settings — adding a
+// class or enabling churn never perturbs an existing session's schedule.
+// Churned sessions draw everything (jitter, class, lifetime) from the
+// churn-session domain keyed by their arrival ordinal, NOT their session
+// index, so changing Config.Streams never re-randomises the churn
+// population — the monotonicity MaxRealTimeStreams depends on.
+const (
+	classSeedSalt    = 0x00C1A55E5
+	churnSeedSalt    = 0x0C4312A15
+	lifeSeedSalt     = 0x011FE7113
+	churnSessionSalt = 0x05E551035
+)
 
-	// Build the arrival schedule: streams are independent, so each one's
-	// arrival process is generated concurrently from its own derived seed
-	// (parallel.SeedFor keeps stream s's jitter a pure function of cfg.Seed
-	// and s). The ordered fan-in and the deterministic seq renumbering below
-	// make the merged schedule identical for any worker count.
-	perStream := parallel.Map(cfg.Workers, cfg.Streams, func(s int) []event {
-		rng := mathx.NewRNG(parallel.SeedFor(cfg.Seed, s))
-		interval := 1 / cfg.Stream.FPS
-		var evs []event
-		// Phase-shift streams so arrivals interleave.
-		phase := rng.Float64() * interval
-		for t := phase; t < cfg.Duration; t += interval {
-			evs = append(evs, event{at: t, stream: s})
+// expDraw samples an exponential with the given mean.
+func expDraw(rng *mathx.RNG, mean float64) float64 {
+	return -mean * math.Log(1-rng.Float64())
+}
+
+// session is one video session's static plan: its class, presence window,
+// jitter seed and (once assigned) device.
+type session struct {
+	class      int
+	start, end float64
+	device     int
+	// seed drives the session's arrival jitter; a pure function of
+	// (Config.Seed, index) for initial sessions and of (Config.Seed, churn
+	// ordinal) for churned ones.
+	seed uint64
+}
+
+// buildSessions lays out the run's session population: Streams sessions at
+// t=0 plus Poisson arrivals, classes drawn from the weighted mix, lifetimes
+// truncating the presence window. Everything is a pure function of cfg, and
+// churned sessions are seeded by arrival ordinal in their own domain, so
+// the churn population is invariant under changes to cfg.Streams.
+func buildSessions(cfg Config, classes []StreamClass) []session {
+	var totalWeight float64
+	for _, c := range classes {
+		totalWeight += c.Weight
+	}
+	// pickClass and endOf key their draws on a domain seed (the initial or
+	// churn session domain) plus the session's ordinal within that domain.
+	pickClass := func(domain uint64, i int) int {
+		if len(classes) == 1 {
+			return 0
 		}
-		if cfg.Stream.QueryEvery > 0 {
-			for t := cfg.Stream.QueryEvery * (0.5 + rng.Float64()); t < cfg.Duration; t += cfg.Stream.QueryEvery {
-				evs = append(evs, event{at: t, stream: s, query: true})
+		x := mathx.NewRNG(parallel.SeedFor(domain^classSeedSalt, i)).Float64() * totalWeight
+		for c := range classes {
+			x -= classes[c].Weight
+			if x < 0 {
+				return c
 			}
 		}
+		return len(classes) - 1
+	}
+	endOf := func(domain uint64, i int, start float64) float64 {
+		if cfg.Churn.MeanLifetime <= 0 {
+			return cfg.Duration
+		}
+		end := start + expDraw(mathx.NewRNG(parallel.SeedFor(domain^lifeSeedSalt, i)), cfg.Churn.MeanLifetime)
+		if end > cfg.Duration {
+			end = cfg.Duration
+		}
+		return end
+	}
+
+	sessions := make([]session, 0, cfg.Streams)
+	for s := 0; s < cfg.Streams; s++ {
+		sessions = append(sessions, session{
+			class: pickClass(cfg.Seed, s), end: endOf(cfg.Seed, s, 0),
+			device: -1, seed: parallel.SeedFor(cfg.Seed, s),
+		})
+	}
+	if cfg.Churn.ArrivalRate > 0 {
+		domain := cfg.Seed ^ churnSessionSalt
+		rng := mathx.NewRNG(parallel.SeedFor(cfg.Seed^churnSeedSalt, 0))
+		i := 0
+		for t := expDraw(rng, 1/cfg.Churn.ArrivalRate); t < cfg.Duration; t += expDraw(rng, 1/cfg.Churn.ArrivalRate) {
+			sessions = append(sessions, session{
+				class: pickClass(domain, i), start: t, end: endOf(domain, i, t),
+				device: -1, seed: parallel.SeedFor(domain, i),
+			})
+			i++
+		}
+	}
+	return sessions
+}
+
+func validate(cfg Config, classes []StreamClass) {
+	if cfg.Duration <= 0 || (cfg.Streams <= 0 && cfg.Churn.ArrivalRate <= 0) {
+		panic(fmt.Sprintf("serve: invalid config streams=%d duration=%v arrival_rate=%v",
+			cfg.Streams, cfg.Duration, cfg.Churn.ArrivalRate))
+	}
+	if cfg.Streams < 0 || cfg.Churn.ArrivalRate < 0 || cfg.Churn.MeanLifetime < 0 || cfg.Devices < 0 {
+		panic(fmt.Sprintf("serve: negative config field: %+v", cfg))
+	}
+	for _, c := range classes {
+		if c.Stream.FPS <= 0 || c.Weight <= 0 {
+			panic(fmt.Sprintf("serve: class %q needs positive FPS and weight", c.Name))
+		}
+	}
+}
+
+// Run executes the serving simulation.
+func Run(cfg Config) Result {
+	classes := cfg.classes()
+	validate(cfg, classes)
+	sim := hwsim.NewSim(cfg.Dev, hwsim.Llama3_8B(), cfg.Pol)
+	sessions := buildSessions(cfg, classes)
+	nDev := cfg.Devices
+	if nDev <= 0 {
+		nDev = 1
+	}
+	bal := cfg.Balancer
+	if bal == nil {
+		bal = NewRoundRobin()
+	}
+	bal.Reset(nDev)
+
+	// Build the arrival schedule: sessions are independent, so each one's
+	// arrival process is generated concurrently from its own derived seed
+	// (parallel.SeedFor keeps session s's jitter a pure function of cfg.Seed
+	// and s). The ordered fan-in and the deterministic seq renumbering below
+	// make the merged schedule identical for any worker count.
+	perSession := parallel.Map(cfg.Workers, len(sessions), func(s int) []event {
+		sess := sessions[s]
+		sc := classes[sess.class].Stream
+		rng := mathx.NewRNG(sess.seed)
+		interval := 1 / sc.FPS
+		evs := []event{{at: sess.start, session: s, kind: evStart}}
+		// Phase-shift sessions so arrivals interleave.
+		phase := rng.Float64() * interval
+		for t := sess.start + phase; t < sess.end; t += interval {
+			evs = append(evs, event{at: t, session: s, kind: evFrame})
+		}
+		if sc.QueryEvery > 0 {
+			for t := sess.start + sc.QueryEvery*(0.5+rng.Float64()); t < sess.end; t += sc.QueryEvery {
+				evs = append(evs, event{at: t, session: s, kind: evQuery})
+			}
+		}
+		evs = append(evs, event{at: sess.end, session: s, kind: evEnd})
 		return evs
 	})
 	var events eventHeap
 	seq := 0
-	for _, evs := range perStream {
+	for _, evs := range perSession {
 		for _, ev := range evs {
 			ev.seq = seq
 			seq++
@@ -160,62 +380,117 @@ func Run(cfg Config) Result {
 	}
 	heap.Init(&events)
 
-	kv := make([]int, cfg.Streams)
+	kv := make([]int, len(sessions))
 	for s := range kv {
-		kv[s] = cfg.Stream.StartKV
+		kv[s] = classes[sessions[s].class].Stream.StartKV
 	}
-	metrics := make([]StreamMetrics, cfg.Streams)
-	latencies := make([][]float64, cfg.Streams)
+	metrics := make([]StreamMetrics, len(sessions))
+	latencies := make([][]float64, len(sessions))
+	devs := make([]DeviceState, nDev)
+	devMetrics := make([]DeviceMetrics, nDev)
+	for d := range devs {
+		devs[d].Index = d
+		devs[d].ClassSessions = make([]int, len(classes))
+	}
+	observe := func(kind EventKind, at float64, s int, latency float64) {
+		if cfg.Observer == nil {
+			return
+		}
+		cfg.Observer.Observe(Event{
+			Kind: kind, Time: at, Session: s,
+			Class: classes[sessions[s].class].Name, Device: sessions[s].device,
+			Latency: latency, KV: kv[s],
+		})
+	}
 
-	var deviceFree, busy float64
-	frameInterval := 1 / cfg.Stream.FPS
 	for events.Len() > 0 {
 		ev := heap.Pop(&events).(event)
-		m := &metrics[ev.stream]
-		start := deviceFree
+		sess := &sessions[ev.session]
+		sc := classes[sess.class].Stream
+		switch ev.kind {
+		case evStart:
+			d := bal.Assign(ev.at, sess.class, devs)
+			if d < 0 || d >= nDev {
+				panic(fmt.Sprintf("serve: balancer %q returned device %d of %d", bal.Name(), d, nDev))
+			}
+			sess.device = d
+			devs[d].ActiveSessions++
+			devs[d].ResidentKV += kv[ev.session]
+			devs[d].ClassSessions[sess.class]++
+			devMetrics[d].Sessions++
+			observe(EventSessionStart, ev.at, ev.session, 0)
+			continue
+		case evEnd:
+			d := sess.device
+			devs[d].ActiveSessions--
+			devs[d].ResidentKV -= kv[ev.session]
+			devs[d].ClassSessions[sess.class]--
+			observe(EventSessionEnd, ev.at, ev.session, 0)
+			continue
+		}
+		m := &metrics[ev.session]
+		dev := &devs[sess.device]
+		start := dev.Free
 		if ev.at > start {
 			start = ev.at
 		}
-		if !ev.query {
+		if ev.kind == evFrame {
 			m.FramesArrived++
-			if cfg.DropThreshold > 0 && start-ev.at > cfg.DropThreshold*frameInterval {
+			if cfg.DropThreshold > 0 && start-ev.at > cfg.DropThreshold*(1/sc.FPS) {
 				m.FramesDropped++
+				observe(EventFrameDropped, ev.at, ev.session, 0)
 				continue
 			}
-			b := sim.FrameLatency(cfg.Stream.TokensPerFrame, kv[ev.stream], 1)
+			b := sim.FrameLatency(sc.TokensPerFrame, kv[ev.session], 1)
 			if b.OOM {
 				m.FramesDropped++
+				observe(EventFrameDropped, ev.at, ev.session, 0)
 				continue
 			}
-			deviceFree = start + b.Total
-			busy += b.Total
-			kv[ev.stream] += cfg.Stream.TokensPerFrame
+			dev.Free = start + b.Total
+			dev.Busy += b.Total
+			kv[ev.session] += sc.TokensPerFrame
+			dev.ResidentKV += sc.TokensPerFrame
 			m.FramesServed++
-			latencies[ev.stream] = append(latencies[ev.stream], deviceFree-ev.at)
+			devMetrics[sess.device].FramesServed++
+			latencies[ev.session] = append(latencies[ev.session], dev.Free-ev.at)
+			observe(EventFrameServed, ev.at, ev.session, dev.Free-ev.at)
 		} else {
-			q := sim.Chunk(cfg.Stream.QueryTokens, kv[ev.stream], 1, hwsim.StageTextPhase)
+			q := sim.Chunk(sc.QueryTokens, kv[ev.session], 1, hwsim.StageTextPhase)
 			total := q.Total
-			kv[ev.stream] += cfg.Stream.QueryTokens
-			for i := 0; i < cfg.Stream.AnswerTokens; i++ {
-				total += sim.TPOT(kv[ev.stream], 1).Total
-				kv[ev.stream]++
+			kv[ev.session] += sc.QueryTokens
+			for i := 0; i < sc.AnswerTokens; i++ {
+				total += sim.TPOT(kv[ev.session], 1).Total
+				kv[ev.session]++
 			}
-			deviceFree = start + total
-			busy += total
+			dev.Free = start + total
+			dev.Busy += total
+			dev.ResidentKV += sc.QueryTokens + sc.AnswerTokens
 			m.QueriesServed++
+			devMetrics[sess.device].QueriesServed++
+			observe(EventQueryServed, ev.at, ev.session, dev.Free-ev.at)
 		}
 	}
 
-	res := Result{PerStream: metrics, RealTime: true, Utilization: busy / cfg.Duration}
-	if res.Utilization > 1 {
-		res.Utilization = 1
+	var busy float64
+	for d := range devs {
+		busy += devs[d].Busy
+		devMetrics[d].Utilization = clampUtil(devs[d].Busy / cfg.Duration)
 	}
-	// Post-barrier reduction: each stream's latency sort and percentiles are
+	res := Result{
+		PerStream: metrics, PerDevice: devMetrics, RealTime: true,
+		Utilization: clampUtil(busy / (cfg.Duration * float64(nDev))),
+	}
+	// Post-barrier reduction: each session's latency sort and percentiles are
 	// independent, so they run across the pool; the real-time verdict folds
-	// in stream order afterwards.
-	parallel.ForEach(cfg.Workers, cfg.Streams, func(s int) {
+	// in session order afterwards.
+	parallel.ForEach(cfg.Workers, len(sessions), func(s int) {
 		m := &metrics[s]
-		m.AchievedFPS = float64(m.FramesServed) / cfg.Duration
+		m.Class = classes[sessions[s].class].Name
+		m.Device = sessions[s].device
+		if window := sessions[s].end - sessions[s].start; window > 0 {
+			m.AchievedFPS = float64(m.FramesServed) / window
+		}
 		m.FinalKV = kv[s]
 		if len(latencies[s]) > 0 {
 			sort.Float64s(latencies[s])
@@ -229,11 +504,78 @@ func Run(cfg Config) Result {
 			res.RealTime = false
 		}
 	}
+	res.PerClass, res.Aggregate = reduceClasses(classes, sessions, metrics, latencies)
 	return res
 }
 
-// MaxRealTimeStreams bisects the largest stream count (up to limit) the
-// system serves in real time.
+func clampUtil(u float64) float64 {
+	if u > 1 {
+		return 1
+	}
+	return u
+}
+
+// reduceClasses pools per-session metrics into per-class and aggregate
+// summaries. Latency percentiles are computed over the pooled (re-sorted)
+// latency samples of each group, so they reflect frames, not sessions.
+func reduceClasses(classes []StreamClass, sessions []session, metrics []StreamMetrics, latencies [][]float64) ([]ClassMetrics, ClassMetrics) {
+	perClass := make([]ClassMetrics, len(classes))
+	pooled := make([][]float64, len(classes))
+	for c := range classes {
+		perClass[c].Class = classes[c].Name
+	}
+	agg := ClassMetrics{Class: "all"}
+	var aggPool []float64
+	var aggFPS float64
+	fps := make([]float64, len(classes))
+	for s, m := range metrics {
+		c := sessions[s].class
+		cm := &perClass[c]
+		cm.Sessions++
+		cm.FramesArrived += m.FramesArrived
+		cm.FramesServed += m.FramesServed
+		cm.FramesDropped += m.FramesDropped
+		cm.QueriesServed += m.QueriesServed
+		fps[c] += m.AchievedFPS
+		if m.FramesArrived > 0 && float64(m.FramesServed) >= 0.95*float64(m.FramesArrived) {
+			cm.RealTimeSessions++
+		}
+		pooled[c] = append(pooled[c], latencies[s]...)
+		aggFPS += m.AchievedFPS
+		aggPool = append(aggPool, latencies[s]...)
+	}
+	finish := func(cm *ClassMetrics, pool []float64, fpsSum float64) {
+		if cm.Sessions > 0 {
+			cm.MeanFPS = fpsSum / float64(cm.Sessions)
+		}
+		if cm.FramesArrived > 0 {
+			cm.DropRate = float64(cm.FramesDropped) / float64(cm.FramesArrived)
+		}
+		if len(pool) > 0 {
+			sort.Float64s(pool)
+			cm.P50 = mathx.Percentile(pool, 50)
+			cm.P99 = mathx.Percentile(pool, 99)
+		}
+	}
+	for c := range perClass {
+		finish(&perClass[c], pooled[c], fps[c])
+		agg.Sessions += perClass[c].Sessions
+		agg.FramesArrived += perClass[c].FramesArrived
+		agg.FramesServed += perClass[c].FramesServed
+		agg.FramesDropped += perClass[c].FramesDropped
+		agg.QueriesServed += perClass[c].QueriesServed
+		agg.RealTimeSessions += perClass[c].RealTimeSessions
+	}
+	finish(&agg, aggPool, aggFPS)
+	return perClass, agg
+}
+
+// MaxRealTimeStreams bisects the largest initial stream count (up to limit)
+// the system serves in real time. The bisection relies on the real-time
+// verdict being monotone in the stream count, which holds because initial
+// sessions' schedules are pure functions of (Seed, index) and the churn
+// population is seeded by arrival ordinal in its own domain: adding an
+// initial session perturbs nothing else, it only adds device load.
 func MaxRealTimeStreams(cfg Config, limit int) int {
 	lo, hi := 0, limit
 	for lo < hi {
