@@ -3,7 +3,15 @@
 
 GO ?= go
 
-.PHONY: build test test-race bench bench-smoke bench-json examples fmt fmt-check vet ci
+# Perf-capture knobs: `make bench-perf` writes $(BENCH_OUT); `make
+# bench-compare OLD=a.json NEW=b.json` prints the before/after table.
+# (BENCH_PR*.json files are committed frozen baselines — capture to a
+# scratch name and compare against them, don't overwrite them.)
+BENCH_OUT ?= bench-perf.json
+OLD ?= BENCH_PR3.json
+NEW ?= bench-perf.json
+
+.PHONY: build test test-race bench bench-smoke bench-json bench-perf bench-compare examples fmt fmt-check vet ci
 
 build:
 	$(GO) build ./...
@@ -18,14 +26,26 @@ test-race:
 bench:
 	$(GO) test -run xxx -bench=. ./...
 
-# CI's perf smoke: one iteration per benchmark, Quick workloads only.
+# CI's perf smoke: one iteration per benchmark, Quick workloads only,
+# with allocation counters so per-frame allocation regressions are visible.
 bench-smoke:
-	$(GO) test -run xxx -bench=. -benchtime=1x -short ./...
+	$(GO) test -run xxx -bench=. -benchtime=1x -benchmem -short ./...
 
 # Machine-readable bench artifact (Quick workloads): one JSON object per
 # table, uploaded by the bench-smoke CI job.
 bench-json:
 	$(GO) run ./cmd/vrex-bench -exp all -quick -format json > bench-smoke.json
+
+# Machine-readable perf capture: kernel + experiment benchmark timings and
+# allocation counts as JSON (the BENCH_*.json trajectory files; see
+# EXPERIMENTS.md "Performance workflow"). Uploaded as a CI artifact.
+bench-perf:
+	$(GO) test -run xxx -bench=. -benchtime=1x -benchmem -short ./... \
+		| $(GO) run ./cmd/vrex-benchstat -parse > $(BENCH_OUT)
+
+# Diff two bench-perf captures: markdown table of ns/op and allocs/op deltas.
+bench-compare:
+	$(GO) run ./cmd/vrex-benchstat -compare $(OLD) $(NEW)
 
 # Build and run every example binary as a smoke test.
 examples:

@@ -1,0 +1,212 @@
+// Command vrex-benchstat converts `go test -bench` output into the
+// repository's machine-readable benchmark JSON and diffs two such captures.
+// It backs the perf trajectory workflow:
+//
+//	make bench-perf                  # capture BENCH_PRn.json on this tree
+//	make bench-compare OLD=a NEW=b   # before/after table (markdown)
+//
+// Parse mode reads benchmark text on stdin and emits one JSON document:
+//
+//	vrex-benchstat -parse < bench.txt > BENCH_PR3.json
+//
+// Compare mode reads two JSON captures and prints a markdown table of
+// ns/op, B/op and allocs/op deltas for benchmarks present in both:
+//
+//	vrex-benchstat -compare OLD.json NEW.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one captured benchmark result.
+type Benchmark struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+}
+
+// Capture is the JSON document: environment header plus results.
+type Capture struct {
+	Goos       string      `json:"goos,omitempty"`
+	Goarch     string      `json:"goarch,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	parse := flag.Bool("parse", false, "parse `go test -bench` text on stdin into JSON on stdout")
+	compare := flag.Bool("compare", false, "compare two benchmark JSON files (old new)")
+	flag.Parse()
+
+	switch {
+	case *parse:
+		if err := runParse(); err != nil {
+			fatal(err)
+		}
+	case *compare:
+		if flag.NArg() != 2 {
+			fatal(fmt.Errorf("-compare needs exactly two files, got %d", flag.NArg()))
+		}
+		if err := runCompare(flag.Arg(0), flag.Arg(1)); err != nil {
+			fatal(err)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "vrex-benchstat:", err)
+	os.Exit(1)
+}
+
+// runParse converts benchmark text lines into a Capture.
+func runParse() error {
+	c := Capture{}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			c.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			c.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "cpu:"):
+			c.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			if b, ok := parseLine(line); ok {
+				c.Benchmarks = append(c.Benchmarks, b)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	sort.Slice(c.Benchmarks, func(i, j int) bool {
+		return c.Benchmarks[i].Name < c.Benchmarks[j].Name
+	})
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(c)
+}
+
+// parseLine decodes one `BenchmarkName  N  x ns/op [y B/op  z allocs/op]`
+// line; the trailing -8 style GOMAXPROCS suffix is stripped from the name.
+func parseLine(line string) (Benchmark, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return Benchmark{}, false
+	}
+	name := fields[0]
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b := Benchmark{Name: name, Iterations: iters}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			continue
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			b.NsPerOp = v
+		case "B/op":
+			b.BytesPerOp = v
+		case "allocs/op":
+			b.AllocsPerOp = v
+		}
+	}
+	if b.NsPerOp == 0 {
+		return Benchmark{}, false
+	}
+	return b, true
+}
+
+func load(path string) (map[string]Benchmark, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var c Capture
+	if err := json.Unmarshal(data, &c); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	out := make(map[string]Benchmark, len(c.Benchmarks))
+	for _, b := range c.Benchmarks {
+		out[b.Name] = b
+	}
+	return out, nil
+}
+
+// runCompare prints a markdown before/after table for benchmarks present in
+// both captures, plus lines for added/removed ones.
+func runCompare(oldPath, newPath string) error {
+	oldB, err := load(oldPath)
+	if err != nil {
+		return err
+	}
+	newB, err := load(newPath)
+	if err != nil {
+		return err
+	}
+	var names []string
+	for name := range oldB {
+		if _, ok := newB[name]; ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	fmt.Printf("| benchmark | old ns/op | new ns/op | Δ time | old allocs/op | new allocs/op |\n")
+	fmt.Printf("|---|---:|---:|---:|---:|---:|\n")
+	for _, name := range names {
+		o, n := oldB[name], newB[name]
+		delta := "n/a"
+		if o.NsPerOp > 0 {
+			delta = fmt.Sprintf("%+.1f%%", 100*(n.NsPerOp-o.NsPerOp)/o.NsPerOp)
+		}
+		fmt.Printf("| %s | %s | %s | %s | %.0f | %.0f |\n",
+			name, fmtNs(o.NsPerOp), fmtNs(n.NsPerOp), delta, o.AllocsPerOp, n.AllocsPerOp)
+	}
+	var added []string
+	for name := range newB {
+		if _, ok := oldB[name]; !ok {
+			added = append(added, name)
+		}
+	}
+	sort.Strings(added)
+	for _, name := range added {
+		fmt.Printf("| %s | — | %s | new | — | %.0f |\n",
+			name, fmtNs(newB[name].NsPerOp), newB[name].AllocsPerOp)
+	}
+	return nil
+}
+
+// fmtNs renders nanoseconds human-first (ns, µs, ms).
+func fmtNs(ns float64) string {
+	switch {
+	case ns >= 1e6:
+		return fmt.Sprintf("%.2f ms", ns/1e6)
+	case ns >= 1e3:
+		return fmt.Sprintf("%.2f µs", ns/1e3)
+	default:
+		return fmt.Sprintf("%.1f ns", ns)
+	}
+}

@@ -1,0 +1,96 @@
+package core
+
+import (
+	"testing"
+
+	"vrex/internal/mathx"
+	"vrex/internal/model"
+	"vrex/internal/tensor"
+)
+
+// TestSelectTokensSteadyStateAllocFree pins the tentpole guarantee: once a
+// session's scratch arenas are warm, the sequential SelectTokens hot path
+// performs zero heap allocations per call. Any future change that
+// reintroduces per-frame allocation (score rows, token sets, sort closures,
+// layout rebuilds) fails this test.
+func TestSelectTokensSteadyStateAllocFree(t *testing.T) {
+	tensor.SetWorkers(1)
+	t.Cleanup(func() { tensor.SetWorkers(0) })
+
+	mcfg := model.DefaultConfig()
+	cfg := DefaultConfig()
+	cfg.Workers = 1
+	m := model.New(mcfg)
+	r := New(mcfg, cfg)
+	rng := mathx.NewRNG(21)
+	for _, f := range driftFrames(6, 6, mcfg.Dim, 0.97, rng) {
+		m.Forward(f, r, model.StageFrame, false)
+	}
+	base := m.Pos()
+	q := frameInput(3, mcfg.Dim, rng)
+	// Warm the arenas (first call at this base may still grow buffers).
+	for i := 0; i < 3; i++ {
+		r.SelectTokens(0, m.Cache(0), q, base, model.StageFrame)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		r.SelectTokens(0, m.Cache(0), q, base, model.StageFrame)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state SelectTokens allocates %v times per call, want 0", allocs)
+	}
+}
+
+// TestSelectTokensAllocFreeEarlyExitAndExact covers both WiCSum sorter
+// variants, since they use different scratch buffers.
+func TestSelectTokensAllocFreeEarlyExitAndExact(t *testing.T) {
+	tensor.SetWorkers(1)
+	t.Cleanup(func() { tensor.SetWorkers(0) })
+
+	for _, buckets := range []int{0, 20} {
+		mcfg := model.DefaultConfig()
+		cfg := DefaultConfig()
+		cfg.Workers = 1
+		cfg.Buckets = buckets
+		cfg.RecentWindow = 4
+		m := model.New(mcfg)
+		r := New(mcfg, cfg)
+		rng := mathx.NewRNG(22)
+		for _, f := range driftFrames(5, 6, mcfg.Dim, 0.97, rng) {
+			m.Forward(f, r, model.StageFrame, false)
+		}
+		base := m.Pos()
+		q := frameInput(2, mcfg.Dim, rng)
+		for i := 0; i < 3; i++ {
+			r.SelectTokens(1, m.Cache(1), q, base, model.StageText)
+		}
+		allocs := testing.AllocsPerRun(100, func() {
+			r.SelectTokens(1, m.Cache(1), q, base, model.StageText)
+		})
+		if allocs != 0 {
+			t.Fatalf("buckets=%d: steady-state SelectTokens allocates %v times per call, want 0", buckets, allocs)
+		}
+	}
+}
+
+// TestSortIntsMatchesSorted exercises both the insertion-sort and the
+// slices.Sort fallback branch.
+func TestSortIntsMatchesSorted(t *testing.T) {
+	rng := mathx.NewRNG(23)
+	for _, n := range []int{0, 1, 2, sortIntsCutoff, sortIntsCutoff + 1, 500} {
+		xs := make([]int, n)
+		for i := range xs {
+			xs[i] = rng.Intn(1000)
+		}
+		sorted := append([]int(nil), xs...)
+		sortInts(xs)
+		// Reference: simple selection of ascending order.
+		for i := 1; i < len(xs); i++ {
+			if xs[i] < xs[i-1] {
+				t.Fatalf("n=%d: not sorted at %d", n, i)
+			}
+		}
+		if len(xs) != len(sorted) {
+			t.Fatalf("n=%d: length changed", n)
+		}
+	}
+}

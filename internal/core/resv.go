@@ -13,6 +13,15 @@
 // table and fetched (with KVMU-style cluster-contiguous layout accounting)
 // for light attention in the execution stage (Fig. 6).
 //
+// Like the hardware, the software kernel never redoes work as the stream
+// grows: the HC table's candidate set and the KVMU layout are maintained
+// incrementally as frames arrive, cluster scoring is batched through the
+// sharded tensor matmul over per-layer representative-key mirrors, and all
+// per-frame working sets (score rows, selection bitsets, sort buffers) live
+// in reusable per-layer scratch arenas — steady-state SelectTokens performs
+// zero heap allocations on the sequential path (pinned by
+// TestSelectTokensSteadyStateAllocFree).
+//
 // ReSV implements model.Retriever, so it drops into the functional
 // transformer; its Stats feed the performance simulator and the Fig. 20 /
 // Table II experiments.
@@ -21,6 +30,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"slices"
 
 	"vrex/internal/hashbit"
 	"vrex/internal/kvcache"
@@ -51,9 +61,10 @@ type Config struct {
 	DisableClustering bool
 	// Seed draws the hyperplanes.
 	Seed uint64
-	// Workers shards the per-head WiCSum scoring and the HC-table candidate
-	// scan across goroutines: 0 uses GOMAXPROCS, 1 restores the sequential
-	// kernel. Selections are identical for any worker count.
+	// Workers shards the per-head WiCSum thresholding and score finishing
+	// across goroutines: 0 uses GOMAXPROCS, 1 restores the sequential
+	// kernel. (The batched Q x RepKey^T product shards through the tensor
+	// package's worker setting.) Selections are identical for any count.
 	Workers int
 }
 
@@ -79,11 +90,51 @@ func (c Config) Validate() error {
 	return nil
 }
 
+// layerScratch is a layer's reusable working set: the KVPU/WTU stream
+// through fixed on-chip buffers in hardware, and these arenas play the same
+// role in software. Buffers grow monotonically with the session and are
+// reused across frames, so the steady-state hot path allocates nothing.
+type layerScratch struct {
+	// keyView is a staging matrix header over the cache's own key rows
+	// (ObserveAppend clusters in place instead of copying the chunk out).
+	keyView tensor.Matrix
+	// repMirror[kvh] mirrors every cluster's representative key segment for
+	// kv head kvh, row per cluster — the B operand of the batched scoring
+	// matmul. Rows are refreshed incrementally from the HC table's pending
+	// set as running means move.
+	repMirror []tensor.Matrix
+	// repView[kvh] is a persistent matrix header exposing the candidate
+	// prefix of repMirror[kvh] to the matmul.
+	repView []tensor.Matrix
+	// qHead gathers the chunk's query segments for one kv head.
+	qHead tensor.Matrix
+	// scores holds the Q x RepKey^T product for one kv head.
+	scores tensor.Matrix
+	// counts holds the per-candidate past-token counts WiCSum weights by.
+	counts []int
+	// massData is the flat arena behind masses, one exp-normalised score row
+	// per (query token, head) pair.
+	massData []float32
+	masses   [][]float32
+	// tokens is the selection buffer returned to the caller (valid until the
+	// next SelectTokens call on this layer).
+	tokens []int
+	// tokenBits is a bitset over past tokens deduplicating the selected
+	// cluster expansion against the recent window. Invariant: all bits are
+	// zero between SelectTokens calls.
+	tokenBits []uint64
+	// headMark/headEpoch stamp (head, cluster) pairs seen in the current
+	// call's per-head union (recordStats) without any clearing pass.
+	headMark  []uint64
+	headEpoch uint64
+}
+
 // layerState is ReSV's per-decoder-layer working set.
 type layerState struct {
 	clusterer *hashbit.Clusterer
 	layout    *kvcache.ClusterLayout
 	hier      *kvcache.Hierarchy
+	scratch   layerScratch
 }
 
 // ReSV is the retriever. One instance serves one model session; create a
@@ -120,11 +171,19 @@ func New(modelCfg model.Config, cfg Config) *ReSV {
 		// its own singleton cluster, reducing WiCSum to per-token selection.
 		thHD = 0
 	}
+	headDim := modelCfg.HeadDim()
 	for l := 0; l < modelCfg.Layers; l++ {
-		r.layers = append(r.layers, &layerState{
+		ls := &layerState{
 			clusterer: hashbit.NewClusterer(modelCfg.KVDim(), cfg.NHp, thHD, r.rng.Split()),
 			layout:    kvcache.NewClusterLayout(),
-		})
+		}
+		ls.scratch.repMirror = make([]tensor.Matrix, modelCfg.KVHeads)
+		ls.scratch.repView = make([]tensor.Matrix, modelCfg.KVHeads)
+		for kvh := range ls.scratch.repMirror {
+			ls.scratch.repMirror[kvh].Cols = headDim
+			ls.scratch.repView[kvh].Cols = headDim
+		}
+		r.layers = append(r.layers, ls)
 	}
 	return r
 }
@@ -158,36 +217,38 @@ func (r *ReSV) TransferLog() kvcache.TransferLog {
 func (r *ReSV) HCTable(l int) *hashbit.HCTable { return r.layers[l].clusterer.Table }
 
 // ObserveAppend implements model.Retriever: cluster the chunk's new keys
-// into the layer's HC table, refresh the KVMU layout, and enforce the device
-// budget.
+// into the layer's HC table, extend the KVMU layout incrementally, and
+// enforce the device budget. Clustering reads the cache's key rows in place
+// (no per-frame staging copy), and the layout grows by O(1) bookkeeping per
+// token instead of a full rebuild.
 func (r *ReSV) ObserveAppend(layer int, cache *kvcache.LayerCache, base, n int) {
 	ls := r.layers[layer]
-	keys := tensor.NewMatrix(n, cache.Dim)
-	for i := 0; i < n; i++ {
-		copy(keys.Row(i), cache.Key(base+i))
+	kv := &ls.scratch.keyView
+	kv.Rows, kv.Cols = n, cache.Dim
+	kv.Data = cache.KeySpan(base, n)
+	ids := ls.clusterer.AddFrame(kv, base)
+	for i, id := range ids {
+		ls.layout.Add(id, base+i)
 	}
-	ls.clusterer.AddFrame(keys, base)
-	// Refresh the cluster-contiguous layout (the KVMU reorders KV storage to
-	// the latest clustering each frame).
-	clusters := make([][]int, ls.clusterer.Table.NumClusters())
-	for ci, c := range ls.clusterer.Table.Clusters {
-		clusters[ci] = c.TokenIdxs
-	}
-	ls.layout.SetClusters(clusters)
 	if ls.hier != nil {
 		ls.hier.Enforce()
 	}
 }
 
 // SelectTokens implements model.Retriever: run KV prediction (Fig. 6) for
-// the chunk's queries and return the selected past-token indices.
+// the chunk's queries and return the selected past-token indices. The
+// returned slice is owned by the retriever and valid until the next
+// SelectTokens call on the same layer.
 func (r *ReSV) SelectTokens(layer int, cache *kvcache.LayerCache, queries *tensor.Matrix, base int, stage model.Stage) []int {
 	if base == 0 {
 		return nil
 	}
 	ls := r.layers[layer]
+	sc := &ls.scratch
 	headDim := r.modelCfg.HeadDim()
-	group := r.modelCfg.Heads / r.modelCfg.KVHeads
+	heads := r.modelCfg.Heads
+	kvHeads := r.modelCfg.KVHeads
+	group := heads / kvHeads
 	sharp := r.modelCfg.Sharpness
 	if sharp == 0 {
 		sharp = 1
@@ -195,96 +256,115 @@ func (r *ReSV) SelectTokens(layer int, cache *kvcache.LayerCache, queries *tenso
 	invSqrt := float32(sharp / math.Sqrt(float64(headDim)))
 
 	table := ls.clusterer.Table
-	// Candidate clusters: those containing at least one past token. Clusters
-	// composed purely of in-chunk tokens are skipped (in-chunk attention is
-	// causal and automatic). The HC-table scan is sharded across the pool
-	// (each cluster's past-token count is independent); the serial compaction
-	// afterwards keeps candidate order identical to the sequential scan.
-	scanWorkers := r.cfg.Workers
-	if len(table.Clusters) < 64 {
-		scanWorkers = 1
+
+	// Refresh the representative-key mirrors for clusters whose running
+	// means moved since the last call (the HC table's pending set), then
+	// advance the past boundary. Candidate clusters — those containing at
+	// least one past token — are exactly the leading PastClusters() table
+	// rows, with PastCount() past members each; no per-frame rescan.
+	nClusters := table.NumClusters()
+	for kvh := range sc.repMirror {
+		growMirror(&sc.repMirror[kvh], nClusters, headDim)
 	}
-	pastCounts := parallel.Map(scanWorkers, len(table.Clusters), func(i int) int {
-		past := 0
-		for _, tok := range table.Clusters[i].TokenIdxs {
-			if tok < base {
-				past++
-			}
-		}
-		return past
-	})
-	var cands []candidate
-	for i, c := range table.Clusters {
-		if pastCounts[i] > 0 {
-			cands = append(cands, candidate{id: c.ID, count: pastCounts[i]})
+	for _, id := range table.PendingClusters() {
+		rep := table.Clusters[id].RepKey
+		for kvh := range sc.repMirror {
+			copy(sc.repMirror[kvh].Row(id), rep[kvh*headDim:(kvh+1)*headDim])
 		}
 	}
-	if len(cands) == 0 {
+	table.AdvancePast(base)
+	nCands := table.PastClusters()
+	if nCands == 0 {
 		return nil
 	}
-	counts := make([]int, len(cands))
-	for i, c := range cands {
-		counts[i] = c.count
+	sc.counts = growInts(sc.counts, nCands)
+	for ci := 0; ci < nCands; ci++ {
+		sc.counts[ci] = table.PastCount(ci)
 	}
 
 	// Score matrix: one row per (query token, head) pair; columns = candidate
-	// clusters. Scores are exp-normalised per row so WiCSum accumulates
-	// attention mass. Rows are independent, so the per-head scoring — the
-	// KVPU's per-head parallelism in hardware — is sharded across the pool
-	// with each row written to its index slot (order never depends on
-	// scheduling).
-	nRows := queries.Rows * r.modelCfg.Heads
+	// clusters. The Q x RepKey^T scores run per kv head through the sharded
+	// tensor matmul over the mirror (the KVPU's batched dataflow); each
+	// product row is then scaled and exp-normalised into its (query, head)
+	// mass row so WiCSum accumulates attention mass. Row order never depends
+	// on scheduling.
+	nq := queries.Rows
+	nRows := nq * heads
+	prodRows := nq * group
+	if cap(sc.massData) < nRows*nCands {
+		sc.massData = make([]float32, nRows*nCands)
+	}
+	if cap(sc.masses) < nRows {
+		sc.masses = make([][]float32, nRows)
+	}
+	masses := sc.masses[:nRows]
+	for row := 0; row < nRows; row++ {
+		masses[row] = sc.massData[row*nCands : (row+1)*nCands]
+	}
 	rowWorkers := r.cfg.Workers
-	if nRows*len(cands) < 2048 {
+	if prodRows*nCands < 2048 {
 		rowWorkers = 1
 	}
-	masses := make([][]float32, nRows)
-	rowHead := make([]int, nRows)
-	parallel.ForEach(rowWorkers, nRows, func(row int) {
-		qi := row / r.modelCfg.Heads
-		h := row % r.modelCfg.Heads
-		kvh := h / group
-		qrow := queries.Row(qi)
-		qh := qrow[h*headDim : (h+1)*headDim]
-		scores := make([]float32, len(cands))
-		for ci, c := range cands {
-			rep := table.Clusters[c.id].RepKey[kvh*headDim : (kvh+1)*headDim]
-			scores[ci] = float32(mathx.Dot(qh, rep)) * invSqrt
+	sc.qHead.Reshape(prodRows, headDim)
+	sc.scores.Reshape(prodRows, nCands)
+	for kvh := 0; kvh < kvHeads; kvh++ {
+		for qi := 0; qi < nq; qi++ {
+			qrow := queries.Row(qi)
+			for g := 0; g < group; g++ {
+				h := kvh*group + g
+				copy(sc.qHead.Row(qi*group+g), qrow[h*headDim:(h+1)*headDim])
+			}
 		}
-		mass := make([]float32, len(cands))
-		mathx.ExpNormalize(mass, scores)
-		masses[row] = mass
-		rowHead[row] = h
-	})
-
-	sel := r.selector.SelectMatrix(masses, counts)
-
-	// Union of selected clusters -> past-token indices.
-	selectedClusters := make([]int, len(sel.Union))
-	for i, ci := range sel.Union {
-		selectedClusters[i] = cands[ci].id
-	}
-	tokenSet := make(map[int]bool)
-	for _, tok := range table.TokensOf(selectedClusters) {
-		if tok < base {
-			tokenSet[tok] = true
+		rv := &sc.repView[kvh]
+		rv.Rows, rv.Cols = nCands, headDim
+		rv.Data = sc.repMirror[kvh].Data[:nCands*headDim]
+		tensor.MatMulTInto(&sc.scores, &sc.qHead, rv)
+		if parallel.Workers(rowWorkers) <= 1 {
+			for pr := 0; pr < prodRows; pr++ {
+				finishScoreRow(sc, masses, pr, kvh, group, heads, invSqrt)
+			}
+		} else {
+			parallel.ForEach(rowWorkers, prodRows, func(pr int) {
+				finishScoreRow(sc, masses, pr, kvh, group, heads, invSqrt)
+			})
 		}
 	}
-	// Recent window is always resident and attended.
+
+	sel := r.selector.SelectMatrix(masses, sc.counts)
+
+	// Union of selected clusters -> past-token indices. Clusters partition
+	// tokens, so their expansions never overlap; the bitset only deduplicates
+	// the always-attended recent window against them, and all marks are
+	// cleared again before returning.
+	words := (base + 63) / 64
+	if cap(sc.tokenBits) < words {
+		sc.tokenBits = make([]uint64, words)
+	}
+	bits := sc.tokenBits[:words]
+	tokens := sc.tokens[:0]
+	for _, ci := range sel.Union {
+		for _, tok := range table.PastTokens(ci) {
+			bits[tok>>6] |= 1 << (uint(tok) & 63)
+			tokens = append(tokens, tok)
+		}
+	}
+	nClusterToks := len(tokens)
 	lo := base - r.cfg.RecentWindow
 	if lo < 0 {
 		lo = 0
 	}
 	for tok := lo; tok < base; tok++ {
-		tokenSet[tok] = true
+		if bits[tok>>6]&(1<<(uint(tok)&63)) == 0 {
+			tokens = append(tokens, tok)
+		}
 	}
-	tokens := make([]int, 0, len(tokenSet))
-	for tok := range tokenSet {
-		tokens = append(tokens, tok)
+	for _, tok := range tokens[:nClusterToks] {
+		bits[tok>>6] &^= 1 << (uint(tok) & 63)
 	}
 	sortInts(tokens)
+	sc.tokens = tokens
 
-	r.recordStats(layer, stage, rowHead, sel, cands, base, len(tokens))
+	r.recordStats(layer, stage, sel, base, len(tokens), nCands)
 
 	if ls.hier != nil {
 		ls.hier.Fetch(tokens, ls.layout)
@@ -293,9 +373,50 @@ func (r *ReSV) SelectTokens(layer int, cache *kvcache.LayerCache, queries *tenso
 	return tokens
 }
 
+// finishScoreRow scales one kv head's product row into its (query, head)
+// mass row and exp-normalises it.
+func finishScoreRow(sc *layerScratch, masses [][]float32, pr, kvh, group, heads int, invSqrt float32) {
+	qi := pr / group
+	h := kvh*group + pr%group
+	mass := masses[qi*heads+h]
+	srow := sc.scores.Row(pr)
+	for j := range mass {
+		mass[j] = srow[j] * invSqrt
+	}
+	mathx.ExpNormalize(mass, mass)
+}
+
+// growMirror grows m to rows x cols preserving existing row contents.
+func growMirror(m *tensor.Matrix, rows, cols int) {
+	need := rows * cols
+	if cap(m.Data) < need {
+		m.Data = append(m.Data[:cap(m.Data)], make([]float32, need-cap(m.Data))...)
+	}
+	m.Data = m.Data[:need]
+	m.Rows, m.Cols = rows, cols
+}
+
+// growInts returns a length-n int buffer, reusing buf's storage when it is
+// large enough.
+func growInts(buf []int, n int) []int {
+	if cap(buf) < n {
+		return make([]int, n)
+	}
+	return buf[:n]
+}
+
+// sortIntsCutoff is where insertion sort's quadratic cost overtakes the
+// stdlib pdqsort on nearly-sorted selection lists.
+const sortIntsCutoff = 48
+
+// sortInts sorts ascending: insertion sort for short, mostly-ordered
+// selections (the cluster table is in creation order), stdlib sort beyond
+// the cutoff where quadratic cost would bite.
 func sortInts(xs []int) {
-	// Insertion sort: selections are mostly ordered already (cluster table is
-	// in creation order) and short.
+	if len(xs) > sortIntsCutoff {
+		slices.Sort(xs)
+		return
+	}
 	for i := 1; i < len(xs); i++ {
 		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
 			xs[j], xs[j-1] = xs[j-1], xs[j]
@@ -303,8 +424,11 @@ func sortInts(xs []int) {
 	}
 }
 
-// recordStats folds one selection into the ratio statistics.
-func (r *ReSV) recordStats(layer int, stage model.Stage, rowHead []int, sel wicsum.MatrixSelection, cands []candidate, base, selectedTokens int) {
+// recordStats folds one selection into the ratio statistics. Per-head unions
+// are deduplicated at cluster granularity with epoch-stamped marks: clusters
+// partition tokens, so a head's unique-token count is the sum of past counts
+// over its distinct selected clusters.
+func (r *ReSV) recordStats(layer int, stage model.Stage, sel wicsum.MatrixSelection, base, selectedTokens, nCands int) {
 	ss := r.stats.stage(stage)
 	ss.SelectedTokens += int64(selectedTokens)
 	ss.CandidateTokens += int64(base)
@@ -315,34 +439,40 @@ func (r *ReSV) recordStats(layer int, stage model.Stage, rowHead []int, sel wics
 	r.stats.PerLayer[layer].Selected += int64(selectedTokens)
 	r.stats.PerLayer[layer].Candidate += int64(base)
 
-	// Per-head ratios: union of each head's rows.
-	perHeadTokens := make([]map[int]bool, r.modelCfg.Heads)
-	for i := range perHeadTokens {
-		perHeadTokens[i] = make(map[int]bool)
+	sc := &r.layers[layer].scratch
+	table := r.layers[layer].clusterer.Table
+	heads := r.modelCfg.Heads
+	if cap(sc.headMark) < heads*nCands {
+		sc.headMark = make([]uint64, heads*nCands)
 	}
-	for rowIdx, rs := range sel.Rows {
-		h := rowHead[rowIdx]
-		for _, ci := range rs.Selected {
-			for _, tok := range r.layers[layer].clusterer.Table.Clusters[cands[ci].id].TokenIdxs {
-				if tok < base {
-					perHeadTokens[h][tok] = true
-				}
+	mark := sc.headMark[:heads*nCands]
+	sc.headEpoch++
+	for rowIdx := range sel.Rows {
+		h := rowIdx % heads
+		markRow := mark[h*nCands : (h+1)*nCands]
+		for _, ci := range sel.Rows[rowIdx].Selected {
+			if markRow[ci] != sc.headEpoch {
+				markRow[ci] = sc.headEpoch
+				r.stats.PerHead[h].Selected += int64(table.PastCount(ci))
 			}
 		}
 	}
-	for h, set := range perHeadTokens {
-		r.stats.PerHead[h].Selected += int64(len(set))
+	for h := 0; h < heads; h++ {
 		r.stats.PerHead[h].Candidate += int64(base)
 	}
 }
 
 // Reset clears all per-session state (HC tables, layouts, statistics,
-// transfer logs) so the retriever can serve a fresh session. The hyperplanes
-// are redrawn from the original seed, so a reset instance behaves exactly
-// like a newly constructed one.
+// transfer logs) so the retriever can serve a fresh session, reusing the
+// existing layer state and scratch arenas. The hyperplanes are redrawn from
+// the original seed, so a reset instance behaves exactly like a newly
+// constructed one.
 func (r *ReSV) Reset() {
-	fresh := New(r.modelCfg, r.cfg)
-	r.layers = fresh.layers
-	r.stats = fresh.stats
-	r.rng = fresh.rng
+	r.rng = mathx.NewRNG(r.cfg.Seed)
+	for _, ls := range r.layers {
+		ls.clusterer.Reset(r.rng.Split())
+		ls.layout.Reset()
+		ls.hier = nil
+	}
+	r.stats = NewStats(r.modelCfg.Layers, r.modelCfg.Heads)
 }

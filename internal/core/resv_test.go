@@ -312,7 +312,7 @@ func TestReSVResetMatchesFresh(t *testing.T) {
 	used := New(mcfg, DefaultConfig())
 	run(used) // dirty the state
 	used.Reset()
-	got := run(used)
+	got := append([]int(nil), run(used)...)
 	want := run(New(mcfg, DefaultConfig()))
 	if len(got) != len(want) {
 		t.Fatalf("reset selection length %d vs fresh %d", len(got), len(want))
@@ -321,5 +321,43 @@ func TestReSVResetMatchesFresh(t *testing.T) {
 		if got[i] != want[i] {
 			t.Fatal("reset instance diverges from fresh instance")
 		}
+	}
+}
+
+// TestReSVResetDetachesHierarchyAndClearsStats pins the rest of the "reset
+// equals fresh" contract: statistics zeroed, transfer accounting and tier
+// hierarchies dropped (New does not attach one), buffers reusable.
+func TestReSVResetDetachesHierarchyAndClearsStats(t *testing.T) {
+	mcfg := model.DefaultConfig()
+	m := model.New(mcfg)
+	r := New(mcfg, DefaultConfig())
+	r.AttachHierarchy(m, 10, kvcache.TierStorage)
+	rng := mathx.NewRNG(33)
+	for _, f := range driftFrames(6, 6, mcfg.Dim, 0.9, rng) {
+		m.Forward(f, r, model.StageFrame, false)
+	}
+	if r.TransferLog().OffloadBytes == 0 {
+		t.Fatal("precondition: session should have offloaded")
+	}
+	r.Reset()
+	if log := r.TransferLog(); log != (kvcache.TransferLog{}) {
+		t.Fatalf("reset retains transfer log: %+v", log)
+	}
+	st := r.Stats()
+	if st.Frame.Calls != 0 || st.Frame.SelectedTokens != 0 || st.Text.Calls != 0 {
+		t.Fatalf("reset retains stage stats: %+v", st.Frame)
+	}
+	for _, pl := range st.PerLayer {
+		if pl.Selected != 0 || pl.Candidate != 0 {
+			t.Fatal("reset retains per-layer stats")
+		}
+	}
+	// The reset instance must serve a fresh session without a hierarchy.
+	m2 := model.New(mcfg)
+	for _, f := range driftFrames(3, 5, mcfg.Dim, 0.97, mathx.NewRNG(34)) {
+		m2.Forward(f, r, model.StageFrame, false)
+	}
+	if r.TransferLog() != (kvcache.TransferLog{}) {
+		t.Fatal("reset instance still records transfers")
 	}
 }

@@ -2,13 +2,6 @@ package core
 
 import "vrex/internal/model"
 
-// candidate is a cluster eligible for selection: its ID in the HC table and
-// how many of its member tokens precede the current chunk.
-type candidate struct {
-	id    int
-	count int
-}
-
 // Ratio accumulates a selected/candidate token pair; the retrieval ratio is
 // Selected/Candidate.
 type Ratio struct {

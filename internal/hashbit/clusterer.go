@@ -40,3 +40,12 @@ func (c *Clusterer) AddFrame(keys *tensor.Matrix, baseTokenIdx int) []int {
 func (c *Clusterer) CompressionRatio() float64 {
 	return c.Table.AvgTokensPerCluster()
 }
+
+// Reset clears the cluster table and redraws the hyperplanes from rng,
+// reusing the existing hasher and table storage. A clusterer reset with the
+// same rng stream as NewClusterer consumed behaves exactly like a freshly
+// constructed one.
+func (c *Clusterer) Reset(rng *mathx.RNG) {
+	c.Hasher.Reseed(rng)
+	c.Table.Reset()
+}

@@ -1,0 +1,175 @@
+package hashbit
+
+import (
+	"testing"
+
+	"vrex/internal/mathx"
+	"vrex/internal/tensor"
+)
+
+// addFrames streams nFrames x tokensPerFrame random keys through a clusterer
+// and returns it.
+func addFrames(t *testing.T, nFrames, tokensPerFrame, dim int, seed uint64) *Clusterer {
+	t.Helper()
+	rng := mathx.NewRNG(seed)
+	c := NewClusterer(dim, 32, 7, rng.Split())
+	for f := 0; f < nFrames; f++ {
+		keys := tensor.NewMatrix(tokensPerFrame, dim)
+		keys.Randomize(rng, 1)
+		c.AddFrame(keys, f*tokensPerFrame)
+	}
+	return c
+}
+
+// TestAdvancePastMatchesRescan checks the incremental candidate bookkeeping
+// against a brute-force rescan at every frame boundary.
+func TestAdvancePastMatchesRescan(t *testing.T) {
+	const frames, perFrame, dim = 8, 6, 32
+	rng := mathx.NewRNG(51)
+	c := NewClusterer(dim, 32, 7, rng.Split())
+	for f := 0; f < frames; f++ {
+		keys := tensor.NewMatrix(perFrame, dim)
+		keys.Randomize(rng, 1)
+		c.AddFrame(keys, f*perFrame)
+		boundary := f * perFrame // tokens of this frame are not yet past
+		tab := c.Table
+		tab.AdvancePast(boundary)
+		// Brute force: count past members per cluster.
+		wantPastClusters := 0
+		for id, cl := range tab.Clusters {
+			past := 0
+			for _, tok := range cl.TokenIdxs {
+				if tok < boundary {
+					past++
+				}
+			}
+			if past > 0 {
+				if id != wantPastClusters {
+					t.Fatalf("frame %d: candidate clusters are not a prefix (cluster %d)", f, id)
+				}
+				wantPastClusters++
+			}
+			if got := tab.PastCount(id); got != past {
+				t.Fatalf("frame %d cluster %d: PastCount=%d, want %d", f, id, got, past)
+			}
+			if got := len(tab.PastTokens(id)); got != past {
+				t.Fatalf("frame %d cluster %d: PastTokens len=%d, want %d", f, id, got, past)
+			}
+		}
+		if got := tab.PastClusters(); got != wantPastClusters {
+			t.Fatalf("frame %d: PastClusters=%d, want %d", f, got, wantPastClusters)
+		}
+	}
+}
+
+// TestAdvancePastRewind covers the backwards (slow-path) boundary move.
+func TestAdvancePastRewind(t *testing.T) {
+	c := addFrames(t, 4, 5, 16, 52)
+	tab := c.Table
+	tab.AdvancePast(20)
+	if tab.PastClusters() != tab.NumClusters() {
+		t.Fatal("all clusters should be past at the final boundary")
+	}
+	tab.AdvancePast(5)
+	total := 0
+	for id := 0; id < tab.NumClusters(); id++ {
+		for _, tok := range tab.PastTokens(id) {
+			if tok >= 5 {
+				t.Fatalf("token %d beyond rewound boundary", tok)
+			}
+			total++
+		}
+	}
+	if total != 5 {
+		t.Fatalf("rewound past tokens = %d, want 5", total)
+	}
+	// Forward again must agree with a fresh rescan.
+	tab.AdvancePast(12)
+	total = 0
+	for id := 0; id < tab.PastClusters(); id++ {
+		total += tab.PastCount(id)
+	}
+	if total != 12 {
+		t.Fatalf("re-advanced past tokens = %d, want 12", total)
+	}
+}
+
+// TestAdvancePastUnorderedPanics pins the documented contract: the
+// incremental bookkeeping refuses to run over out-of-order insertion.
+func TestAdvancePastUnorderedPanics(t *testing.T) {
+	tab := NewHCTable(1)
+	sig := make(Signature, 1)
+	tab.Insert(5, []float32{0}, sig)
+	tab.Insert(3, []float32{0}, sig) // out of order
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	tab.AdvancePast(10)
+}
+
+// TestHCTableResetBehavesFresh: a reset table must be indistinguishable from
+// a new one.
+func TestHCTableResetBehavesFresh(t *testing.T) {
+	rng := mathx.NewRNG(53)
+	c := NewClusterer(16, 32, 7, rng.Split())
+	keys := tensor.NewMatrix(10, 16)
+	keys.Randomize(rng, 1)
+	c.AddFrame(keys, 0)
+	c.Table.AdvancePast(10)
+	c.Table.Reset()
+	if c.Table.NumClusters() != 0 || c.Table.NumTokens() != 0 || c.Table.PastClusters() != 0 {
+		t.Fatal("reset table not empty")
+	}
+	if c.Table.ClusterOf(0) != -1 {
+		t.Fatal("reset table retains token mapping")
+	}
+	ids := c.AddFrame(keys, 0)
+	for i, id := range ids {
+		if c.Table.ClusterOf(i) != id {
+			t.Fatal("reset table misassigns tokens")
+		}
+	}
+}
+
+// TestClustererResetRedrawsIdentically: Reset with the same rng stream as
+// construction must reproduce the exact clustering.
+func TestClustererResetRedrawsIdentically(t *testing.T) {
+	rng1 := mathx.NewRNG(54)
+	c := NewClusterer(24, 32, 7, rng1.Split())
+	keys := tensor.NewMatrix(12, 24)
+	keys.Randomize(mathx.NewRNG(55), 1)
+	first := append([]int(nil), c.AddFrame(keys, 0)...)
+
+	rng2 := mathx.NewRNG(54)
+	c.Reset(rng2.Split())
+	second := c.AddFrame(keys, 0)
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatal("reset clusterer diverges from fresh construction")
+		}
+	}
+}
+
+// TestPastScanSteadyStateAllocFree pins the candidate-scan allocation bound:
+// once the boundary is caught up, re-reading the candidate set (the per-frame
+// work SelectTokens does) allocates nothing.
+func TestPastScanSteadyStateAllocFree(t *testing.T) {
+	c := addFrames(t, 6, 8, 32, 56)
+	tab := c.Table
+	tab.AdvancePast(40)
+	allocs := testing.AllocsPerRun(100, func() {
+		tab.AdvancePast(40)
+		total := 0
+		for ci := 0; ci < tab.PastClusters(); ci++ {
+			total += tab.PastCount(ci)
+		}
+		if total != 40 {
+			t.Fatal("past token count wrong")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state candidate scan allocates %v times per call, want 0", allocs)
+	}
+}

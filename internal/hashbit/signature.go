@@ -74,6 +74,12 @@ func NewHasher(dim, nbits int, rng *mathx.RNG) *Hasher {
 	return h
 }
 
+// Reseed redraws the hyperplanes from rng in place, consuming exactly the
+// variates NewHasher would (session reset without reallocating the planes).
+func (h *Hasher) Reseed(rng *mathx.RNG) {
+	h.planes.Randomize(rng, 1)
+}
+
 // Project returns the reduced-dimension matrix Key_hp = keys x planes
 // (N_tokens x NBits), the intermediate the paper calls hyperplane
 // multiplication. Exposed separately because the LXE executes this matmul

@@ -71,6 +71,13 @@ func (c *LayerCache) Append(key, val []float32) int {
 // Key returns a view of token i's key row.
 func (c *LayerCache) Key(i int) []float32 { return c.keys[i*c.Dim : (i+1)*c.Dim] }
 
+// KeySpan returns a view of the contiguous key rows for tokens
+// [base, base+n): n*Dim values, row-major. Retrieval policies cluster
+// directly over this span instead of copying rows out of the cache.
+func (c *LayerCache) KeySpan(base, n int) []float32 {
+	return c.keys[base*c.Dim : (base+n)*c.Dim]
+}
+
 // Value returns a view of token i's value row.
 func (c *LayerCache) Value(i int) []float32 { return c.vals[i*c.Dim : (i+1)*c.Dim] }
 

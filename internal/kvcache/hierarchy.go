@@ -46,6 +46,8 @@ type Hierarchy struct {
 	// once; only the first demotion pays offload traffic (the off-device
 	// copy is immutable afterwards, so later releases are free).
 	written map[int]bool
+	// missing is reusable scratch for Fetch's non-resident token list.
+	missing []int
 }
 
 // NewHierarchy wraps cache with a device budget of capacityTokens.
@@ -95,12 +97,13 @@ func (h *Hierarchy) Enforce() int {
 // nothing. It returns the per-call transfer statistics (also accumulated
 // into h.Log).
 func (h *Hierarchy) Fetch(tokens []int, layout Layout) TransferLog {
-	var missing []int
+	missing := h.missing[:0]
 	for _, t := range tokens {
 		if h.Cache.TierOf(t) != TierDevice {
 			missing = append(missing, t)
 		}
 	}
+	h.missing = missing
 	var log TransferLog
 	if len(missing) > 0 {
 		segs := layout.Segments(missing)

@@ -1,0 +1,95 @@
+package kvcache
+
+import (
+	"testing"
+	"testing/quick"
+
+	"vrex/internal/mathx"
+)
+
+// TestClusterLayoutAddMatchesSetClusters: streaming Add must produce the
+// same address space as a bulk SetClusters rebuild of the same membership.
+func TestClusterLayoutAddMatchesSetClusters(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := mathx.NewRNG(seed)
+		nClusters := 1 + rng.Intn(6)
+		// Streaming arrival: tokens 0..n-1, each assigned a cluster; cluster
+		// IDs appear in creation order like the HC table's.
+		var clusters [][]int
+		inc := NewClusterLayout()
+		nTokens := 4 + rng.Intn(40)
+		for tok := 0; tok < nTokens; tok++ {
+			var cid int
+			if len(clusters) < nClusters && (len(clusters) == 0 || rng.Float64() < 0.3) {
+				cid = len(clusters)
+				clusters = append(clusters, nil)
+			} else {
+				cid = rng.Intn(len(clusters))
+			}
+			clusters[cid] = append(clusters[cid], tok)
+			inc.Add(cid, tok)
+		}
+		bulk := NewClusterLayout()
+		bulk.SetClusters(clusters)
+		// Compare segment counts over random subsets.
+		for trial := 0; trial < 8; trial++ {
+			var tokens []int
+			for tok := 0; tok < nTokens; tok++ {
+				if rng.Float64() < 0.4 {
+					tokens = append(tokens, tok)
+				}
+			}
+			if inc.Segments(tokens) != bulk.Segments(tokens) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestClusterLayoutReset: a reset layout treats every token as unknown.
+func TestClusterLayoutReset(t *testing.T) {
+	l := NewClusterLayout()
+	l.SetClusters([][]int{{0, 1, 2}})
+	if got := l.Segments([]int{0, 1, 2}); got != 1 {
+		t.Fatalf("pre-reset segments = %d, want 1", got)
+	}
+	l.Reset()
+	if got := l.Segments([]int{0, 1, 2}); got != 3 {
+		t.Fatalf("post-reset segments = %d, want 3 (all unknown)", got)
+	}
+	l.Add(0, 5)
+	if got := l.Segments([]int{5}); got != 1 {
+		t.Fatalf("layout unusable after reset: %d", got)
+	}
+}
+
+// TestClusterLayoutSegmentsAllocFree: the per-fetch address materialisation
+// reuses scratch after the first call.
+func TestClusterLayoutSegmentsAllocFree(t *testing.T) {
+	l := NewClusterLayout()
+	for tok := 0; tok < 64; tok++ {
+		l.Add(tok%8, tok)
+	}
+	tokens := []int{0, 8, 16, 1, 9, 33, 40, 63}
+	l.Segments(tokens)
+	allocs := testing.AllocsPerRun(100, func() {
+		l.Segments(tokens)
+	})
+	if allocs != 0 {
+		t.Fatalf("Segments allocates %v times per call, want 0", allocs)
+	}
+}
+
+// TestClusterLayoutAddPanics pins the dense-ID contract.
+func TestClusterLayoutAddPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewClusterLayout().Add(1, 0) // cluster 0 does not exist yet
+}

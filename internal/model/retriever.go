@@ -15,7 +15,10 @@ import (
 //     (e.g. ReSV's HC table) here.
 //  2. SelectTokens returns indices of *past* tokens (< base) the chunk's
 //     queries may attend to. In-chunk tokens are always attended causally
-//     and must not be returned.
+//     and must not be returned. The returned slice may alias the policy's
+//     reusable selection buffer: it is only valid until the next
+//     SelectTokens call on the same layer, and callers that retain it must
+//     copy it first.
 //
 // Implementations may mutate tier residency on the cache's hierarchy to
 // account for data movement.

@@ -61,6 +61,21 @@ func (m *Matrix) Clone() *Matrix {
 	return c
 }
 
+// Reshape resizes m to rows x cols in place, growing the backing slice only
+// when capacity is insufficient (scratch-matrix reuse on hot paths). The
+// element contents after a Reshape are unspecified.
+func (m *Matrix) Reshape(rows, cols int) {
+	if rows < 0 || cols < 0 {
+		panic("tensor: negative dimension")
+	}
+	need := rows * cols
+	if cap(m.Data) < need {
+		m.Data = make([]float32, need)
+	}
+	m.Data = m.Data[:need]
+	m.Rows, m.Cols = rows, cols
+}
+
 // String implements fmt.Stringer with a compact shape description.
 func (m *Matrix) String() string {
 	return fmt.Sprintf("Matrix(%dx%d)", m.Rows, m.Cols)
@@ -106,9 +121,17 @@ func MatMul(a, b *Matrix) *Matrix {
 		panic(fmt.Sprintf("tensor: MatMul shape mismatch %v x %v", a, b))
 	}
 	out := NewMatrix(a.Rows, b.Cols)
-	parallel.ForEach(workersFor(a.Rows*a.Cols*b.Cols), a.Rows, func(i int) {
-		matmulRow(a.Row(i), b, out.Row(i))
-	})
+	// The sequential path runs the plain loop without constructing the
+	// fan-out closure, keeping small products allocation-free.
+	if w := parallel.Workers(workersFor(a.Rows * a.Cols * b.Cols)); w <= 1 {
+		for i := 0; i < a.Rows; i++ {
+			matmulRow(a.Row(i), b, out.Row(i))
+		}
+	} else {
+		parallel.ForEach(w, a.Rows, func(i int) {
+			matmulRow(a.Row(i), b, out.Row(i))
+		})
+	}
 	return out
 }
 
@@ -147,18 +170,38 @@ func matmulRow(arow []float32, b *Matrix, orow []float32) {
 // natural layout for attention scores (Q x K^T with K stored row-per-token).
 // Like MatMul it shards output rows across the pool above the grain size.
 func MatMulT(a, b *Matrix) *Matrix {
+	out := NewMatrix(a.Rows, b.Rows)
+	MatMulTInto(out, a, b)
+	return out
+}
+
+// MatMulTInto computes a * b^T into dst (which must be pre-shaped to
+// a.Rows x b.Rows), overwriting its contents. This is the allocation-free
+// kernel ReSV's batched cluster scoring streams Q x RepKey^T through; the
+// sequential path avoids the fan-out closure entirely.
+func MatMulTInto(dst, a, b *Matrix) {
 	if a.Cols != b.Cols {
 		panic(fmt.Sprintf("tensor: MatMulT shape mismatch %v x %v", a, b))
 	}
-	out := NewMatrix(a.Rows, b.Rows)
-	parallel.ForEach(workersFor(a.Rows*a.Cols*b.Rows), a.Rows, func(i int) {
-		arow := a.Row(i)
-		orow := out.Row(i)
-		for j := 0; j < b.Rows; j++ {
-			orow[j] = float32(mathx.Dot(arow, b.Row(j)))
+	if dst.Rows != a.Rows || dst.Cols != b.Rows {
+		panic(fmt.Sprintf("tensor: MatMulTInto dst shape %v, want %dx%d", dst, a.Rows, b.Rows))
+	}
+	if w := parallel.Workers(workersFor(a.Rows * a.Cols * b.Rows)); w <= 1 {
+		for i := 0; i < a.Rows; i++ {
+			matmulTRow(a.Row(i), b, dst.Row(i))
 		}
-	})
-	return out
+	} else {
+		parallel.ForEach(w, a.Rows, func(i int) {
+			matmulTRow(a.Row(i), b, dst.Row(i))
+		})
+	}
+}
+
+// matmulTRow fills one output row of a * b^T.
+func matmulTRow(arow []float32, b *Matrix, orow []float32) {
+	for j := 0; j < b.Rows; j++ {
+		orow[j] = float32(mathx.Dot(arow, b.Row(j)))
+	}
 }
 
 // AddInPlace adds b to a element-wise.

@@ -1,0 +1,86 @@
+package wicsum
+
+import (
+	"testing"
+
+	"vrex/internal/mathx"
+)
+
+// TestSelectMatrixSteadyStateAllocFree pins the scratch-reuse guarantee for
+// both sorter variants: after the first call sizes the selector's arenas,
+// sequential matrix thresholding performs zero heap allocations.
+func TestSelectMatrixSteadyStateAllocFree(t *testing.T) {
+	rng := mathx.NewRNG(31)
+	const rows, cols = 48, 300
+	masses := make([][]float32, rows)
+	counts := make([]int, cols)
+	for j := range counts {
+		counts[j] = 1 + rng.Intn(32)
+	}
+	for i := range masses {
+		row := make([]float32, cols)
+		for j := range row {
+			row[j] = rng.Float32()
+		}
+		masses[i] = row
+	}
+	for _, buckets := range []int{0, 20} {
+		s := Selector{Ratio: 0.3, Buckets: buckets, Workers: 1}
+		for i := 0; i < 3; i++ {
+			s.SelectMatrix(masses, counts)
+		}
+		allocs := testing.AllocsPerRun(100, func() {
+			s.SelectMatrix(masses, counts)
+		})
+		if allocs != 0 {
+			t.Fatalf("buckets=%d: steady-state SelectMatrix allocates %v times per call, want 0", buckets, allocs)
+		}
+	}
+}
+
+// TestSelectMatrixScratchReuseKeepsResults guards the arena lifetime
+// contract: results from one call must be fully consumed before the next
+// call on the same selector, and consecutive calls on identical input yield
+// identical selections.
+func TestSelectMatrixScratchReuseKeepsResults(t *testing.T) {
+	rng := mathx.NewRNG(32)
+	const rows, cols = 8, 64
+	masses := make([][]float32, rows)
+	counts := make([]int, cols)
+	for j := range counts {
+		counts[j] = 1 + rng.Intn(8)
+	}
+	for i := range masses {
+		row := make([]float32, cols)
+		for j := range row {
+			row[j] = rng.Float32()
+		}
+		masses[i] = row
+	}
+	s := Selector{Ratio: 0.3, Buckets: 20}
+	first := s.SelectMatrix(masses, counts)
+	union := append([]int(nil), first.Union...)
+	selected := make([][]int, len(first.Rows))
+	for i, r := range first.Rows {
+		selected[i] = append([]int(nil), r.Selected...)
+	}
+	second := s.SelectMatrix(masses, counts)
+	if len(second.Union) != len(union) {
+		t.Fatalf("union size changed across identical calls: %d vs %d", len(second.Union), len(union))
+	}
+	for i := range union {
+		if second.Union[i] != union[i] {
+			t.Fatal("union diverged across identical calls")
+		}
+	}
+	for i := range selected {
+		if len(second.Rows[i].Selected) != len(selected[i]) {
+			t.Fatalf("row %d selection size changed", i)
+		}
+		for j := range selected[i] {
+			if second.Rows[i].Selected[j] != selected[i][j] {
+				t.Fatalf("row %d selection diverged", i)
+			}
+		}
+	}
+}

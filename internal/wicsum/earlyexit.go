@@ -15,6 +15,14 @@ package wicsum
 // mass guarantee (covered > ratio*total) always holds, which is what
 // accuracy depends on.
 func SelectRowEarlyExit(mass []float32, counts []int, ratio float64, nBuckets int) RowSelection {
+	var ws rowScratch
+	return ws.selectRowEarlyExit(mass, counts, ratio, nBuckets)
+}
+
+// selectRowEarlyExit is the scratch-backed kernel behind SelectRowEarlyExit:
+// the bucket store is a counting sort over reusable buffers (the hardware's
+// fixed bucket memory), so the steady state allocates nothing.
+func (ws *rowScratch) selectRowEarlyExit(mass []float32, counts []int, ratio float64, nBuckets int) RowSelection {
 	if len(mass) != len(counts) {
 		panic("wicsum: mass/counts length mismatch")
 	}
@@ -52,45 +60,74 @@ func SelectRowEarlyExit(mass []float32, counts []int, ratio float64, nBuckets in
 		return sel
 	}
 	th := total * ratio
+	start := len(ws.selected)
 
 	if maxv == minv {
 		// Degenerate range: a single bucket holds everything; accumulate in
 		// index order until the threshold trips.
 		for j := 0; j < n; j++ {
 			sel.Examined++
-			sel.Selected = append(sel.Selected, j)
+			ws.selected = append(ws.selected, j)
 			sel.MassCovered += float64(mass[j]) * float64(counts[j])
 			if sel.MassCovered > th {
-				return sel
+				break
 			}
 		}
+		sel.Selected = ws.selected[start:]
 		return sel
 	}
 
 	// Bucket sort: bucket b covers scores in
 	// [minv + b*width, minv + (b+1)*width). The bucket-range updater
-	// produces per-bucket bitmasks; we realise them as index lists.
+	// produces per-bucket bitmasks; we realise them as index runs in a
+	// reusable counting-sort store (entries within a bucket stay in index
+	// order, matching the per-bucket append order).
 	width := (maxv - minv) / float32(nBuckets)
-	buckets := make([][]int, nBuckets)
-	for j := 0; j < n; j++ {
+	bucketCount := grabInts(&ws.bucketCount, nBuckets)
+	clear(bucketCount)
+	bucketOf := func(j int) int {
 		b := int((mass[j] - minv) / width)
 		if b >= nBuckets {
 			b = nBuckets - 1
 		}
-		buckets[b] = append(buckets[b], j)
+		return b
+	}
+	for j := 0; j < n; j++ {
+		bucketCount[bucketOf(j)]++
+	}
+	bucketStart := grabInts(&ws.bucketStart, nBuckets)
+	pos := 0
+	for b := 0; b < nBuckets; b++ {
+		bucketStart[b] = pos
+		pos += bucketCount[b]
+	}
+	items := grabInts(&ws.bucketItems, n)
+	fill := grabInts(&ws.bucketCount, nBuckets) // reuse as per-bucket cursor
+	copy(fill, bucketStart)
+	for j := 0; j < n; j++ {
+		b := bucketOf(j)
+		items[fill[b]] = j
+		fill[b]++
 	}
 
 	// Token selection step: walk from the highest-range bucket downward,
 	// early-exiting once the cumulative weighted sum exceeds the threshold.
+	// (fill aliased bucketCount, so bucket extents come from the starts.)
 	for b := nBuckets - 1; b >= 0; b-- {
-		for _, j := range buckets[b] {
+		end := n
+		if b+1 < nBuckets {
+			end = bucketStart[b+1]
+		}
+		for _, j := range items[bucketStart[b]:end] {
 			sel.Examined++
-			sel.Selected = append(sel.Selected, j)
+			ws.selected = append(ws.selected, j)
 			sel.MassCovered += float64(mass[j]) * float64(counts[j])
 			if sel.MassCovered > th {
+				sel.Selected = ws.selected[start:]
 				return sel
 			}
 		}
 	}
+	sel.Selected = ws.selected[start:]
 	return sel
 }

@@ -26,9 +26,11 @@ func TestSelectMatrixParallelEquivalence(t *testing.T) {
 		masses[i] = row
 	}
 	for _, buckets := range []int{0, 20} {
-		seq := Selector{Ratio: 0.3, Buckets: buckets, Workers: 1}.SelectMatrix(masses, counts)
+		seqSel := Selector{Ratio: 0.3, Buckets: buckets, Workers: 1}
+		seq := seqSel.SelectMatrix(masses, counts)
 		for _, w := range []int{2, 4, 16} {
-			par := Selector{Ratio: 0.3, Buckets: buckets, Workers: w}.SelectMatrix(masses, counts)
+			parSel := Selector{Ratio: 0.3, Buckets: buckets, Workers: w}
+			par := parSel.SelectMatrix(masses, counts)
 			if !reflect.DeepEqual(seq.Rows, par.Rows) {
 				t.Fatalf("buckets=%d workers=%d: rows diverged", buckets, w)
 			}

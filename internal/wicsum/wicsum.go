@@ -16,10 +16,15 @@
 // Unlike fixed top-k, the number of selected clusters adapts to the row's
 // score distribution, which is what produces the per-layer/per-head ratio
 // variability of Fig. 20.
+//
+// The Selector runs the whole matrix through fixed per-worker scratch
+// buffers — order permutations, bucket stores and selection arenas are
+// reused across calls (the software analogue of the WTU's fixed on-chip
+// buffers), so steady-state thresholding performs no heap allocation.
 package wicsum
 
 import (
-	"sort"
+	"slices"
 
 	"vrex/internal/parallel"
 )
@@ -28,6 +33,8 @@ import (
 type RowSelection struct {
 	// Selected holds the chosen cluster indices (unordered set semantics;
 	// stored in selection order, highest mass first for the exact variant).
+	// Slices produced by Selector.SelectMatrix alias the selector's reusable
+	// arena and are valid until its next SelectMatrix call.
 	Selected []int
 	// MassCovered is the weighted mass accumulated by the selection.
 	MassCovered float64
@@ -46,12 +53,37 @@ func (r RowSelection) Fraction() float64 {
 	return r.MassCovered / r.TotalMass
 }
 
+// rowScratch is one worker's reusable buffers: the index permutation for the
+// exact sort, the bucket store for the early-exit sorter, and the arena the
+// per-row Selected slices are carved from.
+type rowScratch struct {
+	order       []int
+	bucketCount []int
+	bucketStart []int
+	bucketItems []int
+	selected    []int
+}
+
+// grabInts returns a length-n scratch slice, growing buf only when needed.
+func grabInts(buf *[]int, n int) []int {
+	if cap(*buf) < n {
+		*buf = make([]int, n)
+	}
+	return (*buf)[:n]
+}
+
 // SelectRow performs exact WiCSum thresholding on one row: full descending
 // sort, then cumulative accumulation until the weighted mass exceeds
 // ratio * total. mass and counts must have equal length; mass entries must be
 // non-negative (use mathx.ExpNormalize upstream). ratio is Th_r-wics in
 // (0, 1]; values outside are clamped.
 func SelectRow(mass []float32, counts []int, ratio float64) RowSelection {
+	var ws rowScratch
+	return ws.selectRow(mass, counts, ratio)
+}
+
+// selectRow is the scratch-backed exact kernel behind SelectRow.
+func (ws *rowScratch) selectRow(mass []float32, counts []int, ratio float64) RowSelection {
 	if len(mass) != len(counts) {
 		panic("wicsum: mass/counts length mismatch")
 	}
@@ -69,27 +101,46 @@ func SelectRow(mass []float32, counts []int, ratio float64) RowSelection {
 	if n == 0 || total == 0 {
 		return RowSelection{TotalMass: total}
 	}
-	order := make([]int, n)
+	order := grabInts(&ws.order, n)
 	for j := range order {
 		order[j] = j
 	}
-	sort.Slice(order, func(a, b int) bool { return mass[order[a]] > mass[order[b]] })
+	// Descending index sort; slices.SortFunc shares sort.Slice's pdqsort so
+	// tie permutations are unchanged, without the interface boxing and
+	// reflect swapper sort.Slice allocates per call.
+	slices.SortFunc(order, func(a, b int) int {
+		switch {
+		case mass[a] > mass[b]:
+			return -1
+		case mass[a] < mass[b]:
+			return 1
+		default:
+			return 0
+		}
+	})
 	th := total * ratio
 	sel := RowSelection{TotalMass: total}
+	start := len(ws.selected)
 	for _, j := range order {
 		sel.Examined++
-		sel.Selected = append(sel.Selected, j)
+		ws.selected = append(ws.selected, j)
 		sel.MassCovered += float64(mass[j]) * float64(counts[j])
 		if sel.MassCovered > th {
 			break
 		}
 	}
+	sel.Selected = ws.selected[start:]
 	return sel
 }
 
 // Selector applies WiCSum thresholding to a whole score matrix and
 // aggregates the per-row selections. Two strategies are available: Exact
 // (software reference, full sort) and EarlyExit (the WTU hardware dataflow).
+//
+// A Selector owns reusable scratch (lazily allocated on first use), so its
+// methods take a pointer receiver and a single Selector must not be shared
+// across concurrent SelectMatrix calls. The returned MatrixSelection aliases
+// that scratch and is valid until the next SelectMatrix call.
 type Selector struct {
 	// Ratio is Th_r-wics.
 	Ratio float64
@@ -101,6 +152,19 @@ type Selector struct {
 	// sequential. The selection is identical for any worker count — rows are
 	// independent and the union is merged in row order.
 	Workers int
+
+	scr *matrixScratch
+}
+
+// matrixScratch holds the Selector's reusable buffers: per-worker row
+// scratch, the row-selection slice, the union accumulator and its epoch-
+// stamped seen marks.
+type matrixScratch struct {
+	workers []rowScratch
+	rows    []RowSelection
+	union   []int
+	seen    []uint64
+	epoch   uint64
 }
 
 // MatrixSelection aggregates row selections over a score matrix.
@@ -117,40 +181,88 @@ type MatrixSelection struct {
 
 // SelectMatrix thresholds every row of the masses matrix (rows x clusters)
 // and aggregates. counts must have length == number of columns.
-func (s Selector) SelectMatrix(masses [][]float32, counts []int) MatrixSelection {
-	// Fan out: rows are thresholded independently, results land in row order.
-	// Small matrices stay on the caller's goroutine.
-	workers := s.Workers
-	if len(masses) < 4 {
+func (s *Selector) SelectMatrix(masses [][]float32, counts []int) MatrixSelection {
+	if s.scr == nil {
+		s.scr = &matrixScratch{}
+	}
+	scr := s.scr
+	n := len(masses)
+	if cap(scr.rows) < n {
+		scr.rows = make([]RowSelection, n)
+	}
+	rows := scr.rows[:n]
+
+	// Fan out: rows are thresholded independently in fixed per-worker
+	// chunks, each worker writing its rows' slots and carving Selected
+	// slices from its own arena. Small matrices stay on the caller's
+	// goroutine — without constructing the fan-out closure, so the
+	// sequential steady state is allocation-free.
+	workers := parallel.Workers(s.Workers)
+	if n < 4 {
 		workers = 1
 	}
-	rows := parallel.Map(workers, len(masses), func(i int) RowSelection {
-		if s.Buckets > 0 {
-			return SelectRowEarlyExit(masses[i], counts, s.Ratio, s.Buckets)
+	if workers > n {
+		workers = n
+	}
+	for len(scr.workers) < workers {
+		scr.workers = append(scr.workers, rowScratch{})
+	}
+	if workers <= 1 {
+		if n > 0 {
+			s.selectChunk(&scr.workers[0], masses, counts, rows, 0, n)
 		}
-		return SelectRow(masses[i], counts, s.Ratio)
-	})
+	} else {
+		chunk := (n + workers - 1) / workers
+		parallel.ForEach(workers, workers, func(w int) {
+			lo := w * chunk
+			hi := min(lo+chunk, n)
+			if lo < hi {
+				s.selectChunk(&scr.workers[w], masses, counts, rows, lo, hi)
+			}
+		})
+	}
 
 	// Fan in: aggregate in row order, so the union and the examined-fraction
 	// accumulation are byte-identical to the sequential loop.
 	out := MatrixSelection{Rows: rows}
-	inUnion := make(map[int]bool)
+	scr.epoch++
+	seen := scr.seen
+	if cap(seen) < len(counts) {
+		seen = make([]uint64, len(counts))
+		scr.seen = seen
+	}
+	seen = seen[:len(counts)]
+	union := scr.union[:0]
 	var examined, width float64
-	for i, rs := range rows {
-		for _, j := range rs.Selected {
-			if !inUnion[j] {
-				inUnion[j] = true
-				out.Union = append(out.Union, j)
+	for i := range rows {
+		for _, j := range rows[i].Selected {
+			if seen[j] != scr.epoch {
+				seen[j] = scr.epoch
+				union = append(union, j)
 			}
 		}
-		examined += float64(rs.Examined)
+		examined += float64(rows[i].Examined)
 		width += float64(len(masses[i]))
 	}
-	sort.Ints(out.Union)
+	slices.Sort(union)
+	scr.union = union
+	out.Union = union
 	if width > 0 {
 		out.ExaminedFraction = examined / width
 	}
 	return out
+}
+
+// selectChunk thresholds rows [lo, hi) on one worker's scratch.
+func (s *Selector) selectChunk(ws *rowScratch, masses [][]float32, counts []int, rows []RowSelection, lo, hi int) {
+	ws.selected = ws.selected[:0]
+	for i := lo; i < hi; i++ {
+		if s.Buckets > 0 {
+			rows[i] = ws.selectRowEarlyExit(masses[i], counts, s.Ratio, s.Buckets)
+		} else {
+			rows[i] = ws.selectRow(masses[i], counts, s.Ratio)
+		}
+	}
 }
 
 // SelectedTokenCount returns the number of tokens covered by the union given

@@ -271,8 +271,10 @@ func TestSelectMatrixPerRowAdaptivity(t *testing.T) {
 func TestSelectMatrixEarlyExitMode(t *testing.T) {
 	masses := [][]float32{{5, 1, 0.1, 0.1}}
 	counts := []int{1, 1, 1, 1}
-	exact := Selector{Ratio: 0.8}.SelectMatrix(masses, counts)
-	ee := Selector{Ratio: 0.8, Buckets: 10}.SelectMatrix(masses, counts)
+	exactSel := Selector{Ratio: 0.8}
+	exact := exactSel.SelectMatrix(masses, counts)
+	eeSel := Selector{Ratio: 0.8, Buckets: 10}
+	ee := eeSel.SelectMatrix(masses, counts)
 	if len(ee.Union) < len(exact.Union) {
 		t.Fatal("early-exit union smaller than exact")
 	}
@@ -282,7 +284,8 @@ func TestSelectMatrixEarlyExitMode(t *testing.T) {
 }
 
 func TestSelectMatrixEmpty(t *testing.T) {
-	res := Selector{Ratio: 0.5}.SelectMatrix(nil, nil)
+	s := Selector{Ratio: 0.5}
+	res := s.SelectMatrix(nil, nil)
 	if len(res.Union) != 0 || res.ExaminedFraction != 0 {
 		t.Fatal("empty matrix should yield empty selection")
 	}
