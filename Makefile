@@ -4,14 +4,17 @@
 GO ?= go
 
 # Perf-capture knobs: `make bench-perf` writes $(BENCH_OUT); `make
-# bench-compare OLD=a.json NEW=b.json` prints the before/after table.
-# (BENCH_PR*.json files are committed frozen baselines — capture to a
-# scratch name and compare against them, don't overwrite them.)
+# bench-compare OLD=a.json NEW=b.json` prints the before/after table, and
+# with TOL=<percent> exits nonzero on any ns/op or allocs/op regression
+# beyond the tolerance (the CI gate). (BENCH_PR*.json files are committed
+# frozen baselines — capture to a scratch name and compare against them,
+# don't overwrite them.)
 BENCH_OUT ?= bench-perf.json
 OLD ?= BENCH_PR3.json
 NEW ?= bench-perf.json
+TOL ?=
 
-.PHONY: build test test-race bench bench-smoke bench-json bench-perf bench-compare examples fmt fmt-check vet ci
+.PHONY: build test test-race bench bench-smoke bench-json bench-perf bench-compare cover examples fmt fmt-check vet ci
 
 build:
 	$(GO) build ./...
@@ -43,9 +46,15 @@ bench-perf:
 	$(GO) test -run xxx -bench=. -benchtime=1x -benchmem -short ./... \
 		| $(GO) run ./cmd/vrex-benchstat -parse > $(BENCH_OUT)
 
-# Diff two bench-perf captures: markdown table of ns/op and allocs/op deltas.
+# Diff two bench-perf captures: markdown table of ns/op and allocs/op
+# deltas; TOL=<percent> additionally gates on regressions beyond it.
 bench-compare:
-	$(GO) run ./cmd/vrex-benchstat -compare $(OLD) $(NEW)
+	$(GO) run ./cmd/vrex-benchstat -compare $(if $(TOL),-tolerance $(TOL)) $(OLD) $(NEW)
+
+# Coverage profile across all packages; CI uploads cover.out as an artifact.
+cover:
+	$(GO) test -coverprofile=cover.out ./...
+	@$(GO) tool cover -func=cover.out | tail -n 1
 
 # Build and run every example binary as a smoke test.
 examples:

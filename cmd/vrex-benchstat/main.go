@@ -13,6 +13,12 @@
 // ns/op, B/op and allocs/op deltas for benchmarks present in both:
 //
 //	vrex-benchstat -compare OLD.json NEW.json
+//	vrex-benchstat -compare -tolerance 500 OLD.json NEW.json
+//
+// With -tolerance, compare exits nonzero when any benchmark present in both
+// captures regressed its ns/op or allocs/op by more than the given percent
+// (and whenever a zero-alloc baseline gains any allocation) — the CI gate
+// against the committed BENCH_PR*.json baseline.
 package main
 
 import (
@@ -46,6 +52,8 @@ type Capture struct {
 func main() {
 	parse := flag.Bool("parse", false, "parse `go test -bench` text on stdin into JSON on stdout")
 	compare := flag.Bool("compare", false, "compare two benchmark JSON files (old new)")
+	tolerance := flag.Float64("tolerance", 0,
+		"with -compare: exit nonzero when any ns/op or allocs/op regression exceeds this percent (0 disables gating)")
 	flag.Parse()
 
 	switch {
@@ -57,7 +65,10 @@ func main() {
 		if flag.NArg() != 2 {
 			fatal(fmt.Errorf("-compare needs exactly two files, got %d", flag.NArg()))
 		}
-		if err := runCompare(flag.Arg(0), flag.Arg(1)); err != nil {
+		if *tolerance < 0 {
+			fatal(fmt.Errorf("-tolerance must be non-negative, got %v", *tolerance))
+		}
+		if err := runCompare(flag.Arg(0), flag.Arg(1), *tolerance); err != nil {
 			fatal(err)
 		}
 	default:
@@ -156,9 +167,51 @@ func load(path string) (map[string]Benchmark, error) {
 	return out, nil
 }
 
+// nsGateFloor is the minimum baseline ns/op for time gating: below ~1 ms a
+// single-iteration CI capture measures timer granularity and warmup, not the
+// benchmark (a 1.6 ns kernel cannot be timed in one call), so short
+// benchmarks are gated on allocs/op only.
+const nsGateFloor = 1e6
+
+// regressions lists benchmarks present in both captures whose ns/op (for
+// baselines above nsGateFloor) or allocs/op regressed by more than tol
+// percent; a zero-alloc baseline that gains any allocation is always flagged
+// (percentages of zero are meaningless, and zero-alloc hot paths are a hard
+// invariant of PR 3).
+func regressions(oldB, newB map[string]Benchmark, tol float64) []string {
+	var names []string
+	for name := range oldB {
+		if _, ok := newB[name]; ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	var out []string
+	for _, name := range names {
+		o, n := oldB[name], newB[name]
+		if o.NsPerOp >= nsGateFloor {
+			if pct := 100 * (n.NsPerOp - o.NsPerOp) / o.NsPerOp; pct > tol {
+				out = append(out, fmt.Sprintf("%s: ns/op %s -> %s (%+.1f%% > %.0f%%)",
+					name, fmtNs(o.NsPerOp), fmtNs(n.NsPerOp), pct, tol))
+			}
+		}
+		switch {
+		case o.AllocsPerOp == 0 && n.AllocsPerOp > 0:
+			out = append(out, fmt.Sprintf("%s: allocs/op 0 -> %.0f (zero-alloc baseline)", name, n.AllocsPerOp))
+		case o.AllocsPerOp > 0:
+			if pct := 100 * (n.AllocsPerOp - o.AllocsPerOp) / o.AllocsPerOp; pct > tol {
+				out = append(out, fmt.Sprintf("%s: allocs/op %.0f -> %.0f (%+.1f%% > %.0f%%)",
+					name, o.AllocsPerOp, n.AllocsPerOp, pct, tol))
+			}
+		}
+	}
+	return out
+}
+
 // runCompare prints a markdown before/after table for benchmarks present in
-// both captures, plus lines for added/removed ones.
-func runCompare(oldPath, newPath string) error {
+// both captures, plus lines for added/removed ones. tol > 0 turns on the
+// regression gate (see regressions).
+func runCompare(oldPath, newPath string, tol float64) error {
 	oldB, err := load(oldPath)
 	if err != nil {
 		return err
@@ -195,6 +248,12 @@ func runCompare(oldPath, newPath string) error {
 	for _, name := range added {
 		fmt.Printf("| %s | — | %s | new | — | %.0f |\n",
 			name, fmtNs(newB[name].NsPerOp), newB[name].AllocsPerOp)
+	}
+	if tol > 0 {
+		if regs := regressions(oldB, newB, tol); len(regs) > 0 {
+			return fmt.Errorf("%d regression(s) beyond %.0f%% tolerance:\n  %s",
+				len(regs), tol, strings.Join(regs, "\n  "))
+		}
 	}
 	return nil
 }

@@ -1,0 +1,72 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func bmap(bs ...Benchmark) map[string]Benchmark {
+	m := make(map[string]Benchmark, len(bs))
+	for _, b := range bs {
+		m[b.Name] = b
+	}
+	return m
+}
+
+func TestRegressionsGate(t *testing.T) {
+	oldB := bmap(
+		Benchmark{Name: "BenchmarkFast", NsPerOp: 100e6, AllocsPerOp: 10},
+		Benchmark{Name: "BenchmarkZeroAlloc", NsPerOp: 50, AllocsPerOp: 0},
+		Benchmark{Name: "BenchmarkRemoved", NsPerOp: 10},
+	)
+	// Within tolerance: +40% time, same allocs, zero-alloc stays zero.
+	ok := bmap(
+		Benchmark{Name: "BenchmarkFast", NsPerOp: 140e6, AllocsPerOp: 10},
+		Benchmark{Name: "BenchmarkZeroAlloc", NsPerOp: 70, AllocsPerOp: 0},
+		Benchmark{Name: "BenchmarkAdded", NsPerOp: 5, AllocsPerOp: 99},
+	)
+	if regs := regressions(oldB, ok, 50); len(regs) != 0 {
+		t.Fatalf("within-tolerance capture flagged: %v", regs)
+	}
+	// ns/op blown past tolerance.
+	slow := bmap(Benchmark{Name: "BenchmarkFast", NsPerOp: 200e6, AllocsPerOp: 10})
+	regs := regressions(oldB, slow, 50)
+	if len(regs) != 1 || !strings.Contains(regs[0], "ns/op") {
+		t.Fatalf("time regression not flagged: %v", regs)
+	}
+	// Alloc growth past tolerance.
+	alloc := bmap(Benchmark{Name: "BenchmarkFast", NsPerOp: 100e6, AllocsPerOp: 16})
+	regs = regressions(oldB, alloc, 50)
+	if len(regs) != 1 || !strings.Contains(regs[0], "allocs/op") {
+		t.Fatalf("alloc regression not flagged: %v", regs)
+	}
+	// A zero-alloc baseline gaining any allocation is flagged at any
+	// tolerance.
+	broken := bmap(Benchmark{Name: "BenchmarkZeroAlloc", NsPerOp: 50, AllocsPerOp: 1})
+	regs = regressions(oldB, broken, 1000)
+	if len(regs) != 1 || !strings.Contains(regs[0], "zero-alloc") {
+		t.Fatalf("zero-alloc break not flagged: %v", regs)
+	}
+	// Sub-floor baselines are exempt from time gating: one iteration cannot
+	// time a nanosecond kernel (allocs above are still gated).
+	jitter := bmap(Benchmark{Name: "BenchmarkZeroAlloc", NsPerOp: 5000, AllocsPerOp: 0})
+	if regs := regressions(oldB, jitter, 50); len(regs) != 0 {
+		t.Fatalf("sub-floor timing flagged: %v", regs)
+	}
+	// Improvements never trip the gate.
+	better := bmap(Benchmark{Name: "BenchmarkFast", NsPerOp: 10e6, AllocsPerOp: 1})
+	if regs := regressions(oldB, better, 1); len(regs) != 0 {
+		t.Fatalf("improvement flagged: %v", regs)
+	}
+}
+
+func TestParseLine(t *testing.T) {
+	b, ok := parseLine("BenchmarkHWSimFrame-8   \t 1000\t 1234.5 ns/op\t 64 B/op\t 3 allocs/op")
+	if !ok || b.Name != "BenchmarkHWSimFrame" || b.Iterations != 1000 ||
+		b.NsPerOp != 1234.5 || b.BytesPerOp != 64 || b.AllocsPerOp != 3 {
+		t.Fatalf("parsed %+v, ok=%v", b, ok)
+	}
+	if _, ok := parseLine("BenchmarkBroken not-a-count"); ok {
+		t.Fatal("malformed line must be rejected")
+	}
+}

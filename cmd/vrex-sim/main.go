@@ -10,18 +10,29 @@
 //	vrex-sim -kv 10000,20000,40000,80000 -parallel 4   # sweep, ordered output
 //
 // Serving mode (enabled by any of -mix, -devices, -balancer, -streams,
-// -duration, -drop, -churn-arrivals, -churn-life, -seed):
+// -duration, -drop, -churn-arrivals, -churn-life, -seed, -kv-capacity,
+// -spill, -page-tokens):
 //
 //	vrex-sim -policy 'rekv(frame=0.58,text=0.31)' -devices 4 \
 //	    -balancer least-loaded -mix '2fps:0.7,4fps:0.3'
 //	vrex-sim -devices 2 -mix 2fps -streams 8 -churn-arrivals 0.5 -churn-life 30
+//	vrex-sim -devices 2 -mix longctx -streams 8 -balancer kv-pressure \
+//	    -kv-capacity 8 -spill 'spill(evict=lru,pages=8)'
+//	vrex-sim -mix longctx -streams 6 -kv-capacity auto -spill none
+//
+// -kv-capacity enables the KV memory-pressure plane (internal/kvpool): each
+// device gets a paged KV budget of that many gigabytes ("auto" derives the
+// budget from the device spec, 0 disables the plane), -page-tokens sets the
+// page size and -spill the spill/eviction policy ("none", or
+// "spill(evict=lru,pages=16)" with evict drawn from the kvpool eviction
+// registry).
 //
 // Policies come from the hwsim registry and accept parameter overrides in
-// the spec string; -list-policies prints every registered policy, balancer
-// and stream class name. -kv accepts a comma-separated list; the points are
-// simulated across -parallel workers (default GOMAXPROCS, 1 = sequential)
-// and printed in argument order, so the output is identical for any worker
-// count.
+// the spec string; -list-policies prints every registered policy, balancer,
+// stream class, and spill/eviction policy name. -kv accepts a
+// comma-separated list; the points are simulated across -parallel workers
+// (default GOMAXPROCS, 1 = sequential) and printed in argument order, so the
+// output is identical for any worker count.
 package main
 
 import (
@@ -33,6 +44,7 @@ import (
 	"strings"
 
 	"vrex/internal/hwsim"
+	"vrex/internal/kvpool"
 	"vrex/internal/parallel"
 	"vrex/internal/report"
 	"vrex/internal/serve"
@@ -109,6 +121,31 @@ func listPolicies() {
 	for _, n := range serve.ClassNames() {
 		fmt.Printf("  %s\n", n)
 	}
+	fmt.Println("spill policies (-spill; e.g. 'spill(evict=lru,pages=16)'):")
+	for _, n := range kvpool.SpillNames() {
+		fmt.Printf("  %s\n", n)
+	}
+	fmt.Println("eviction policies (kvpool registry; -spill evict= parameter):")
+	for _, n := range kvpool.EvictionNames() {
+		fmt.Printf("  %s\n", n)
+	}
+}
+
+// parseKVCapacity decodes the -kv-capacity flag: gigabytes, "auto" (derive
+// from the device spec) or "0"/"" (plane disabled), returned in bytes.
+func parseKVCapacity(s string) (float64, error) {
+	s = strings.TrimSpace(strings.ToLower(s))
+	switch s {
+	case "", "0":
+		return 0, nil
+	case "auto":
+		return serve.AutoCapacity, nil
+	}
+	gb, err := strconv.ParseFloat(s, 64)
+	if err != nil || gb <= 0 {
+		return 0, fmt.Errorf("bad -kv-capacity %q: want gigabytes, 'auto' or 0", s)
+	}
+	return gb * 1e9, nil
 }
 
 func main() {
@@ -128,6 +165,9 @@ func main() {
 	churnArrivals := flag.Float64("churn-arrivals", 0, "serving: mean session arrivals per second (0 disables churn)")
 	churnLife := flag.Float64("churn-life", 0, "serving: mean session lifetime seconds (0 = whole run)")
 	seed := flag.Uint64("seed", 1, "serving: arrival jitter seed")
+	kvCapacity := flag.String("kv-capacity", "0", "serving: per-device KV budget in GB, or 'auto' (0 disables the memory-pressure plane)")
+	spill := flag.String("spill", "none", "serving: spill policy, e.g. 'spill(evict=lru,pages=16)' (see -list-policies)")
+	pageTokens := flag.Int("page-tokens", 0, "serving: KV page size in tokens (0 = default 256)")
 	list := flag.Bool("list-policies", false, "list registered policies, balancers and stream classes, then exit")
 	flag.Parse()
 
@@ -141,7 +181,8 @@ func main() {
 
 	set := map[string]bool{}
 	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
-	servingFlags := []string{"mix", "devices", "balancer", "streams", "duration", "drop", "churn-arrivals", "churn-life", "seed"}
+	servingFlags := []string{"mix", "devices", "balancer", "streams", "duration", "drop",
+		"churn-arrivals", "churn-life", "seed", "kv-capacity", "spill", "page-tokens"}
 	pointFlags := []string{"kv", "batch", "tokens", "tpot"}
 	serving := false
 	for _, f := range servingFlags {
@@ -188,6 +229,14 @@ func main() {
 	if err != nil {
 		fail("%v", err)
 	}
+	capacity, err := parseKVCapacity(*kvCapacity)
+	if err != nil {
+		fail("%v", err)
+	}
+	spillCfg, err := kvpool.ParseSpill(*spill)
+	if err != nil {
+		fail("%v\nrun 'vrex-sim -list-policies' for spill and eviction policy names", err)
+	}
 	switch {
 	case *devices < 1:
 		fail("-devices must be >= 1, got %d", *devices)
@@ -199,6 +248,10 @@ func main() {
 		fail("-churn-arrivals and -churn-life must be non-negative")
 	case *drop < 0:
 		fail("-drop must be non-negative (0 disables dropping)")
+	case *pageTokens < 0:
+		fail("-page-tokens must be non-negative (0 = default)")
+	case capacity == 0 && (*pageTokens != 0 || spillCfg.Evict != nil):
+		fail("-spill and -page-tokens need the memory-pressure plane: set -kv-capacity")
 	}
 
 	cfg := serve.Config{
@@ -208,14 +261,27 @@ func main() {
 		Churn:         serve.ChurnConfig{ArrivalRate: *churnArrivals, MeanLifetime: *churnLife},
 		DropThreshold: *drop, Seed: *seed, Workers: *par,
 	}
+	if capacity != 0 {
+		cfg.KV = serve.KVConfig{Capacity: capacity, PageTokens: *pageTokens, Spill: spillCfg}
+		if _, _, _, err := cfg.KV.PoolShape(dev, pol); err != nil {
+			fail("%v\nraise -kv-capacity or lower -page-tokens", err)
+		}
+	}
 	res := serve.Run(cfg)
 
 	verdict := "real-time"
 	if !res.RealTime {
 		verdict = "NOT real-time"
 	}
-	fmt.Printf("%s + %s | %d device(s), %s balancer | %d sessions over %gs | %s, fleet utilization %.0f%%\n\n",
+	fmt.Printf("%s + %s | %d device(s), %s balancer | %d sessions over %gs | %s, fleet utilization %.0f%%\n",
 		dev.Name, pol.Name, *devices, bal.Name(), len(res.PerStream), *duration, verdict, 100*res.Utilization)
+	if mem := res.Memory; mem.CapacityPages > 0 {
+		fmt.Printf("kv pool: %d pages x %d tokens per device, spill %s | pages in/out %d/%d (%.1f/%.1f ms) | queued %d, rejected %d\n",
+			mem.CapacityPages, mem.PageTokens, spillCfg.Name(),
+			mem.PagesIn, mem.PagesOut, 1000*mem.PageInTime, 1000*mem.PageOutTime,
+			mem.SessionsQueued, mem.SessionsRejected)
+	}
+	fmt.Println()
 
 	classTab := report.NewTable("serving: per-class metrics",
 		"class", "sessions", "arrived", "served", "dropped", "queries", "fps_per_stream", "p50_ms", "p99_ms", "realtime_sessions")
@@ -226,10 +292,18 @@ func main() {
 	classTab.Render(os.Stdout)
 	fmt.Println()
 
-	devTab := report.NewTable("serving: per-device metrics",
-		"device", "sessions", "frames", "queries", "util_pct")
+	headers := []string{"device", "sessions", "frames", "queries", "util_pct", "peak_kv"}
+	if res.Memory.CapacityPages > 0 {
+		headers = append(headers, "pages_in", "pages_out", "pagein_ms", "pageout_ms", "queued", "rejected")
+	}
+	devTab := report.NewTable("serving: per-device metrics", headers...)
 	for d, dm := range res.PerDevice {
-		devTab.AddRow(d, dm.Sessions, dm.FramesServed, dm.QueriesServed, 100*dm.Utilization)
+		row := []any{d, dm.Sessions, dm.FramesServed, dm.QueriesServed, 100 * dm.Utilization, dm.PeakResidentKV}
+		if res.Memory.CapacityPages > 0 {
+			row = append(row, dm.PagesIn, dm.PagesOut, 1000*dm.PageInTime, 1000*dm.PageOutTime,
+				dm.SessionsQueued, dm.SessionsRejected)
+		}
+		devTab.AddRow(row...)
 	}
 	devTab.Render(os.Stdout)
 }

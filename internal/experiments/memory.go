@@ -1,0 +1,135 @@
+package experiments
+
+import (
+	"fmt"
+
+	"vrex/internal/hwsim"
+	"vrex/internal/kvpool"
+	"vrex/internal/report"
+	"vrex/internal/serve"
+)
+
+// MemoryPressure charts the thing that actually caps edge concurrency: KV
+// cache footprint. It sweeps the serving simulator's memory-pressure plane
+// (internal/kvpool) on the edge V-Rex8 — device KV capacity x stream mix x
+// spill/eviction policy — and reports how many concurrent real-time streams
+// each budget sustains. A second table zooms into one pressured operating
+// point under session churn and shows the paging economy per eviction
+// policy: page traffic, reload time, admission outcomes and the resident-KV
+// high-water mark. At Llama-3 8B's 128 KiB/token, a 20K-token mid-session
+// stream owns ~2.6 GB of KV, so single-digit gigabyte budgets bind long
+// before V-Rex8's compute does.
+func MemoryPressure(opts Options) []*report.Table {
+	duration := 20.0
+	limit := 16
+	capacities := []float64{4e9, 8e9, 16e9}
+	if opts.Quick {
+		duration = 8
+		limit = 8
+		capacities = capacities[:2]
+	}
+
+	// Two mixes over the paper's 2 FPS working scenario: a uniform 20K-token
+	// population, and a skewed one (10K/30K) where session sizes differ
+	// enough for eviction-policy choices to matter.
+	mkClasses := func(kvs map[string]int) []serve.StreamClass {
+		var classes []serve.StreamClass
+		for _, name := range []string{"small", "large"} {
+			kv, ok := kvs[name]
+			if !ok {
+				continue
+			}
+			sc := serve.DefaultStreamConfig()
+			sc.QueryEvery = 0
+			sc.StartKV = kv
+			weight := 0.6
+			if name == "large" {
+				weight = 0.4
+			}
+			classes = append(classes, serve.StreamClass{Name: name, Weight: weight, Stream: sc})
+		}
+		return classes
+	}
+	mixes := []struct {
+		name    string
+		classes []serve.StreamClass
+	}{
+		{"uniform 20K", mkClasses(map[string]int{"small": 20000})},
+		{"10K:0.6 + 30K:0.4", mkClasses(map[string]int{"small": 10000, "large": 30000})},
+	}
+	spills := []string{
+		"none",
+		"spill(evict=lru,pages=8)",
+		"spill(evict=fifo,pages=8)",
+		"spill(evict=largest,pages=8)",
+	}
+
+	mk := func(classes []serve.StreamClass, capacity float64, spill string, devices int) serve.Config {
+		sp, err := kvpool.ParseSpill(spill)
+		if err != nil {
+			panic(fmt.Sprintf("experiments: memory spill %q: %v", spill, err))
+		}
+		cfg := serve.Config{
+			Dev: hwsim.VRex8(), Pol: hwsim.ReSVModel(),
+			Streams: 1, Duration: duration, Classes: classes,
+			Devices: devices, DropThreshold: 4, Seed: opts.Seed,
+			Workers: opts.Parallel,
+		}
+		if capacity != 0 {
+			// capacity == 0 leaves the plane disabled: the compute-bound
+			// reference point ("unbounded" column).
+			cfg.KV = serve.KVConfig{Capacity: capacity, Spill: sp}
+		}
+		if devices > 1 {
+			cfg.Balancer = serve.NewKVPressure()
+		}
+		return cfg
+	}
+
+	// Capacity sweep: max real-time streams per (mix, spill policy, budget).
+	headers := []string{"mix", "spill"}
+	for _, c := range capacities {
+		headers = append(headers, fmt.Sprintf("cap%.0fGB", c/1e9))
+	}
+	headers = append(headers, "unbounded")
+	capTab := report.NewTable("Memory: max real-time streams vs device KV capacity (V-Rex8 + ReSV, 2 FPS)", headers...)
+	for _, mix := range mixes {
+		for _, spill := range spills {
+			row := []any{mix.name, spill}
+			// The final 0 capacity is the pool-disabled compute bound.
+			for _, capacity := range append(append([]float64{}, capacities...), 0) {
+				row = append(row, serve.MaxRealTimeStreams(mk(mix.classes, capacity, spill, 1), limit))
+			}
+			capTab.AddRow(row...)
+		}
+	}
+
+	// Operating-point detail: a 2-device kv-pressure fleet at an 8 GB budget
+	// under session churn, per spill policy — the paging economy behind the
+	// capacity numbers.
+	streams := 6
+	pointCap := 8e9
+	churn := serve.ChurnConfig{ArrivalRate: 0.3, MeanLifetime: duration / 2}
+	if opts.Quick {
+		// Fewer streams over a shorter run: shrink the budget too so the
+		// quick path still exercises spilling (the determinism tests rely
+		// on it).
+		streams = 4
+		pointCap = 4e9
+	}
+	pageTab := report.NewTable(
+		fmt.Sprintf("Memory: paging economy at %.0f GB x 2 devices, %d initial streams + churn (kv-pressure balancer)", pointCap/1e9, streams),
+		"spill", "sessions", "served", "dropped_pct", "p99_ms", "pages_in", "pages_out",
+		"pagein_ms", "pageout_ms", "queued", "rejected", "peak_kv", "util_pct")
+	for _, spill := range spills {
+		cfg := mk(mixes[1].classes, pointCap, spill, 2)
+		cfg.Streams = streams
+		cfg.Churn = churn
+		res := serve.Run(cfg)
+		agg, mem := res.Aggregate, res.Memory
+		pageTab.AddRow(spill, agg.Sessions, agg.FramesServed, 100*agg.DropRate, 1000*agg.P99,
+			mem.PagesIn, mem.PagesOut, 1000*mem.PageInTime, 1000*mem.PageOutTime,
+			mem.SessionsQueued, mem.SessionsRejected, mem.PeakResidentKV, 100*res.Utilization)
+	}
+	return []*report.Table{capTab, pageTab}
+}

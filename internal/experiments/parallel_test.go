@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"runtime"
 	"strings"
 	"testing"
 
@@ -33,6 +34,28 @@ func TestParallelRunByteIdentical(t *testing.T) {
 			if par := render(w); par != seq {
 				t.Fatalf("experiment %s: workers=%d output diverged from sequential", id, w)
 			}
+		}
+	}
+}
+
+// TestMemoryExperimentParallelByteIdentical: the memory-pressure experiment
+// drives the churn + spill + admission serving path, whose pool operations
+// all live inside the serialised device loop — its rendered output must be
+// byte-identical across worker counts 1, 4 and GOMAXPROCS.
+func TestMemoryExperimentParallelByteIdentical(t *testing.T) {
+	render := func(workers int) string {
+		opts := quickOpts()
+		opts.Parallel = workers
+		var buf bytes.Buffer
+		if err := Run("memory", opts, &buf); err != nil {
+			t.Fatalf("Run(memory, workers=%d): %v", workers, err)
+		}
+		return buf.String()
+	}
+	seq := render(1)
+	for _, w := range []int{4, runtime.GOMAXPROCS(0)} {
+		if par := render(w); par != seq {
+			t.Fatalf("memory experiment: workers=%d output diverged from sequential", w)
 		}
 	}
 }

@@ -90,14 +90,16 @@ var registry = map[string]Runner{
 	"tab2":  Table2Accuracy,
 	"tab3":  Table3AreaPower,
 	// Extensions beyond the paper's artifacts: hyperparameter ablation
-	// benches, the serving-scale study, and the fleet × balancer × mix
-	// sweep built on the Scenario API (see EXPERIMENTS.md).
+	// benches, the serving-scale study, the fleet × balancer × mix sweep
+	// built on the Scenario API, and the KV memory-pressure study on the
+	// kvpool plane (see EXPERIMENTS.md).
 	"multiturn":    MultiTurnCoherence,
 	"sweep-thwics": SweepThWics,
 	"sweep-thhd":   SweepThHD,
 	"sweep-nhp":    SweepNHp,
 	"scale":        ScaleServing,
 	"fleet":        FleetServing,
+	"memory":       MemoryPressure,
 }
 
 // IDs returns the registered experiment IDs, sorted.

@@ -440,3 +440,34 @@ func TestTiledCyclesPenaltyBeyondCapacity(t *testing.T) {
 		t.Fatalf("WTU tiling overhead out of band: %v vs %v", wtiled, wbase)
 	}
 }
+
+func TestKVBudgetBytes(t *testing.T) {
+	llm := Llama3_8B()
+	for _, dev := range []DeviceSpec{AGXOrin(), A100(), VRex8(), VRex48()} {
+		b := dev.KVBudgetBytes(llm)
+		if b <= 0 || b >= dev.MemCapacity {
+			t.Fatalf("%s: KV budget %v out of (0, capacity %v)", dev.Name, b, dev.MemCapacity)
+		}
+		// Budget + weights + workspace must reconstruct device memory.
+		if got := b + llm.WeightBytes() + kvWorkspaceBytes; math.Abs(got-dev.MemCapacity) > 1 {
+			t.Fatalf("%s: budget accounting off: %v vs %v", dev.Name, got, dev.MemCapacity)
+		}
+	}
+	// A device smaller than the model has no KV budget.
+	tiny := VRex8()
+	tiny.MemCapacity = 8e9
+	if tiny.KVBudgetBytes(llm) != 0 {
+		t.Fatal("undersized device must report zero budget")
+	}
+}
+
+func TestPolicyKVBytesPerToken(t *testing.T) {
+	llm := Llama3_8B()
+	if got := ReSVModel().KVBytesPerToken(llm); got != llm.KVBytesPerToken() {
+		t.Fatalf("16-bit policy must match raw footprint: %v", got)
+	}
+	// Oaken quantises KV to 4 bits: a quarter of the BF16 footprint.
+	if got := OakenModel().KVBytesPerToken(llm); got != llm.KVBytesPerToken()/4 {
+		t.Fatalf("4-bit policy footprint %v, want quarter of %v", got, llm.KVBytesPerToken())
+	}
+}

@@ -69,6 +69,13 @@ func (p PolicyModel) quantFactor() float64 {
 	return float64(p.KVQuantBits) / 16
 }
 
+// KVBytesPerToken returns the resident KV footprint of one token under this
+// policy's storage precision — the page-sizing input of the serving plane's
+// KV pool (internal/kvpool).
+func (p PolicyModel) KVBytesPerToken(llm LLMSpec) float64 {
+	return llm.KVBytesPerToken() * p.quantFactor()
+}
+
 // StageKind mirrors model.Stage for the performance plane.
 type StageKind int
 

@@ -51,6 +51,21 @@ type DeviceSpec struct {
 	FrameOverhead float64
 }
 
+// kvWorkspaceBytes is the activation/workspace floor reserved out of device
+// memory before KV, matching Sim.residentBytes' estimate at batch 1.
+const kvWorkspaceBytes = 2e9
+
+// KVBudgetBytes returns the device memory left for resident session KV after
+// model weights and activation workspace — the budget the serving plane's KV
+// pool derives per-device capacity from (serve.AutoCapacity).
+func (d DeviceSpec) KVBudgetBytes(llm LLMSpec) float64 {
+	b := d.MemCapacity - llm.WeightBytes() - kvWorkspaceBytes
+	if b < 0 {
+		return 0
+	}
+	return b
+}
+
 // AGXOrin returns the edge GPU of Table I: 54 TFLOPS FP16, LPDDR5
 // 204.8 GB/s, 32 GB, PCIe 3.0 x4 to an NVMe SSD, ~40 W.
 func AGXOrin() DeviceSpec {

@@ -1,0 +1,252 @@
+package kvpool
+
+import (
+	"reflect"
+	"testing"
+
+	"vrex/internal/memsim"
+)
+
+// flatMover prices every page at a fixed cost, keeping arithmetic exact in
+// tests.
+type flatMover struct{ in, out float64 }
+
+func (m flatMover) PageIn(pages int) float64  { return m.in * float64(pages) }
+func (m flatMover) PageOut(pages int) float64 { return m.out * float64(pages) }
+
+func lruPool(capacity, pageTokens, batch int) *Pool {
+	return New(Config{
+		CapacityPages: capacity, PageTokens: pageTokens,
+		Spill: SpillConfig{Evict: LRU{}, BatchPages: batch},
+		Mover: flatMover{in: 2, out: 1},
+	})
+}
+
+func TestPageMath(t *testing.T) {
+	p := lruPool(10, 100, 1)
+	cases := map[int]int{0: 0, 1: 1, 99: 1, 100: 1, 101: 2, 1000: 10}
+	for tokens, pages := range cases {
+		if got := p.pagesFor(tokens); got != pages {
+			t.Fatalf("pagesFor(%d) = %d, want %d", tokens, got, pages)
+		}
+	}
+	if !p.Fits(1000) || p.Fits(1001) {
+		t.Fatal("Fits must compare page footprint to capacity")
+	}
+}
+
+func TestAdmitGrowRelease(t *testing.T) {
+	p := lruPool(10, 100, 1)
+	if _, ok := p.Admit(0, 350, 0); !ok {
+		t.Fatal("admission must succeed with free pages")
+	}
+	if p.FreePages() != 6 {
+		t.Fatalf("free pages %d, want 6", p.FreePages())
+	}
+	// Growth within the last page allocates nothing.
+	if _, ok := p.Grow(0, 50, 1); !ok || p.FreePages() != 6 {
+		t.Fatalf("in-page growth must be free: free=%d", p.FreePages())
+	}
+	// Crossing the boundary allocates one page.
+	if _, ok := p.Grow(0, 1, 2); !ok || p.FreePages() != 5 {
+		t.Fatalf("boundary growth must allocate: free=%d", p.FreePages())
+	}
+	p.Release(0)
+	if p.FreePages() != 10 {
+		t.Fatalf("release must return pages: free=%d", p.FreePages())
+	}
+	// Releasing an unknown session is a no-op.
+	p.Release(42)
+}
+
+func TestAdmitQueuesWithoutSpill(t *testing.T) {
+	p := New(Config{CapacityPages: 4, PageTokens: 100})
+	if _, ok := p.Admit(0, 300, 0); !ok {
+		t.Fatal("first admission fits")
+	}
+	if _, ok := p.Admit(1, 200, 1); ok {
+		t.Fatal("full pool without spill must refuse admission")
+	}
+	p.Release(0)
+	if _, ok := p.Admit(1, 200, 2); !ok {
+		t.Fatal("admission must succeed after pages free")
+	}
+}
+
+func TestGrowFailsWhenFootprintExceedsPool(t *testing.T) {
+	p := lruPool(4, 100, 1)
+	p.Admit(0, 400, 0)
+	if _, ok := p.Grow(0, 1, 1); ok {
+		t.Fatal("growth past pool capacity must fail even with spill")
+	}
+	// The failed growth must not have changed accounting.
+	if p.FreePages() != 0 {
+		t.Fatalf("failed growth leaked pages: free=%d", p.FreePages())
+	}
+	if _, ok := p.Grow(0, 0, 2); !ok {
+		t.Fatal("zero growth is always fine")
+	}
+}
+
+func TestSpillEvictsColdestAndTouchReloads(t *testing.T) {
+	p := lruPool(6, 100, 1)
+	p.Admit(0, 300, 0) // 3 pages, last used t=0
+	p.Admit(1, 300, 1) // 3 pages, last used t=1
+	// Session 1 grows to 4 pages: needs one, pool full -> session 0 (colder)
+	// spills one.
+	spill, ok := p.Grow(1, 100, 2)
+	if !ok {
+		t.Fatal("growth with spill must succeed")
+	}
+	if spill != 1 { // 1 page x out-cost 1
+		t.Fatalf("spill time %v, want 1", spill)
+	}
+	st := p.Stats()
+	if st.PagesOut != 1 || st.PageOutTime != 1 {
+		t.Fatalf("stats %+v, want 1 page out", st)
+	}
+	// Touching session 0 reloads its spilled page, evicting from session 1.
+	pageIn, pageOut := p.Touch(0, 3)
+	if pageIn != 2 || pageOut != 1 {
+		t.Fatalf("touch times in=%v out=%v, want 2/1", pageIn, pageOut)
+	}
+	st = p.Stats()
+	if st.PagesIn != 1 || st.PagesOut != 2 {
+		t.Fatalf("stats after thrash %+v", st)
+	}
+	// Touch on a fully resident session is free.
+	if in, out := p.Touch(0, 4); in != 0 || out != 0 {
+		t.Fatalf("resident touch charged %v/%v", in, out)
+	}
+}
+
+func TestEvictionPolicyOrders(t *testing.T) {
+	// Three sessions with distinct recency, admission order and size.
+	mk := func(ev EvictPolicy) *Pool {
+		p := New(Config{
+			CapacityPages: 6, PageTokens: 100,
+			Spill: SpillConfig{Evict: ev, BatchPages: 1},
+			Mover: flatMover{in: 1, out: 1},
+		})
+		p.Admit(0, 100, 0) // oldest admit, 1 page
+		p.Admit(1, 300, 1) // 3 pages
+		p.Admit(2, 200, 2) // newest admit, 2 pages
+		p.Touch(0, 10)     // 0 is now the most recently used
+		return p
+	}
+	firstVictim := func(p *Pool) int { return p.evictable(-1)[0].id }
+	if got := firstVictim(mk(LRU{})); got != 1 {
+		t.Fatalf("lru first victim %d, want 1 (coldest)", got)
+	}
+	if got := firstVictim(mk(FIFO{})); got != 0 {
+		t.Fatalf("fifo first victim %d, want 0 (oldest admit)", got)
+	}
+	if got := firstVictim(mk(Largest{})); got != 1 {
+		t.Fatalf("largest first victim %d, want 1 (most pages)", got)
+	}
+}
+
+func TestBatchSpillAmortises(t *testing.T) {
+	p := New(Config{
+		CapacityPages: 8, PageTokens: 100,
+		Spill: SpillConfig{Evict: LRU{}, BatchPages: 4},
+		Mover: flatMover{in: 1, out: 1},
+	})
+	p.Admit(0, 700, 0) // 7 pages
+	// Needs 1 page; batch=4 spills 4 at once.
+	if _, ok := p.Admit(1, 200, 1); !ok {
+		t.Fatal("batched admission must succeed")
+	}
+	if st := p.Stats(); st.PagesOut != 4 {
+		t.Fatalf("batch spill moved %d pages, want 4", st.PagesOut)
+	}
+	if p.FreePages() != 3 { // 8 - 7 + 4(spilled) - 2(admitted) = 3
+		t.Fatalf("free pages %d, want 3", p.FreePages())
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() (Stats, int) {
+		p := lruPool(8, 100, 2)
+		p.Admit(0, 400, 0)
+		p.Admit(1, 300, 1)
+		p.Grow(0, 200, 2)
+		p.Touch(1, 3)
+		p.Grow(1, 150, 4)
+		p.Touch(0, 5)
+		p.Release(1)
+		return p.Stats(), p.FreePages()
+	}
+	s1, f1 := run()
+	s2, f2 := run()
+	if !reflect.DeepEqual(s1, s2) || f1 != f2 {
+		t.Fatalf("pool not deterministic: %+v/%d vs %+v/%d", s1, f1, s2, f2)
+	}
+}
+
+func TestParseSpill(t *testing.T) {
+	c, err := ParseSpill("spill(evict=lru,pages=16)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Evict == nil || c.Evict.Name() != "lru" || c.BatchPages != 16 {
+		t.Fatalf("parsed %+v", c)
+	}
+	if c.Name() != "spill(evict=lru,pages=16)" {
+		t.Fatalf("canonical name %q", c.Name())
+	}
+	c, err = ParseSpill("spill")
+	if err != nil || c.Evict.Name() != "lru" || c.BatchPages != 1 {
+		t.Fatalf("defaults: %+v, %v", c, err)
+	}
+	c, err = ParseSpill("none")
+	if err != nil || c.Evict != nil || c.Name() != "none" {
+		t.Fatalf("none: %+v, %v", c, err)
+	}
+	for _, bad := range []string{
+		"", "nosuch", "spill(evict=nosuch)", "spill(pages=0)",
+		"spill(typo=1)", "none(pages=1)",
+	} {
+		if _, err := ParseSpill(bad); err == nil {
+			t.Errorf("ParseSpill(%q) should fail", bad)
+		}
+	}
+}
+
+func TestEvictionRegistry(t *testing.T) {
+	names := EvictionNames()
+	if len(names) < 3 {
+		t.Fatalf("missing eviction registrations: %v", names)
+	}
+	for _, n := range names {
+		ev, err := NewEviction(n)
+		if err != nil || ev.Name() != n {
+			t.Fatalf("NewEviction(%q) = %v, %v", n, ev, err)
+		}
+	}
+	if _, err := NewEviction("nosuch"); err == nil {
+		t.Fatal("unknown eviction must error")
+	}
+}
+
+func TestTransferPricing(t *testing.T) {
+	ssd := memsim.KioxiaBG6()
+	edge := Transfer{Link: memsim.PCIe3x4(), SSD: &ssd, Host: memsim.DDR4Host(), PageBytes: 1 << 20}
+	server := Transfer{Link: memsim.PCIe4x16(), Host: memsim.DDR4Host(), PageBytes: 1 << 20}
+	if edge.PageIn(0) != 0 || edge.PageOut(0) != 0 {
+		t.Fatal("zero pages must cost zero")
+	}
+	one, many := edge.PageIn(1), edge.PageIn(64)
+	if one <= 0 || many <= one {
+		t.Fatalf("page-in times not monotone: %v, %v", one, many)
+	}
+	// NVMe-backed reload must be at least as slow as the bare server link at
+	// equal page counts (slower link AND a drive underneath).
+	if edge.PageIn(16) <= server.PageIn(16) {
+		t.Fatalf("edge reload %v should exceed server reload %v", edge.PageIn(16), server.PageIn(16))
+	}
+	// Per-page segment pricing is at worst linear in the page count.
+	if many > 64*one*(1+1e-9) {
+		t.Fatalf("page cost super-linear: %v vs %v", many, 64*one)
+	}
+}

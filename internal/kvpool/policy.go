@@ -1,0 +1,162 @@
+package kvpool
+
+import (
+	"fmt"
+
+	"vrex/internal/named"
+	"vrex/internal/policyspec"
+)
+
+// Victim is the eviction-relevant view of one admitted session, handed to
+// eviction policies when the pool must free pages.
+type Victim struct {
+	// ID is the session's identifier (the serving plane's session index).
+	ID int
+	// LastUse is the time of the session's last activity.
+	LastUse float64
+	// AdmitSeq is the session's admission ordinal on this device.
+	AdmitSeq int
+	// ResidentPages is the session's in-memory page count.
+	ResidentPages int
+	// Tokens is the session's KV length.
+	Tokens int
+}
+
+// victim projects the internal session state for policy comparison.
+func victim(s *session) Victim {
+	return Victim{ID: s.id, LastUse: s.lastUse, AdmitSeq: s.admitSeq, ResidentPages: s.resident, Tokens: s.tokens}
+}
+
+// EvictPolicy orders spill victims. Implementations must be deterministic
+// pure functions of the two victims; the pool adds a final session-id
+// tie-break.
+type EvictPolicy interface {
+	Name() string
+	// Compare returns < 0 when a should spill before b, > 0 for the
+	// converse, 0 to fall through to the next tie-break.
+	Compare(a, b Victim) int
+}
+
+// LRU spills the coldest session first (oldest last-use time), the classic
+// recency heuristic: an idle stream's KV is the least likely to be needed
+// before more frames of a busy one.
+type LRU struct{}
+
+// Name implements EvictPolicy.
+func (LRU) Name() string { return "lru" }
+
+// Compare implements EvictPolicy.
+func (LRU) Compare(a, b Victim) int {
+	switch {
+	case a.LastUse < b.LastUse:
+		return -1
+	case a.LastUse > b.LastUse:
+		return 1
+	}
+	return 0
+}
+
+// FIFO spills the longest-admitted session first, regardless of activity —
+// the paper's streaming setting ages out the oldest context first.
+type FIFO struct{}
+
+// Name implements EvictPolicy.
+func (FIFO) Name() string { return "fifo" }
+
+// Compare implements EvictPolicy.
+func (FIFO) Compare(a, b Victim) int { return a.AdmitSeq - b.AdmitSeq }
+
+// Largest spills the session with the most resident pages first, freeing the
+// most memory per eviction decision (and per page-out batch).
+type Largest struct{}
+
+// Name implements EvictPolicy.
+func (Largest) Name() string { return "largest" }
+
+// Compare implements EvictPolicy.
+func (Largest) Compare(a, b Victim) int { return b.ResidentPages - a.ResidentPages }
+
+// evictions is the eviction-policy registry; the -spill spec's evict=
+// parameter resolves here.
+var evictions = named.New[func() EvictPolicy]("kvpool", "eviction")
+
+func init() {
+	RegisterEviction("lru", func() EvictPolicy { return LRU{} })
+	RegisterEviction("fifo", func() EvictPolicy { return FIFO{} })
+	RegisterEviction("largest", func() EvictPolicy { return Largest{} })
+}
+
+// RegisterEviction adds an eviction policy factory under name (lower-cased);
+// duplicates panic — registry names are part of the CLI surface.
+func RegisterEviction(name string, f func() EvictPolicy) { evictions.Register(name, f) }
+
+// EvictionNames returns the registered eviction policy names, sorted.
+func EvictionNames() []string { return evictions.Names() }
+
+// NewEviction builds a registered eviction policy by name.
+func NewEviction(name string) (EvictPolicy, error) {
+	f, ok := evictions.Lookup(name)
+	if !ok {
+		return nil, evictions.Unknown(name)
+	}
+	return f(), nil
+}
+
+// SpillConfig is a parsed spill policy: how (and whether) a full pool evicts
+// cold sessions' pages to the backing store.
+type SpillConfig struct {
+	// Evict orders victims; nil disables spilling entirely (a full pool
+	// queues admissions and drops growth).
+	Evict EvictPolicy
+	// BatchPages is the minimum pages spilled per eviction event,
+	// amortising per-transfer setup costs (the PCIe segment latency the
+	// memsim models charge). 1 spills exactly what is needed.
+	BatchPages int
+}
+
+// Name renders the config back to its canonical spec string.
+func (c SpillConfig) Name() string {
+	if c.Evict == nil {
+		return "none"
+	}
+	return fmt.Sprintf("spill(evict=%s,pages=%d)", c.Evict.Name(), c.BatchPages)
+}
+
+// SpillNames returns the spill policy spec names, for CLI listings.
+func SpillNames() []string { return []string{"none", "spill"} }
+
+// ParseSpill parses a spill policy spec:
+//
+//	none                       no spilling (queue admissions, drop growth)
+//	spill                      spill with defaults (evict=lru, pages=1)
+//	spill(evict=lru,pages=16)  eviction policy + page-out batch size
+//
+// Eviction names resolve via the kvpool eviction registry (see
+// EvictionNames).
+func ParseSpill(spec string) (SpillConfig, error) {
+	sp, err := policyspec.Parse(spec)
+	if err != nil {
+		return SpillConfig{}, err
+	}
+	switch sp.Name {
+	case "none":
+		if err := sp.CheckConsumed(); err != nil {
+			return SpillConfig{}, err
+		}
+		return SpillConfig{}, nil
+	case "spill":
+		ev, err := NewEviction(sp.Str("evict", "lru"))
+		if err != nil {
+			return SpillConfig{}, err
+		}
+		pages := sp.Int("pages", 1)
+		if err := sp.CheckConsumed("evict", "pages"); err != nil {
+			return SpillConfig{}, err
+		}
+		if pages < 1 {
+			return SpillConfig{}, fmt.Errorf("kvpool: spill pages=%d must be >= 1", pages)
+		}
+		return SpillConfig{Evict: ev, BatchPages: pages}, nil
+	}
+	return SpillConfig{}, fmt.Errorf("kvpool: unknown spill policy %q (known: none, spill)", sp.Name)
+}

@@ -1,14 +1,17 @@
 // Package policyspec parses the declarative policy spec strings shared by
-// the hwsim and retrieval registries: a lower-case policy name with optional
-// typed parameters, e.g.
+// the hwsim, retrieval and kvpool registries: a lower-case policy name with
+// optional typed parameters, e.g.
 //
 //	resv
 //	rekv(frame=0.58,text=0.31)
 //	infinigen(text=0.068)
+//	spill(evict=lru,pages=16)
 //
-// Registries consume parameters by key; any key left unconsumed is a spec
-// error reported back to the caller, so typos in CLI flags fail loudly
-// instead of silently using defaults.
+// Registries consume parameters by key — numerically via Float/Int, or as
+// enumeration strings via Str — and finish with CheckConsumed, which reports
+// both unconsumed keys and type mismatches (a non-numeric value consumed by
+// Float). Typos in CLI flags therefore fail loudly instead of silently using
+// defaults.
 package policyspec
 
 import (
@@ -18,20 +21,24 @@ import (
 	"strings"
 )
 
-// Spec is one parsed policy spec: a normalised name plus keyed numeric
-// parameters. Consume parameters with Float/Int and finish with Unused to
-// reject unknown keys.
+// Spec is one parsed policy spec: a normalised name plus keyed parameters.
+// Consume parameters with Float/Int/Str and finish with CheckConsumed to
+// reject unknown keys and ill-typed values.
 type Spec struct {
 	// Name is the policy name, lower-cased and trimmed.
 	Name string
 
-	params map[string]float64
-	used   map[string]bool
+	raw  map[string]string
+	nums map[string]float64
+	used map[string]bool
+	errs []string
 }
 
 // Parse parses "name" or "name(k=v,k2=v2)". Names are case-insensitive;
-// whitespace around tokens is ignored; duplicate keys and malformed numbers
-// are errors.
+// whitespace around tokens is ignored; duplicate keys are errors. Values may
+// be numbers or bare strings (enumeration values like evict=lru); whether a
+// string value is acceptable is decided by the consumer (Float records a
+// type error, Str accepts it).
 func Parse(s string) (*Spec, error) {
 	s = strings.TrimSpace(s)
 	if s == "" {
@@ -50,7 +57,7 @@ func Parse(s string) (*Spec, error) {
 	if name == "" || strings.ContainsAny(name, "()=,") {
 		return nil, fmt.Errorf("policyspec: %q: malformed policy name", s)
 	}
-	sp := &Spec{Name: name, params: map[string]float64{}, used: map[string]bool{}}
+	sp := &Spec{Name: name, raw: map[string]string{}, nums: map[string]float64{}, used: map[string]bool{}}
 	if strings.TrimSpace(arg) == "" {
 		// "name" and "name()" are equivalent.
 		return sp, nil
@@ -64,48 +71,68 @@ func Parse(s string) (*Spec, error) {
 		if key == "" {
 			return nil, fmt.Errorf("policyspec: %q: empty parameter key", s)
 		}
-		if _, dup := sp.params[key]; dup {
+		if _, dup := sp.raw[key]; dup {
 			return nil, fmt.Errorf("policyspec: %q: duplicate parameter %q", s, key)
 		}
-		f, err := strconv.ParseFloat(strings.TrimSpace(v), 64)
-		if err != nil {
-			return nil, fmt.Errorf("policyspec: %q: parameter %s: bad number %q", s, key, strings.TrimSpace(v))
+		val := strings.TrimSpace(v)
+		if val == "" {
+			return nil, fmt.Errorf("policyspec: %q: parameter %s: empty value", s, key)
 		}
-		sp.params[key] = f
+		sp.raw[key] = val
+		if f, err := strconv.ParseFloat(val, 64); err == nil {
+			sp.nums[key] = f
+		}
 	}
 	return sp, nil
 }
 
-// Float consumes the parameter key, returning def when absent.
+// Float consumes the parameter key as a number, returning def when absent. A
+// present but non-numeric value records a type error reported by
+// CheckConsumed.
 func (s *Spec) Float(key string, def float64) float64 {
-	if v, ok := s.params[key]; ok {
-		s.used[key] = true
-		return v
+	if _, ok := s.raw[key]; !ok {
+		return def
 	}
-	return def
+	s.used[key] = true
+	v, ok := s.nums[key]
+	if !ok {
+		s.errs = append(s.errs, fmt.Sprintf("parameter %s: bad number %q", key, s.raw[key]))
+		return def
+	}
+	return v
 }
 
 // Int consumes the parameter key as an integer (truncating), returning def
 // when absent.
 func (s *Spec) Int(key string, def int) int {
-	if v, ok := s.params[key]; ok {
-		s.used[key] = true
-		return int(v)
+	if _, ok := s.raw[key]; !ok {
+		return def
 	}
-	return def
+	return int(s.Float(key, float64(def)))
+}
+
+// Str consumes the parameter key as a string (lower-cased — string values
+// are enumeration names), returning def when absent.
+func (s *Spec) Str(key, def string) string {
+	v, ok := s.raw[key]
+	if !ok {
+		return def
+	}
+	s.used[key] = true
+	return strings.ToLower(v)
 }
 
 // Has reports whether the key was given (without consuming it).
 func (s *Spec) Has(key string) bool {
-	_, ok := s.params[key]
+	_, ok := s.raw[key]
 	return ok
 }
 
-// Unused returns the sorted parameter keys never consumed by Float/Int —
+// Unused returns the sorted parameter keys never consumed by Float/Int/Str —
 // unknown parameters the registry should reject.
 func (s *Spec) Unused() []string {
 	var out []string
-	for k := range s.params {
+	for k := range s.raw {
 		if !s.used[k] {
 			out = append(out, k)
 		}
@@ -114,9 +141,13 @@ func (s *Spec) Unused() []string {
 	return out
 }
 
-// CheckConsumed returns an error naming any unconsumed parameters, listing
-// the keys the policy does accept.
+// CheckConsumed returns an error for any type mismatch recorded during
+// consumption, then for unconsumed parameters, listing the keys the policy
+// does accept.
 func (s *Spec) CheckConsumed(known ...string) error {
+	if len(s.errs) > 0 {
+		return fmt.Errorf("policyspec: policy %q: %s", s.Name, strings.Join(s.errs, "; "))
+	}
 	if u := s.Unused(); len(u) > 0 {
 		return fmt.Errorf("policyspec: policy %q does not accept parameter(s) %s (known: %s)",
 			s.Name, strings.Join(u, ", "), strings.Join(known, ", "))

@@ -53,12 +53,46 @@ func TestUnusedReported(t *testing.T) {
 func TestParseErrors(t *testing.T) {
 	for _, bad := range []string{
 		"", "  ", "rekv(frame=0.5", "rekv(frame)", "rekv(=1)",
-		"rekv(frame=zero)", "rekv(frame=1,frame=2)",
+		"rekv(frame=)", "rekv(frame=1,frame=2)",
 		"(frame=1)", "a=b",
 	} {
 		if _, err := Parse(bad); err == nil {
 			t.Errorf("Parse(%q) should fail", bad)
 		}
+	}
+}
+
+func TestStrParams(t *testing.T) {
+	sp, err := Parse("spill(evict=LRU,pages=16)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sp.Str("evict", "fifo"); got != "lru" {
+		t.Fatalf("string param %q, want lru (lower-cased)", got)
+	}
+	if sp.Int("pages", 0) != 16 {
+		t.Fatal("numeric param alongside string param not parsed")
+	}
+	if got := sp.Str("absent", "def"); got != "def" {
+		t.Fatalf("absent string param must default: got %q", got)
+	}
+	if err := sp.CheckConsumed("evict", "pages"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFloatOnStringValueReported(t *testing.T) {
+	// A non-numeric value consumed as a number is a type error, surfaced by
+	// CheckConsumed so registries reject it ("rekv(frame=zero)" stays fatal).
+	sp, err := Parse("rekv(frame=zero)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sp.Float("frame", 0.5); got != 0.5 {
+		t.Fatalf("ill-typed param must fall back to default, got %v", got)
+	}
+	if err := sp.CheckConsumed("frame"); err == nil {
+		t.Fatal("type mismatch must be reported by CheckConsumed")
 	}
 }
 

@@ -12,10 +12,17 @@ type DeviceState struct {
 	Busy float64
 	// ActiveSessions counts sessions currently placed on the device.
 	ActiveSessions int
-	// ResidentKV is the summed KV length of the device's active sessions.
+	// ResidentKV is the summed KV length of the device's active (admitted)
+	// sessions — the KV they own, whether its pages are currently in device
+	// memory or spilled to the backing store. For physical occupancy under
+	// the memory-pressure plane, use FreePages/CapacityPages.
 	ResidentKV int
 	// ClassSessions counts active sessions per stream class.
 	ClassSessions []int
+	// FreePages / CapacityPages expose the device's KV pool occupancy when
+	// the memory-pressure plane is enabled (both zero otherwise): free and
+	// total pages of the device's kvpool.
+	FreePages, CapacityPages int
 }
 
 // Balancer places arriving sessions on fleet devices. Implementations may
@@ -154,6 +161,47 @@ func (*KVAffinity) Assign(_ float64, class int, devices []DeviceState) int {
 	return best
 }
 
+// KVPressure places sessions by KV memory headroom: the device with the most
+// free pool pages wins, so placement tracks actual memory pressure instead of
+// session counts — a session mix with skewed StartKV lengths loads devices
+// very unevenly per session. Ties (including the pool-disabled case, where
+// every device reports zero free pages) fall back to least-loaded order.
+type KVPressure struct{}
+
+// NewKVPressure returns the balancer.
+func NewKVPressure() *KVPressure { return &KVPressure{} }
+
+// Name implements Balancer.
+func (*KVPressure) Name() string { return "kv-pressure" }
+
+// Reset implements Balancer.
+func (*KVPressure) Reset(int) {}
+
+// Assign implements Balancer.
+func (*KVPressure) Assign(_ float64, _ int, devices []DeviceState) int {
+	best := 0
+	for i := 1; i < len(devices); i++ {
+		a, b := &devices[i], &devices[best]
+		switch {
+		case a.FreePages != b.FreePages:
+			if a.FreePages > b.FreePages {
+				best = i
+			}
+		case a.ActiveSessions != b.ActiveSessions:
+			if a.ActiveSessions < b.ActiveSessions {
+				best = i
+			}
+		case a.ResidentKV != b.ResidentKV:
+			if a.ResidentKV < b.ResidentKV {
+				best = i
+			}
+		case a.Free < b.Free:
+			best = i
+		}
+	}
+	return best
+}
+
 // balancers is the balancer registry: CLIs resolve -balancer flags here.
 var balancers = named.New[func() Balancer]("serve", "balancer")
 
@@ -161,6 +209,7 @@ func init() {
 	RegisterBalancer("round-robin", func() Balancer { return NewRoundRobin() })
 	RegisterBalancer("least-loaded", func() Balancer { return NewLeastLoaded() })
 	RegisterBalancer("kv-affinity", func() Balancer { return NewKVAffinity() })
+	RegisterBalancer("kv-pressure", func() Balancer { return NewKVPressure() })
 }
 
 // RegisterBalancer adds a balancer factory under name (lower-cased);

@@ -14,6 +14,17 @@ const (
 	EventFrameDropped
 	// EventQueryServed: a query (prefill + full answer) finished service.
 	EventQueryServed
+	// EventSessionQueued: admission control had no pages for the session's
+	// working set (KV plane only); its frames drop until admission.
+	EventSessionQueued
+	// EventSessionAdmitted: a previously queued session obtained its pages.
+	EventSessionAdmitted
+	// EventSessionRejected: the session's working set exceeds the device's
+	// whole KV pool; it is never served.
+	EventSessionRejected
+	// EventQueryDropped: a query arrived for an unadmitted session, or its
+	// KV growth could not be allocated.
+	EventQueryDropped
 )
 
 // String names the kind for logs and traces.
@@ -29,6 +40,14 @@ func (k EventKind) String() string {
 		return "frame-dropped"
 	case EventQueryServed:
 		return "query-served"
+	case EventSessionQueued:
+		return "session-queued"
+	case EventSessionAdmitted:
+		return "session-admitted"
+	case EventSessionRejected:
+		return "session-rejected"
+	case EventQueryDropped:
+		return "query-dropped"
 	}
 	return "unknown"
 }

@@ -1,0 +1,273 @@
+package serve
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+
+	"vrex/internal/hwsim"
+	"vrex/internal/kvpool"
+)
+
+// kvConfig is mixConfig plus an explicit KV pool: capacityBytes of 250-token
+// pages on VRex8 (NVMe-backed spill path). 250-token pages make the page
+// math round against the 5000-token StartKV of mixConfig (20 pages/session,
+// 32.768 MB/page for Llama-3 8B BF16).
+func kvConfig(streams, devices int, capacityBytes float64, spill string) Config {
+	cfg := mixConfig(streams, devices)
+	cfg.Dev = hwsim.VRex8()
+	sp, err := kvpool.ParseSpill(spill)
+	if err != nil {
+		panic(err)
+	}
+	cfg.KV = KVConfig{Capacity: capacityBytes, PageTokens: 250, Spill: sp}
+	return cfg
+}
+
+// pageBytes250 is the byte size of one 250-token page at the test policy's
+// 16-bit KV precision.
+const pageBytes250 = 131072 * 250
+
+// TestKVUnconstrainedMatchesDisabled pins the plane's reduction property
+// beyond the golden tests: with the pool enabled but never binding (capacity
+// far above the working set, no spilling ever needed), every serving metric
+// is identical to the pool-disabled run — the plane only adds its own
+// bookkeeping.
+func TestKVUnconstrainedMatchesDisabled(t *testing.T) {
+	base := mixConfig(8, 2)
+	base.Dev = hwsim.VRex8()
+	pooled := base
+	pooled.KV = KVConfig{Capacity: 1e12, PageTokens: 250}
+	a, b := Run(base), Run(pooled)
+	if !reflect.DeepEqual(a.PerStream, b.PerStream) {
+		t.Fatal("unconstrained pool changed per-stream metrics")
+	}
+	if !reflect.DeepEqual(a.PerClass, b.PerClass) || !reflect.DeepEqual(a.Aggregate, b.Aggregate) {
+		t.Fatal("unconstrained pool changed class metrics")
+	}
+	if !reflect.DeepEqual(a.PerDevice, b.PerDevice) {
+		t.Fatalf("unconstrained pool changed device metrics:\n%+v\n%+v", a.PerDevice, b.PerDevice)
+	}
+	if a.Utilization != b.Utilization || a.RealTime != b.RealTime {
+		t.Fatal("unconstrained pool changed run verdicts")
+	}
+	// The enabled plane reports its shape; the disabled one stays zero.
+	if a.Memory != (MemoryMetrics{}) {
+		t.Fatalf("disabled plane must report zero memory metrics: %+v", a.Memory)
+	}
+	if b.Memory.CapacityPages == 0 || b.Memory.PagesIn != 0 || b.Memory.SessionsQueued != 0 {
+		t.Fatalf("unconstrained pool memory metrics: %+v", b.Memory)
+	}
+}
+
+func TestPeakResidentKVReported(t *testing.T) {
+	// Pool disabled: the satellite metric must still be tracked. On a single
+	// device with no churn, every session is present until the end, so the
+	// peak is the summed final KV.
+	cfg := mixConfig(3, 1)
+	res := Run(cfg)
+	want := 0
+	for _, m := range res.PerStream {
+		want += m.FinalKV
+	}
+	if got := res.PerDevice[0].PeakResidentKV; got != want {
+		t.Fatalf("peak resident KV %d, want summed final KV %d", got, want)
+	}
+}
+
+func TestAdmissionRejectsOversizedWorkingSet(t *testing.T) {
+	// 11 pages of capacity cannot ever hold a 20-page working set: every
+	// session is rejected and nothing is served.
+	cfg := kvConfig(3, 1, 11*pageBytes250, "none")
+	res := Run(cfg)
+	if res.Memory.SessionsRejected != 3 || res.PerDevice[0].SessionsRejected != 3 {
+		t.Fatalf("rejected %d sessions, want 3: %+v", res.Memory.SessionsRejected, res.Memory)
+	}
+	if res.Aggregate.FramesServed != 0 || res.Aggregate.FramesArrived == 0 {
+		t.Fatalf("rejected sessions must drop all frames: %+v", res.Aggregate)
+	}
+	if res.RealTime {
+		t.Fatal("an all-rejected run cannot be real-time")
+	}
+}
+
+func TestAdmissionQueuesWithoutSpill(t *testing.T) {
+	// 25 pages hold one 20-page session (plus growth) but not two; with
+	// spilling disabled the second session queues and starves.
+	cfg := kvConfig(2, 1, 25*pageBytes250, "none")
+	res := Run(cfg)
+	if res.Memory.SessionsQueued != 1 {
+		t.Fatalf("queued %d sessions, want 1", res.Memory.SessionsQueued)
+	}
+	served := []int{res.PerStream[0].FramesServed, res.PerStream[1].FramesServed}
+	if (served[0] == 0) == (served[1] == 0) {
+		t.Fatalf("exactly one session must starve: served %v", served)
+	}
+	if res.Memory.PagesIn != 0 || res.Memory.PagesOut != 0 {
+		t.Fatalf("spilling disabled must move no pages: %+v", res.Memory)
+	}
+}
+
+func TestQueriesDroppedCounted(t *testing.T) {
+	// Same starved-session scenario, with queries: the unadmitted session's
+	// queries must be counted as dropped, not silently vanish.
+	cfg := kvConfig(2, 1, 25*pageBytes250, "none")
+	for i := range cfg.Classes {
+		cfg.Classes[i].Stream.QueryEvery = 4
+	}
+	res := Run(cfg)
+	if res.Aggregate.QueriesDropped == 0 {
+		t.Fatalf("starved session's queries not counted: %+v", res.Aggregate)
+	}
+	total := 0
+	for _, m := range res.PerStream {
+		total += m.QueriesDropped
+	}
+	if total != res.Aggregate.QueriesDropped {
+		t.Fatalf("per-stream dropped queries %d != aggregate %d", total, res.Aggregate.QueriesDropped)
+	}
+}
+
+func TestQueuedSessionAdmittedAfterDeparture(t *testing.T) {
+	// With lifetimes truncating sessions, a departure frees pages and the
+	// FIFO queue drains into them.
+	cfg := kvConfig(2, 1, 25*pageBytes250, "none")
+	cfg.Churn = ChurnConfig{MeanLifetime: 6}
+	cfg.Seed = 5 // a seed whose first session departs mid-run
+	admitted := 0
+	cfg.Observer = ObserverFunc(func(e Event) {
+		if e.Kind == EventSessionAdmitted {
+			admitted++
+		}
+	})
+	res := Run(cfg)
+	if res.Memory.SessionsQueued == 0 {
+		t.Fatal("scenario must queue a session")
+	}
+	if admitted == 0 {
+		t.Fatal("a departure must admit the queued session")
+	}
+	for _, m := range res.PerStream {
+		if m.FramesServed == 0 {
+			t.Fatalf("late-admitted session never served: %+v", res.PerStream)
+		}
+	}
+}
+
+func TestSpillServesEveryoneAndChargesPaging(t *testing.T) {
+	// 30 pages, two 20-page sessions: with LRU spilling both are admitted
+	// and both serve frames, at the cost of page traffic charged on the
+	// device timeline (visible as inflated latency vs an unconstrained run).
+	cfg := kvConfig(2, 1, 30*pageBytes250, "spill(evict=lru,pages=4)")
+	res := Run(cfg)
+	if res.Memory.SessionsQueued != 0 || res.Memory.SessionsRejected != 0 {
+		t.Fatalf("spill must admit everyone: %+v", res.Memory)
+	}
+	for s, m := range res.PerStream {
+		if m.FramesServed == 0 {
+			t.Fatalf("session %d starved despite spilling", s)
+		}
+	}
+	if res.Memory.PagesIn == 0 || res.Memory.PagesOut == 0 {
+		t.Fatalf("pressure must move pages: %+v", res.Memory)
+	}
+	if res.Memory.PageInTime <= 0 || res.Memory.PageOutTime <= 0 {
+		t.Fatalf("page movement must cost time: %+v", res.Memory)
+	}
+	free := Run(kvConfig(2, 1, 1000*pageBytes250, "spill(evict=lru,pages=4)"))
+	if res.Aggregate.P99 <= free.Aggregate.P99 {
+		t.Fatalf("paging tax must show in P99: pressured %v vs free %v",
+			res.Aggregate.P99, free.Aggregate.P99)
+	}
+	if free.Memory.PagesIn != 0 {
+		t.Fatalf("unconstrained pool must not page: %+v", free.Memory)
+	}
+}
+
+func TestAutoCapacityDerivesFromDeviceSpec(t *testing.T) {
+	cfg := kvConfig(2, 1, AutoCapacity, "spill(evict=lru,pages=1)")
+	res := Run(cfg)
+	llm := hwsim.Llama3_8B()
+	wantPages := int(cfg.Dev.KVBudgetBytes(llm) / (cfg.Pol.KVBytesPerToken(llm) * 250))
+	if res.Memory.CapacityPages != wantPages {
+		t.Fatalf("auto capacity %d pages, want %d", res.Memory.CapacityPages, wantPages)
+	}
+	if res.Memory.PageTokens != 250 {
+		t.Fatalf("page tokens %d, want 250", res.Memory.PageTokens)
+	}
+}
+
+// TestChurnSpillParallelEquivalence extends the worker-count guarantee to
+// the memory-pressure plane: churn + spill + the kv-pressure balancer must
+// be byte-identical across Workers 1, 4 and GOMAXPROCS.
+func TestChurnSpillParallelEquivalence(t *testing.T) {
+	cfg := kvConfig(6, 3, 40*pageBytes250, "spill(evict=lru,pages=8)")
+	cfg.Churn = ChurnConfig{ArrivalRate: 0.4, MeanLifetime: 8}
+	cfg.Balancer = NewKVPressure()
+	cfg.Workers = 1
+	seq := Run(cfg)
+	if seq.Memory.PagesIn == 0 {
+		t.Fatal("scenario must actually exercise spilling")
+	}
+	for _, w := range []int{4, runtime.GOMAXPROCS(0)} {
+		c := cfg
+		c.Workers = w
+		if par := Run(c); !reflect.DeepEqual(seq, par) {
+			t.Fatalf("workers=%d diverged from sequential under memory pressure", w)
+		}
+	}
+}
+
+func TestKVPressureBalancerPicksMostFreePages(t *testing.T) {
+	b := NewKVPressure()
+	b.Reset(3)
+	devs := []DeviceState{
+		{Index: 0, FreePages: 5, CapacityPages: 40},
+		{Index: 1, FreePages: 30, CapacityPages: 40},
+		{Index: 2, FreePages: 12, CapacityPages: 40},
+	}
+	if d := b.Assign(0, 0, devs); d != 1 {
+		t.Fatalf("kv-pressure picked device %d, want 1 (most free pages)", d)
+	}
+	// Pool disabled: all zero free pages -> least-loaded order.
+	devs = []DeviceState{
+		{Index: 0, ActiveSessions: 3},
+		{Index: 1, ActiveSessions: 1},
+	}
+	if d := b.Assign(0, 0, devs); d != 1 {
+		t.Fatalf("kv-pressure tie-break picked %d, want 1 (least loaded)", d)
+	}
+}
+
+func TestEvictionPoliciesDiverge(t *testing.T) {
+	// Under real pressure the eviction policy is load-bearing: at least one
+	// policy pair must produce different outcomes on a skewed-size scenario.
+	mk := func(evict string) Result {
+		cfg := kvConfig(3, 1, 45*pageBytes250, "spill(evict="+evict+",pages=2)")
+		cfg.Classes[1].Stream.StartKV = 2500 // skew session sizes
+		return Run(cfg)
+	}
+	a, b, c := mk("lru"), mk("fifo"), mk("largest")
+	if reflect.DeepEqual(a.PerStream, b.PerStream) && reflect.DeepEqual(a.PerStream, c.PerStream) {
+		t.Fatal("all eviction policies produced identical outcomes under pressure")
+	}
+}
+
+func TestKVValidation(t *testing.T) {
+	for name, mutate := range map[string]func(*Config){
+		"negative capacity":  func(c *Config) { c.KV.Capacity = -2 },
+		"negative page size": func(c *Config) { c.KV = KVConfig{Capacity: 1e9, PageTokens: -1} },
+		"sub-page capacity":  func(c *Config) { c.KV = KVConfig{Capacity: 1e3, PageTokens: 250} },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s must panic", name)
+				}
+			}()
+			cfg := mixConfig(2, 1)
+			mutate(&cfg)
+			Run(cfg)
+		}()
+	}
+}

@@ -90,6 +90,11 @@ type Config struct {
 	Classes []StreamClass
 	// Churn adds open-loop session arrivals/departures.
 	Churn ChurnConfig
+	// KV enables the device KV memory-pressure plane: paged per-device KV
+	// budgets, spill-to-host/NVMe and memory-aware admission (see KVConfig).
+	// The zero value disables it and Run reduces exactly to the unpooled
+	// simulation.
+	KV KVConfig
 	// Devices is the fleet size; 0 or 1 simulates a single device.
 	Devices int
 	// Balancer places each arriving session on a device; nil defaults to
@@ -134,6 +139,10 @@ type StreamMetrics struct {
 	FramesServed  int
 	FramesDropped int
 	QueriesServed int
+	// QueriesDropped counts queries lost to the memory-pressure plane (the
+	// session was unadmitted, or its KV growth could not be allocated);
+	// always zero with the plane disabled.
+	QueriesDropped int
 	// AchievedFPS counts served frames over the session's presence window
 	// (the whole run for non-churned sessions).
 	AchievedFPS float64
@@ -153,6 +162,8 @@ type ClassMetrics struct {
 	FramesServed  int
 	FramesDropped int
 	QueriesServed int
+	// QueriesDropped counts queries lost to the memory-pressure plane.
+	QueriesDropped int
 	// MeanFPS is the mean per-session achieved FPS (each session's rate over
 	// its own presence window).
 	MeanFPS float64
@@ -170,8 +181,21 @@ type DeviceMetrics struct {
 	Sessions      int
 	FramesServed  int
 	QueriesServed int
-	// Utilization is this device's busy time / duration.
+	// Utilization is this device's busy time / duration (including any
+	// page-movement time the memory-pressure plane charged).
 	Utilization float64
+	// PeakResidentKV is the high-water mark of DeviceState.ResidentKV across
+	// the run: the KV owned by the device's admitted sessions, counting any
+	// pages spilled to the backing store (so under spilling it can exceed
+	// the device's physical pool). Tracked whether or not the
+	// memory-pressure plane is enabled.
+	PeakResidentKV int
+	// Memory-pressure plane counters, all zero when Config.KV is disabled:
+	// pages moved between device memory and the backing store, the seconds
+	// charged for that movement, and admission-control outcomes.
+	PagesIn, PagesOut                int
+	PageInTime, PageOutTime          float64
+	SessionsQueued, SessionsRejected int
 }
 
 // Result is a serving run's outcome.
@@ -183,6 +207,9 @@ type Result struct {
 	Aggregate ClassMetrics
 	// PerDevice summarises each fleet member.
 	PerDevice []DeviceMetrics
+	// Memory aggregates the KV memory-pressure plane across the fleet
+	// (zero when Config.KV is disabled).
+	Memory MemoryMetrics
 	// RealTime reports whether every stream served >= 95% of its frames.
 	RealTime bool
 	// Utilization is fleet busy time / (duration * devices).
@@ -327,6 +354,12 @@ func validate(cfg Config, classes []StreamClass) {
 			panic(fmt.Sprintf("serve: class %q needs positive FPS and weight", c.Name))
 		}
 	}
+	if cfg.KV.Capacity < 0 && cfg.KV.Capacity != AutoCapacity {
+		panic(fmt.Sprintf("serve: KV capacity %v must be positive, 0 (disabled) or AutoCapacity", cfg.KV.Capacity))
+	}
+	if cfg.KV.PageTokens < 0 {
+		panic(fmt.Sprintf("serve: negative KV page size %d", cfg.KV.PageTokens))
+	}
 }
 
 // Run executes the serving simulation.
@@ -392,6 +425,13 @@ func Run(cfg Config) Result {
 		devs[d].Index = d
 		devs[d].ClassSessions = make([]int, len(classes))
 	}
+	plane := newKVPlane(cfg, nDev, len(sessions))
+	if plane != nil {
+		for d := range devs {
+			devs[d].CapacityPages = plane.pools[d].CapacityPages()
+			devs[d].FreePages = devs[d].CapacityPages
+		}
+	}
 	observe := func(kind EventKind, at float64, s int, latency float64) {
 		if cfg.Observer == nil {
 			return
@@ -402,6 +442,70 @@ func Run(cfg Config) Result {
 			Latency: latency, KV: kv[s],
 		})
 	}
+	// trackPeak records device d's resident-KV high-water mark.
+	trackPeak := func(d int) {
+		if devs[d].ResidentKV > devMetrics[d].PeakResidentKV {
+			devMetrics[d].PeakResidentKV = devs[d].ResidentKV
+		}
+	}
+	// chargePaging occupies device d's serving timeline with page movement
+	// starting no earlier than now: spills and reloads ride the same PCIe
+	// link the device fetches KV over, so they serialise with service.
+	chargePaging := func(d int, now, dur float64) {
+		if dur <= 0 {
+			return
+		}
+		start := devs[d].Free
+		if now > start {
+			start = now
+		}
+		devs[d].Free = start + dur
+		devs[d].Busy += dur
+	}
+	// admit runs admission control for session s on device d: reject when
+	// the working set can never fit, queue when the pool is full and
+	// spilling is disabled, otherwise allocate (spilling cold sessions).
+	admit := func(s, d int, at float64) int {
+		pool := plane.pools[d]
+		if !pool.Fits(kv[s]) {
+			devMetrics[d].SessionsRejected++
+			observe(EventSessionRejected, at, s, 0)
+			return sessRejected
+		}
+		spill, ok := pool.Admit(s, kv[s], at)
+		if !ok {
+			plane.queues[d] = append(plane.queues[d], s)
+			devMetrics[d].SessionsQueued++
+			observe(EventSessionQueued, at, s, 0)
+			return sessQueued
+		}
+		chargePaging(d, at, spill)
+		devs[d].ResidentKV += kv[s]
+		trackPeak(d)
+		return sessAdmitted
+	}
+	// drainQueue admits waiting sessions in FIFO order after pages freed;
+	// the head of the line blocks (no overtaking by smaller sessions).
+	drainQueue := func(d int, at float64) {
+		q := plane.queues[d]
+		i := 0
+		for ; i < len(q); i++ {
+			h := q[i]
+			if plane.state[h] != sessQueued {
+				continue // departed while waiting
+			}
+			spill, ok := plane.pools[d].Admit(h, kv[h], at)
+			if !ok {
+				break
+			}
+			chargePaging(d, at, spill)
+			plane.state[h] = sessAdmitted
+			devs[d].ResidentKV += kv[h]
+			trackPeak(d)
+			observe(EventSessionAdmitted, at, h, 0)
+		}
+		plane.queues[d] = q[i:]
+	}
 
 	for events.Len() > 0 {
 		ev := heap.Pop(&events).(event)
@@ -409,27 +513,60 @@ func Run(cfg Config) Result {
 		sc := classes[sess.class].Stream
 		switch ev.kind {
 		case evStart:
+			if plane != nil {
+				// Refresh the balancer's view of pool occupancy.
+				for i := range devs {
+					devs[i].FreePages = plane.pools[i].FreePages()
+				}
+			}
 			d := bal.Assign(ev.at, sess.class, devs)
 			if d < 0 || d >= nDev {
 				panic(fmt.Sprintf("serve: balancer %q returned device %d of %d", bal.Name(), d, nDev))
 			}
 			sess.device = d
 			devs[d].ActiveSessions++
-			devs[d].ResidentKV += kv[ev.session]
 			devs[d].ClassSessions[sess.class]++
 			devMetrics[d].Sessions++
 			observe(EventSessionStart, ev.at, ev.session, 0)
+			if plane == nil {
+				devs[d].ResidentKV += kv[ev.session]
+				trackPeak(d)
+			} else {
+				plane.state[ev.session] = admit(ev.session, d, ev.at)
+			}
 			continue
 		case evEnd:
 			d := sess.device
 			devs[d].ActiveSessions--
-			devs[d].ResidentKV -= kv[ev.session]
+			if plane == nil {
+				devs[d].ResidentKV -= kv[ev.session]
+			} else if plane.state[ev.session] == sessAdmitted {
+				devs[d].ResidentKV -= kv[ev.session]
+				plane.pools[d].Release(ev.session)
+				drainQueue(d, ev.at)
+			}
+			if plane != nil {
+				plane.state[ev.session] = sessGone
+			}
 			devs[d].ClassSessions[sess.class]--
 			observe(EventSessionEnd, ev.at, ev.session, 0)
 			continue
 		}
 		m := &metrics[ev.session]
 		dev := &devs[sess.device]
+		if plane != nil && plane.state[ev.session] != sessAdmitted {
+			// Queued or rejected sessions hold no pages: their frames drop
+			// and their queries go unanswered until admission.
+			if ev.kind == evFrame {
+				m.FramesArrived++
+				m.FramesDropped++
+				observe(EventFrameDropped, ev.at, ev.session, 0)
+			} else {
+				m.QueriesDropped++
+				observe(EventQueryDropped, ev.at, ev.session, 0)
+			}
+			continue
+		}
 		start := dev.Free
 		if ev.at > start {
 			start = ev.at
@@ -447,15 +584,43 @@ func Run(cfg Config) Result {
 				observe(EventFrameDropped, ev.at, ev.session, 0)
 				continue
 			}
-			dev.Free = start + b.Total
-			dev.Busy += b.Total
+			paging := 0.0
+			if plane != nil {
+				// Reserve pages for the frame's new tokens, then make the
+				// session fully resident; the movement time lands on the
+				// device's serving timeline like any other work.
+				pool := plane.pools[sess.device]
+				growSpill, ok := pool.Grow(ev.session, sc.TokensPerFrame, ev.at)
+				if !ok {
+					m.FramesDropped++
+					observe(EventFrameDropped, ev.at, ev.session, 0)
+					continue
+				}
+				pageIn, pageOut := pool.Touch(ev.session, ev.at)
+				paging = growSpill + pageIn + pageOut
+			}
+			dev.Free = start + paging + b.Total
+			dev.Busy += paging + b.Total
 			kv[ev.session] += sc.TokensPerFrame
 			dev.ResidentKV += sc.TokensPerFrame
+			trackPeak(sess.device)
 			m.FramesServed++
 			devMetrics[sess.device].FramesServed++
 			latencies[ev.session] = append(latencies[ev.session], dev.Free-ev.at)
 			observe(EventFrameServed, ev.at, ev.session, dev.Free-ev.at)
 		} else {
+			paging := 0.0
+			if plane != nil {
+				pool := plane.pools[sess.device]
+				growSpill, ok := pool.Grow(ev.session, sc.QueryTokens+sc.AnswerTokens, ev.at)
+				if !ok {
+					m.QueriesDropped++
+					observe(EventQueryDropped, ev.at, ev.session, 0)
+					continue
+				}
+				pageIn, pageOut := pool.Touch(ev.session, ev.at)
+				paging = growSpill + pageIn + pageOut
+			}
 			q := sim.Chunk(sc.QueryTokens, kv[ev.session], 1, hwsim.StageTextPhase)
 			total := q.Total
 			kv[ev.session] += sc.QueryTokens
@@ -463,9 +628,10 @@ func Run(cfg Config) Result {
 				total += sim.TPOT(kv[ev.session], 1).Total
 				kv[ev.session]++
 			}
-			dev.Free = start + total
-			dev.Busy += total
+			dev.Free = start + paging + total
+			dev.Busy += paging + total
 			dev.ResidentKV += sc.QueryTokens + sc.AnswerTokens
+			trackPeak(sess.device)
 			m.QueriesServed++
 			devMetrics[sess.device].QueriesServed++
 			observe(EventQueryServed, ev.at, ev.session, dev.Free-ev.at)
@@ -477,9 +643,20 @@ func Run(cfg Config) Result {
 		busy += devs[d].Busy
 		devMetrics[d].Utilization = clampUtil(devs[d].Busy / cfg.Duration)
 	}
+	if plane != nil {
+		for d := range plane.pools {
+			st := plane.pools[d].Stats()
+			dm := &devMetrics[d]
+			dm.PagesIn, dm.PagesOut = st.PagesIn, st.PagesOut
+			dm.PageInTime, dm.PageOutTime = st.PageInTime, st.PageOutTime
+		}
+	}
 	res := Result{
 		PerStream: metrics, PerDevice: devMetrics, RealTime: true,
 		Utilization: clampUtil(busy / (cfg.Duration * float64(nDev))),
+	}
+	if plane != nil {
+		res.Memory = plane.memory(devMetrics)
 	}
 	// Post-barrier reduction: each session's latency sort and percentiles are
 	// independent, so they run across the pool; the real-time verdict folds
@@ -536,6 +713,7 @@ func reduceClasses(classes []StreamClass, sessions []session, metrics []StreamMe
 		cm.FramesServed += m.FramesServed
 		cm.FramesDropped += m.FramesDropped
 		cm.QueriesServed += m.QueriesServed
+		cm.QueriesDropped += m.QueriesDropped
 		fps[c] += m.AchievedFPS
 		if m.FramesArrived > 0 && float64(m.FramesServed) >= 0.95*float64(m.FramesArrived) {
 			cm.RealTimeSessions++
@@ -564,6 +742,7 @@ func reduceClasses(classes []StreamClass, sessions []session, metrics []StreamMe
 		agg.FramesServed += perClass[c].FramesServed
 		agg.FramesDropped += perClass[c].FramesDropped
 		agg.QueriesServed += perClass[c].QueriesServed
+		agg.QueriesDropped += perClass[c].QueriesDropped
 		agg.RealTimeSessions += perClass[c].RealTimeSessions
 	}
 	finish(&agg, aggPool, aggFPS)
