@@ -59,7 +59,11 @@ func BenchmarkFig19ReSVAblation(b *testing.B)  { benchExperiment(b, "fig19") }
 func BenchmarkFig20RatioDistribution(b *testing.B) {
 	benchExperiment(b, "fig20")
 }
-func BenchmarkMemoryPressure(b *testing.B)  { benchExperiment(b, "memory") }
+func BenchmarkMemoryPressure(b *testing.B) { benchExperiment(b, "memory") }
+
+// BenchmarkScheduler drives the continuous-batching scheduler plane end to
+// end through the slo experiment (load x policy x batch-cap sweep).
+func BenchmarkScheduler(b *testing.B)       { benchExperiment(b, "slo") }
 func BenchmarkTable1Hardware(b *testing.B)  { benchExperiment(b, "tab1") }
 func BenchmarkTable2Accuracy(b *testing.B)  { benchExperiment(b, "tab2") }
 func BenchmarkTable3AreaPower(b *testing.B) { benchExperiment(b, "tab3") }

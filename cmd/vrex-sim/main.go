@@ -11,7 +11,7 @@
 //
 // Serving mode (enabled by any of -mix, -devices, -balancer, -streams,
 // -duration, -drop, -churn-arrivals, -churn-life, -seed, -kv-capacity,
-// -spill, -page-tokens):
+// -spill, -page-tokens, -scheduler, -batch-max, -slo-ms):
 //
 //	vrex-sim -policy 'rekv(frame=0.58,text=0.31)' -devices 4 \
 //	    -balancer least-loaded -mix '2fps:0.7,4fps:0.3'
@@ -19,6 +19,7 @@
 //	vrex-sim -devices 2 -mix longctx -streams 8 -balancer kv-pressure \
 //	    -kv-capacity 8 -spill 'spill(evict=lru,pages=8)'
 //	vrex-sim -mix longctx -streams 6 -kv-capacity auto -spill none
+//	vrex-sim -mix longctx -streams 10 -scheduler edf -batch-max 8 -slo-ms 600
 //
 // -kv-capacity enables the KV memory-pressure plane (internal/kvpool): each
 // device gets a paged KV budget of that many gigabytes ("auto" derives the
@@ -27,9 +28,17 @@
 // "spill(evict=lru,pages=16)" with evict drawn from the kvpool eviction
 // registry).
 //
+// -scheduler enables the continuous-batching scheduler plane: ready frames
+// from co-resident sessions coalesce into one hardware step (up to
+// -batch-max) under the named policy — fifo, edf (earliest deadline first)
+// or priority (classes rank by their position in -mix). -slo-ms sets the
+// default per-frame deadline backing the edf ordering and the SLO
+// attainment / goodput / queue-wait metrics; "none" keeps the serial
+// batch-1 timeline.
+//
 // Policies come from the hwsim registry and accept parameter overrides in
 // the spec string; -list-policies prints every registered policy, balancer,
-// stream class, and spill/eviction policy name. -kv accepts a
+// scheduler, stream class, and spill/eviction policy name. -kv accepts a
 // comma-separated list; the points are simulated across -parallel workers
 // (default GOMAXPROCS, 1 = sequential) and printed in argument order, so the
 // output is identical for any worker count.
@@ -117,6 +126,10 @@ func listPolicies() {
 	for _, n := range serve.BalancerNames() {
 		fmt.Printf("  %s\n", n)
 	}
+	fmt.Println("schedulers (-scheduler; 'none' disables the scheduler plane):")
+	for _, n := range serve.SchedulerNames() {
+		fmt.Printf("  %s\n", n)
+	}
 	fmt.Println("stream classes (-mix class:weight,...):")
 	for _, n := range serve.ClassNames() {
 		fmt.Printf("  %s\n", n)
@@ -168,6 +181,9 @@ func main() {
 	kvCapacity := flag.String("kv-capacity", "0", "serving: per-device KV budget in GB, or 'auto' (0 disables the memory-pressure plane)")
 	spill := flag.String("spill", "none", "serving: spill policy, e.g. 'spill(evict=lru,pages=16)' (see -list-policies)")
 	pageTokens := flag.Int("page-tokens", 0, "serving: KV page size in tokens (0 = default 256)")
+	scheduler := flag.String("scheduler", "none", "serving: continuous-batching scheduler (fifo | edf | priority; 'none' keeps the serial batch-1 timeline)")
+	batchMax := flag.Int("batch-max", 0, "serving: max frames coalesced per hardware step (0 = default 8; needs -scheduler)")
+	sloMS := flag.Float64("slo-ms", 0, "serving: default per-frame deadline in milliseconds (0 = one frame interval; needs -scheduler)")
 	list := flag.Bool("list-policies", false, "list registered policies, balancers and stream classes, then exit")
 	flag.Parse()
 
@@ -182,7 +198,8 @@ func main() {
 	set := map[string]bool{}
 	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
 	servingFlags := []string{"mix", "devices", "balancer", "streams", "duration", "drop",
-		"churn-arrivals", "churn-life", "seed", "kv-capacity", "spill", "page-tokens"}
+		"churn-arrivals", "churn-life", "seed", "kv-capacity", "spill", "page-tokens",
+		"scheduler", "batch-max", "slo-ms"}
 	pointFlags := []string{"kv", "batch", "tokens", "tpot"}
 	serving := false
 	for _, f := range servingFlags {
@@ -237,6 +254,10 @@ func main() {
 	if err != nil {
 		fail("%v\nrun 'vrex-sim -list-policies' for spill and eviction policy names", err)
 	}
+	sched, err := serve.ParseScheduler(*scheduler)
+	if err != nil {
+		fail("%v\nrun 'vrex-sim -list-policies' for scheduler names", err)
+	}
 	switch {
 	case *devices < 1:
 		fail("-devices must be >= 1, got %d", *devices)
@@ -252,8 +273,19 @@ func main() {
 		fail("-page-tokens must be non-negative (0 = default)")
 	case capacity == 0 && (*pageTokens != 0 || spillCfg.Evict != nil):
 		fail("-spill and -page-tokens need the memory-pressure plane: set -kv-capacity")
+	case *batchMax < 0:
+		fail("-batch-max must be non-negative (0 = default)")
+	case *sloMS < 0:
+		fail("-slo-ms must be non-negative (0 = one frame interval)")
+	case sched == nil && (*batchMax != 0 || *sloMS != 0):
+		fail("-batch-max and -slo-ms need the scheduler plane: set -scheduler fifo|edf|priority")
 	}
 
+	// The priority scheduler ranks classes by their position in the -mix
+	// spec: list the most latency-critical class first.
+	for i := range classes {
+		classes[i].Priority = i
+	}
 	cfg := serve.Config{
 		Dev: dev, Pol: pol,
 		Streams: *streams, Duration: *duration,
@@ -266,6 +298,9 @@ func main() {
 		if _, _, _, err := cfg.KV.PoolShape(dev, pol); err != nil {
 			fail("%v\nraise -kv-capacity or lower -page-tokens", err)
 		}
+	}
+	if sched != nil {
+		cfg.Scheduler = serve.SchedulerConfig{Policy: sched, BatchMax: *batchMax, SLO: *sloMS / 1000}
 	}
 	res := serve.Run(cfg)
 
@@ -281,24 +316,50 @@ func main() {
 			mem.PagesIn, mem.PagesOut, 1000*mem.PageInTime, 1000*mem.PageOutTime,
 			mem.SessionsQueued, mem.SessionsRejected)
 	}
+	if sched != nil {
+		bm := *batchMax
+		if bm <= 0 {
+			bm = serve.DefaultBatchMax
+		}
+		steps := 0
+		for _, dm := range res.PerDevice {
+			steps += dm.Batches
+		}
+		fmt.Printf("scheduler: %s, batch cap %d | %d hardware steps | SLO attainment %.1f%%, goodput %.2f fps, deadline misses %d\n",
+			sched.Name(), bm, steps, 100*res.Aggregate.SLOAttained,
+			res.Aggregate.Goodput, res.Aggregate.DeadlineMisses)
+	}
 	fmt.Println()
 
-	classTab := report.NewTable("serving: per-class metrics",
-		"class", "sessions", "arrived", "served", "dropped", "queries", "fps_per_stream", "p50_ms", "p99_ms", "realtime_sessions")
+	classHeaders := []string{"class", "sessions", "arrived", "served", "dropped", "queries", "fps_per_stream", "p50_ms", "p99_ms", "realtime_sessions"}
+	if sched != nil {
+		classHeaders = append(classHeaders, "slo_pct", "goodput_fps", "queue_p99_ms")
+	}
+	classTab := report.NewTable("serving: per-class metrics", classHeaders...)
 	for _, cm := range append(res.PerClass, res.Aggregate) {
-		classTab.AddRow(cm.Class, cm.Sessions, cm.FramesArrived, cm.FramesServed,
-			cm.FramesDropped, cm.QueriesServed, cm.MeanFPS, 1000*cm.P50, 1000*cm.P99, cm.RealTimeSessions)
+		row := []any{cm.Class, cm.Sessions, cm.FramesArrived, cm.FramesServed,
+			cm.FramesDropped, cm.QueriesServed, cm.MeanFPS, 1000 * cm.P50, 1000 * cm.P99, cm.RealTimeSessions}
+		if sched != nil {
+			row = append(row, 100*cm.SLOAttained, cm.Goodput, 1000*cm.QueueP99)
+		}
+		classTab.AddRow(row...)
 	}
 	classTab.Render(os.Stdout)
 	fmt.Println()
 
 	headers := []string{"device", "sessions", "frames", "queries", "util_pct", "peak_kv"}
+	if sched != nil {
+		headers = append(headers, "batches", "qwait_ms")
+	}
 	if res.Memory.CapacityPages > 0 {
 		headers = append(headers, "pages_in", "pages_out", "pagein_ms", "pageout_ms", "queued", "rejected")
 	}
 	devTab := report.NewTable("serving: per-device metrics", headers...)
 	for d, dm := range res.PerDevice {
 		row := []any{d, dm.Sessions, dm.FramesServed, dm.QueriesServed, 100 * dm.Utilization, dm.PeakResidentKV}
+		if sched != nil {
+			row = append(row, dm.Batches, 1000*dm.MeanQueueWait)
+		}
 		if res.Memory.CapacityPages > 0 {
 			row = append(row, dm.PagesIn, dm.PagesOut, 1000*dm.PageInTime, 1000*dm.PageOutTime,
 				dm.SessionsQueued, dm.SessionsRejected)

@@ -60,6 +60,27 @@ func TestMemoryExperimentParallelByteIdentical(t *testing.T) {
 	}
 }
 
+// TestSLOExperimentParallelByteIdentical: the slo experiment drives the
+// scheduler plane's batched, deadline-ordered device loop — its rendered
+// output must be byte-identical across worker counts 1, 4 and GOMAXPROCS.
+func TestSLOExperimentParallelByteIdentical(t *testing.T) {
+	render := func(workers int) string {
+		opts := quickOpts()
+		opts.Parallel = workers
+		var buf bytes.Buffer
+		if err := Run("slo", opts, &buf); err != nil {
+			t.Fatalf("Run(slo, workers=%d): %v", workers, err)
+		}
+		return buf.String()
+	}
+	seq := render(1)
+	for _, w := range []int{4, runtime.GOMAXPROCS(0)} {
+		if par := render(w); par != seq {
+			t.Fatalf("slo experiment: workers=%d output diverged from sequential", w)
+		}
+	}
+}
+
 // TestRunManyByteIdenticalAndOrdered: dispatching experiments across workers
 // must emit exactly the sequential concatenation, in argument order.
 func TestRunManyByteIdenticalAndOrdered(t *testing.T) {

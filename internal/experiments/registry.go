@@ -91,8 +91,9 @@ var registry = map[string]Runner{
 	"tab3":  Table3AreaPower,
 	// Extensions beyond the paper's artifacts: hyperparameter ablation
 	// benches, the serving-scale study, the fleet × balancer × mix sweep
-	// built on the Scenario API, and the KV memory-pressure study on the
-	// kvpool plane (see EXPERIMENTS.md).
+	// built on the Scenario API, the KV memory-pressure study on the
+	// kvpool plane, and the continuous-batching SLO sweep on the scheduler
+	// plane (see EXPERIMENTS.md).
 	"multiturn":    MultiTurnCoherence,
 	"sweep-thwics": SweepThWics,
 	"sweep-thhd":   SweepThHD,
@@ -100,6 +101,7 @@ var registry = map[string]Runner{
 	"scale":        ScaleServing,
 	"fleet":        FleetServing,
 	"memory":       MemoryPressure,
+	"slo":          SLOServing,
 }
 
 // IDs returns the registered experiment IDs, sorted.

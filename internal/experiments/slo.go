@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"fmt"
+
+	"vrex/internal/hwsim"
+	"vrex/internal/report"
+	"vrex/internal/serve"
+)
+
+// SLOServing sweeps the serving scheduler plane on the edge V-Rex8: offered
+// load (initial streams) x scheduling policy (fifo / edf / priority) x
+// per-step batch cap, over a two-class mix with a tight-deadline interactive
+// class and a loose background class. The first table is the headline sweep
+// — continuous batching amortises the per-step weight read, so a saturated
+// device serves strictly more frames as the cap rises, while deadline-aware
+// ordering decides who eats the queueing delay. The second table zooms into
+// one overloaded operating point and shows the per-class story: fifo starves
+// the tight class, edf trades background slack for interactive deadlines,
+// and priority protects the interactive class outright.
+func SLOServing(opts Options) []*report.Table {
+	duration := 20.0
+	loads := []int{4, 8, 12}
+	if opts.Quick {
+		duration = 8
+		loads = []int{4, 8}
+	}
+	policies := []string{"fifo", "edf", "priority"}
+	batches := []int{1, 4, 8}
+
+	mk := func(policy string, batch, streams int) serve.Config {
+		sched, err := serve.ParseScheduler(policy)
+		if err != nil {
+			panic(fmt.Sprintf("experiments: slo scheduler %q: %v", policy, err))
+		}
+		sc := serve.DefaultStreamConfig()
+		sc.QueryEvery = 0
+		sc.StartKV = 20000
+		return serve.Config{
+			Dev: hwsim.VRex8(), Pol: hwsim.ReSVModel(),
+			Streams: streams, Duration: duration,
+			Classes: []serve.StreamClass{
+				{Name: "interactive", Weight: 0.3, Stream: sc, SLO: 0.6, Priority: 0},
+				{Name: "background", Weight: 0.7, Stream: sc, SLO: 2, Priority: 1},
+			},
+			DropThreshold: 4, Seed: opts.Seed, Workers: opts.Parallel,
+			Scheduler: serve.SchedulerConfig{Policy: sched, BatchMax: batch},
+		}
+	}
+
+	// The per-class detail below revisits three of the sweep's operating
+	// points; cache every Run so nothing is simulated twice.
+	type point struct {
+		policy      string
+		batch, load int
+	}
+	results := map[point]serve.Result{}
+	run := func(policy string, batch, load int) serve.Result {
+		key := point{policy, batch, load}
+		res, ok := results[key]
+		if !ok {
+			res = serve.Run(mk(policy, batch, load))
+			results[key] = res
+		}
+		return res
+	}
+
+	sweep := report.NewTable(
+		"SLO: goodput and attainment vs load x scheduler x batch cap (V-Rex8 + ReSV, 2 FPS, 20K KV)",
+		"streams", "scheduler", "batch", "served", "dropped_pct", "slo_pct", "goodput_fps",
+		"p99_ms", "queue_p99_ms", "mean_batch", "util_pct")
+	for _, load := range loads {
+		for _, policy := range policies {
+			for _, batch := range batches {
+				res := run(policy, batch, load)
+				agg := res.Aggregate
+				steps := 0
+				for _, dm := range res.PerDevice {
+					steps += dm.Batches
+				}
+				meanBatch := 0.0
+				if steps > 0 {
+					meanBatch = float64(agg.FramesServed) / float64(steps)
+				}
+				sweep.AddRow(load, policy, batch, agg.FramesServed, 100*agg.DropRate,
+					100*agg.SLOAttained, agg.Goodput, 1000*agg.P99, 1000*agg.QueueP99,
+					meanBatch, 100*res.Utilization)
+			}
+		}
+	}
+
+	// Operating-point detail: per-class deadlines at a saturated load where
+	// the policy choice, not raw capacity, decides who attains.
+	load := loads[len(loads)-1]
+	classTab := report.NewTable(
+		fmt.Sprintf("SLO: per-class attainment at %d streams, batch cap 4 (interactive 600 ms vs background 2 s)", load),
+		"scheduler", "class", "sessions", "served", "slo_pct", "misses", "p99_ms", "queue_p99_ms")
+	for _, policy := range policies {
+		res := run(policy, 4, load)
+		for _, cm := range append(res.PerClass, res.Aggregate) {
+			classTab.AddRow(policy, cm.Class, cm.Sessions, cm.FramesServed,
+				100*cm.SLOAttained, cm.DeadlineMisses, 1000*cm.P99, 1000*cm.QueueP99)
+		}
+	}
+	return []*report.Table{sweep, classTab}
+}

@@ -98,7 +98,9 @@ func (s *Sim) residentBytes(kvLen, batch int) float64 {
 }
 
 // Chunk simulates one chunk of n new tokens per stream against a cache of
-// kvLen tokens, at the given batch size and stage.
+// kvLen tokens, at the given batch size and stage. Step's multi-request path
+// (step.go) mirrors these per-stream cost formulas for heterogeneous
+// batches; a change here must be mirrored there.
 func (s *Sim) Chunk(n, kvLen, batch int, stage StageKind) Breakdown {
 	var b Breakdown
 	if batch <= 0 || n <= 0 {

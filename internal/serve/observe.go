@@ -1,5 +1,7 @@
 package serve
 
+import "math"
+
 // EventKind classifies an Observer callback.
 type EventKind int
 
@@ -25,6 +27,16 @@ const (
 	// EventQueryDropped: a query arrived for an unadmitted session, or its
 	// KV growth could not be allocated.
 	EventQueryDropped
+	// EventBatchFormed: the scheduler plane coalesced ready work into one
+	// hardware step (Batch carries the member count, Latency the step's
+	// service time, Time the step's start). Delivered after its members'
+	// served events, with the head session's post-step KV. Never emitted on
+	// the serial batch-1 timeline.
+	EventBatchFormed
+	// EventDeadlineMissed: a served frame completed after its class deadline
+	// (StreamClass.SLO); emitted right after the frame's EventFrameServed
+	// with the same completion latency.
+	EventDeadlineMissed
 )
 
 // String names the kind for logs and traces.
@@ -48,16 +60,23 @@ func (k EventKind) String() string {
 		return "session-rejected"
 	case EventQueryDropped:
 		return "query-dropped"
+	case EventBatchFormed:
+		return "batch-formed"
+	case EventDeadlineMissed:
+		return "deadline-missed"
 	}
 	return "unknown"
 }
 
 // Event is one scheduling observation. Events are delivered from the
-// single-threaded device loop in deterministic global arrival order, for
-// every Workers setting.
+// single-threaded device loop in a deterministic order for every Workers
+// setting: global arrival order on the serial timeline; under the scheduler
+// plane, arrivals are delivered on arrival and served/missed events when
+// their batch forms, so Time is not globally monotone there.
 type Event struct {
 	Kind EventKind
-	// Time is the arrival time of the underlying event (not its completion).
+	// Time is the arrival time of the underlying work (not its completion);
+	// for EventBatchFormed it is the step's start time.
 	Time    float64
 	Session int
 	// Class is the session's stream class name; Device its fleet member
@@ -65,11 +84,23 @@ type Event struct {
 	Class  string
 	Device int
 	// Latency is the completion latency (queueing + service) for
-	// EventFrameServed / EventQueryServed, 0 otherwise.
+	// EventFrameServed / EventQueryServed / EventDeadlineMissed and the
+	// step's service time for EventBatchFormed. For every other kind —
+	// including dropped frames and queries, which never complete — it is
+	// NaN, so a dropped event can never be mistaken for a real zero-latency
+	// sample (test with math.IsNaN, not == 0).
 	Latency float64
 	// KV is the session's KV length after the event.
 	KV int
+	// Batch is the number of co-scheduled items for EventBatchFormed
+	// (1 for a solo query step), 0 for every other kind.
+	Batch int
 }
+
+// latencyNone is the Event.Latency sentinel for events that carry no
+// completion latency (drops, admission outcomes, session lifecycle): NaN is
+// unmistakable for a real zero-latency sample.
+var latencyNone = math.NaN()
 
 // Observer receives scheduling events; wire one through Config.Observer to
 // collect custom metrics without touching the engine.

@@ -1,0 +1,448 @@
+package serve
+
+import (
+	"container/heap"
+	"strings"
+
+	"vrex/internal/hwsim"
+	"vrex/internal/named"
+	"vrex/internal/policyspec"
+)
+
+// DefaultBatchMax is the frames-per-step cap when SchedulerConfig leaves
+// BatchMax unset: deep enough that the per-step weight read amortises well,
+// shallow enough that a batch never stalls a deadline by more than a few
+// frame times.
+const DefaultBatchMax = 8
+
+// SchedulerConfig configures the per-device continuous-batching scheduler
+// plane. When enabled, frame and query arrivals queue per device and the
+// device forms one hardware step whenever it is free: ready frames coalesce
+// (up to BatchMax) into a single batched step priced by hwsim.Step — one
+// weight read and one fixed host overhead for the whole batch — while
+// queries (prefill + full answer) always execute as solo steps. The policy
+// orders the ready queue; per-class deadlines (StreamClass.SLO) drive the
+// edf policy and the SLO/goodput metrics.
+//
+// The zero value (nil Policy) disables the plane entirely: Run executes the
+// original serial arrival-order timeline byte for byte. An enabled scheduler
+// with the fifo policy and BatchMax 1 reproduces that serial timeline's
+// latencies, drops and service decisions exactly (steps form in arrival
+// order at the same instants); only resident-KV high-water accounting can
+// shift, because the plane counts KV growth at service rather than arrival
+// time and holds a departed session's pages until its queued work drains.
+type SchedulerConfig struct {
+	// Policy orders ready work at each batch-formation point; nil disables
+	// the scheduler plane. Build one with ParseScheduler ("fifo", "edf",
+	// "priority") or implement Scheduler directly.
+	Policy Scheduler
+	// BatchMax caps the frames coalesced into one hardware step
+	// (DefaultBatchMax when 0, 1 restores one-item steps).
+	BatchMax int
+	// SLO is the default frame deadline in seconds for classes that leave
+	// StreamClass.SLO unset; 0 falls back to one frame interval (1/FPS).
+	SLO float64
+}
+
+func (c SchedulerConfig) enabled() bool { return c.Policy != nil }
+
+// WorkItem is the scheduling policy's view of one queued frame or query.
+type WorkItem struct {
+	Session int
+	// Class indexes the run's stream mix; Priority is that class's
+	// StreamClass.Priority.
+	Class    int
+	Priority int
+	// Query marks a query (prefill + answer) item; false for a video frame.
+	Query bool
+	// Arrival is the item's arrival time; Deadline is Arrival plus the
+	// class's resolved SLO.
+	Arrival  float64
+	Deadline float64
+}
+
+// Scheduler orders a device's ready queue: items with lower keys serve
+// first, ties break by global arrival order. Keys are computed once at
+// enqueue, so they must be a pure function of the item.
+type Scheduler interface {
+	Name() string
+	Key(WorkItem) float64
+}
+
+// fifoSched serves in arrival order (every key equal; the arrival-sequence
+// tie-break does the ordering).
+type fifoSched struct{}
+
+func (fifoSched) Name() string         { return "fifo" }
+func (fifoSched) Key(WorkItem) float64 { return 0 }
+
+// edfSched is earliest-deadline-first: tighter-SLO classes overtake.
+type edfSched struct{}
+
+func (edfSched) Name() string            { return "edf" }
+func (edfSched) Key(it WorkItem) float64 { return it.Deadline }
+
+// prioritySched serves by stream-class priority (lower StreamClass.Priority
+// first), arrival order within a class.
+type prioritySched struct{}
+
+func (prioritySched) Name() string            { return "priority" }
+func (prioritySched) Key(it WorkItem) float64 { return float64(it.Priority) }
+
+// schedulers is the scheduling-policy registry: CLIs resolve -scheduler
+// specs here through the shared policyspec grammar.
+var schedulers = named.New[func(*policyspec.Spec) (Scheduler, error)]("serve", "scheduler")
+
+func init() {
+	RegisterScheduler("fifo", func(sp *policyspec.Spec) (Scheduler, error) {
+		return fifoSched{}, sp.CheckConsumed()
+	})
+	RegisterScheduler("edf", func(sp *policyspec.Spec) (Scheduler, error) {
+		return edfSched{}, sp.CheckConsumed()
+	})
+	RegisterScheduler("priority", func(sp *policyspec.Spec) (Scheduler, error) {
+		return prioritySched{}, sp.CheckConsumed()
+	})
+}
+
+// RegisterScheduler adds a scheduling-policy factory under name
+// (lower-cased); duplicates panic — registry names are part of the CLI
+// surface.
+func RegisterScheduler(name string, f func(*policyspec.Spec) (Scheduler, error)) {
+	schedulers.Register(name, f)
+}
+
+// SchedulerNames returns the registered scheduling policy names, sorted.
+func SchedulerNames() []string { return schedulers.Names() }
+
+// ParseScheduler builds a scheduling policy from a policyspec string
+// ("fifo", "edf", "priority"); "" and "none" return nil (plane disabled).
+func ParseScheduler(spec string) (Scheduler, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" || strings.EqualFold(spec, "none") {
+		return nil, nil
+	}
+	sp, err := policyspec.Parse(spec)
+	if err != nil {
+		return nil, err
+	}
+	f, ok := schedulers.Lookup(sp.Name)
+	if !ok {
+		return nil, schedulers.Unknown(sp.Name)
+	}
+	return f(sp)
+}
+
+// readyItem is one queued frame or query on a device's ready heap.
+type readyItem struct {
+	at      float64
+	key     float64
+	seq     int
+	session int
+	query   bool
+}
+
+// readyHeap orders by (policy key, arrival time, schedule sequence): policy
+// first, arrival order within a key — seq alone is not arrival order (it
+// numbers per-session event blocks) and only breaks exact-time ties, exactly
+// as the global event heap does.
+type readyHeap []readyItem
+
+func (h readyHeap) Len() int { return len(h) }
+func (h readyHeap) Less(i, j int) bool {
+	if h[i].key != h[j].key {
+		return h[i].key < h[j].key
+	}
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h readyHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *readyHeap) Push(x any)   { *h = append(*h, x.(readyItem)) }
+func (h *readyHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// batchMember is a frame admitted into the step under formation, with the
+// page-movement time its admission charged.
+type batchMember struct {
+	it     readyItem
+	paging float64
+}
+
+// schedRun is the scheduler plane's per-run state on top of the engine:
+// per-device ready heaps, at most one pending wake-up per device, and the
+// per-session pending-work counts that defer a departed session's KV release
+// until its queued work drains.
+type schedRun struct {
+	*engine
+	sched    Scheduler
+	batchMax int
+	events   *eventHeap
+	ready    []readyHeap
+	// stepScheduled marks devices with a wake-up already on the event heap.
+	stepScheduled []bool
+	// stepSeq numbers wake-ups above every arrival's seq, so at equal
+	// timestamps arrivals enqueue before the batch forms.
+	stepSeq int
+	pending []int
+	ended   []bool
+	// reqs / members are per-step scratch buffers reused across batch
+	// formations.
+	reqs    []hwsim.StepReq
+	members []batchMember
+}
+
+// runScheduled is the continuous-batching timeline: arrivals enqueue onto
+// their device's ready heap and the device forms policy-ordered steps
+// whenever it is free.
+func (e *engine) runScheduled(events *eventHeap) {
+	batchMax := e.cfg.Scheduler.BatchMax
+	if batchMax <= 0 {
+		batchMax = DefaultBatchMax
+	}
+	r := &schedRun{
+		engine: e, sched: e.cfg.Scheduler.Policy, batchMax: batchMax,
+		events:        events,
+		ready:         make([]readyHeap, e.nDev),
+		stepScheduled: make([]bool, e.nDev),
+		stepSeq:       events.Len(),
+		pending:       make([]int, len(e.sessions)),
+		ended:         make([]bool, len(e.sessions)),
+		reqs:          make([]hwsim.StepReq, 0, batchMax),
+	}
+	for events.Len() > 0 {
+		ev := heap.Pop(events).(event)
+		if ev.kind == evStep {
+			d := ev.session
+			r.stepScheduled[d] = false
+			r.formBatch(d, ev.at)
+			continue
+		}
+		sess := &e.sessions[ev.session]
+		switch ev.kind {
+		case evStart:
+			e.startSession(ev)
+			continue
+		case evEnd:
+			d := sess.device
+			e.devs[d].ActiveSessions--
+			e.devs[d].ClassSessions[sess.class]--
+			if r.pending[ev.session] > 0 {
+				// Queued work outlives the session: hold its KV (and pool
+				// pages) until the last pending item resolves.
+				r.ended[ev.session] = true
+			} else {
+				e.releaseSession(ev.session, ev.at)
+			}
+			e.observe(EventSessionEnd, ev.at, ev.session, latencyNone)
+			continue
+		}
+		m := &e.metrics[ev.session]
+		if e.plane != nil && e.plane.state[ev.session] != sessAdmitted {
+			// Queued or rejected sessions hold no pages: their frames drop
+			// and their queries go unanswered until admission.
+			if ev.kind == evFrame {
+				m.FramesArrived++
+				m.FramesDropped++
+				e.observe(EventFrameDropped, ev.at, ev.session, latencyNone)
+			} else {
+				m.QueriesDropped++
+				e.observe(EventQueryDropped, ev.at, ev.session, latencyNone)
+			}
+			continue
+		}
+		if ev.kind == evFrame {
+			m.FramesArrived++
+		}
+		d := sess.device
+		it := readyItem{at: ev.at, seq: ev.seq, session: ev.session, query: ev.kind == evQuery}
+		it.key = r.sched.Key(WorkItem{
+			Session: ev.session, Class: sess.class,
+			Priority: e.classes[sess.class].Priority, Query: it.query,
+			Arrival: ev.at, Deadline: ev.at + e.slo[sess.class],
+		})
+		heap.Push(&r.ready[d], it)
+		r.pending[ev.session]++
+		if !r.stepScheduled[d] {
+			t := ev.at
+			if e.devs[d].Free > t {
+				t = e.devs[d].Free
+			}
+			r.scheduleStep(d, t)
+		}
+	}
+}
+
+// scheduleStep pushes device d's next wake-up at time t; the caller
+// guarantees no wake-up is pending.
+func (r *schedRun) scheduleStep(d int, t float64) {
+	heap.Push(r.events, event{at: t, session: d, kind: evStep, seq: r.stepSeq})
+	r.stepSeq++
+	r.stepScheduled[d] = true
+}
+
+// resolve retires one pending item (served or dropped) for session s,
+// releasing the session's KV once it has departed and drained.
+func (r *schedRun) resolve(s int, at float64) {
+	r.pending[s]--
+	if r.ended[s] && r.pending[s] == 0 {
+		r.releaseSession(s, at)
+	}
+}
+
+// formBatch runs one scheduling point on device d at time at: pick ready
+// items in policy order, dropping stale or unallocatable frames, until one
+// hardware step forms — a frame batch up to batchMax, or a solo query — then
+// charge it and schedule the next wake-up at the step's completion.
+func (r *schedRun) formBatch(d int, at float64) {
+	e := r.engine
+	q := &r.ready[d]
+	if q.Len() == 0 {
+		return
+	}
+	if e.devs[d].Free > at {
+		// The device picked up work (admission paging) after this wake-up
+		// was scheduled; form the batch when it actually frees up.
+		r.scheduleStep(d, e.devs[d].Free)
+		return
+	}
+	for q.Len() > 0 {
+		head := heap.Pop(q).(readyItem)
+		if head.query {
+			if r.serveQuery(d, head, at) {
+				break
+			}
+			continue // dropped without occupying the device; keep picking
+		}
+		paging, ok := r.admitFrame(d, head, at)
+		if !ok {
+			continue
+		}
+		members := append(r.members[:0], batchMember{it: head, paging: paging})
+		// Extend the step with ready frames in strict policy order: a query
+		// at the front ends the batch rather than being overtaken.
+		for len(members) < r.batchMax && q.Len() > 0 && !(*q)[0].query {
+			it := heap.Pop(q).(readyItem)
+			p, ok := r.admitFrame(d, it, at)
+			if !ok {
+				continue
+			}
+			members = append(members, batchMember{it: it, paging: p})
+		}
+		r.serveFrames(d, members, at)
+		r.members = members[:0]
+		break
+	}
+	if q.Len() > 0 {
+		r.scheduleStep(d, e.devs[d].Free)
+	}
+}
+
+// admitFrame runs the engine's shared per-frame admission for a batch
+// candidate at formation time `at` (which is the member's service start,
+// exactly as the serial timeline measures the drop threshold); on failure
+// the dropped frame's pending slot resolves.
+func (r *schedRun) admitFrame(d int, it readyItem, at float64) (paging float64, ok bool) {
+	paging, ok = r.admitFrameAt(it.session, d, it.at, at)
+	if !ok {
+		r.resolve(it.session, at)
+	}
+	return paging, ok
+}
+
+// serveFrames charges one coalesced frame step: the batch's page movement
+// lands on the device timeline once, before the step, and every member
+// completes at the step's end. Each member's latency is measured against the
+// captured completion time, so a member's session teardown (resolve can
+// charge drain paging onto the device) never bleeds into a batchmate's
+// sample. The batch-formed event follows the members' served events and
+// carries the head session's post-step KV, matching the query step's
+// convention.
+func (r *schedRun) serveFrames(d int, members []batchMember, at float64) {
+	e := r.engine
+	dev := &e.devs[d]
+	start := at
+	if dev.Free > start {
+		start = dev.Free
+	}
+	paging := 0.0
+	reqs := r.reqs[:0]
+	for _, mb := range members {
+		sc := e.classes[e.sessions[mb.it.session].class].Stream
+		reqs = append(reqs, hwsim.StepReq{
+			NewTokens: sc.TokensPerFrame, KVLen: e.kv[mb.it.session],
+			Stage: hwsim.StageFramePhase,
+		})
+		paging += mb.paging
+	}
+	b := e.sim.Step(reqs)
+	total := b.Total
+	if b.OOM {
+		// The members fit individually (admitFrame checked) but not
+		// co-resident: price the step as serial sub-steps instead of
+		// dropping work the pool already allocated.
+		total = 0
+		for i := range reqs {
+			total += e.sim.Step(reqs[i : i+1]).Total
+		}
+	}
+	dev.Free = start + paging + total
+	dev.Busy += paging + total
+	done := dev.Free
+	e.devMetrics[d].Batches++
+	for _, mb := range members {
+		s := mb.it.session
+		sc := e.classes[e.sessions[s].class].Stream
+		e.kv[s] += sc.TokensPerFrame
+		dev.ResidentKV += sc.TokensPerFrame
+		e.trackPeak(d)
+		e.metrics[s].FramesServed++
+		e.devMetrics[d].FramesServed++
+		lat := done - mb.it.at
+		e.latencies[s] = append(e.latencies[s], lat)
+		e.observe(EventFrameServed, mb.it.at, s, lat)
+		e.served(s, d, mb.it.at, start-mb.it.at, lat, true)
+		r.resolve(s, at)
+	}
+	e.observeBatch(at, d, members[0].it.session, len(members), total)
+	r.reqs = reqs[:0]
+}
+
+// serveQuery charges one solo query step through the engine's shared query
+// pricing (exactly the serial timeline's arithmetic); it reports whether the
+// device was occupied (false when the query dropped on KV allocation
+// failure). The batch-formed event follows the query's served event, since
+// the step's service time is only known after pricing.
+func (r *schedRun) serveQuery(d int, it readyItem, at float64) bool {
+	e := r.engine
+	start := at
+	if e.devs[d].Free > start {
+		start = e.devs[d].Free
+	}
+	total, ok := e.serveQueryAt(it.session, d, it.at, start)
+	if ok {
+		e.observeBatch(at, d, it.session, 1, total)
+	}
+	r.resolve(it.session, at)
+	return ok
+}
+
+// observeBatch emits an EventBatchFormed for a step of `size` items headed
+// by session `head`, with the step's service time (excluding queued page
+// movement) as Latency.
+func (e *engine) observeBatch(at float64, d, head, size int, service float64) {
+	if e.cfg.Observer == nil {
+		return
+	}
+	e.cfg.Observer.Observe(Event{
+		Kind: EventBatchFormed, Time: at, Session: head,
+		Class: e.classes[e.sessions[head].class].Name, Device: d,
+		Latency: service, KV: e.kv[head], Batch: size,
+	})
+}

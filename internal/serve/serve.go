@@ -60,6 +60,15 @@ type StreamClass struct {
 	Name   string
 	Weight float64
 	Stream StreamConfig
+	// SLO is the class's frame deadline in seconds: a frame completing more
+	// than SLO after arrival is a deadline miss (it is still served — only
+	// DropThreshold discards work). 0 falls back to SchedulerConfig.SLO,
+	// then to one frame interval (1/FPS). The edf scheduler orders ready
+	// work by arrival + SLO.
+	SLO float64
+	// Priority orders classes under the priority scheduler: lower values
+	// serve first. Classes sharing a priority fall back to arrival order.
+	Priority int
 }
 
 // ChurnConfig describes open-loop session churn: whole sessions arriving as
@@ -95,6 +104,12 @@ type Config struct {
 	// The zero value disables it and Run reduces exactly to the unpooled
 	// simulation.
 	KV KVConfig
+	// Scheduler enables the per-device continuous-batching scheduler plane:
+	// ready frames from co-resident sessions coalesce into one hardware step
+	// under a pluggable, deadline-aware policy (see SchedulerConfig). The
+	// zero value disables it and Run reduces exactly to the serial
+	// arrival-order batch-1 timeline.
+	Scheduler SchedulerConfig
 	// Devices is the fleet size; 0 or 1 simulates a single device.
 	Devices int
 	// Balancer places each arriving session on a device; nil defaults to
@@ -143,6 +158,10 @@ type StreamMetrics struct {
 	// session was unadmitted, or its KV growth could not be allocated);
 	// always zero with the plane disabled.
 	QueriesDropped int
+	// DeadlineMisses counts served frames that completed after their class
+	// deadline (see StreamClass.SLO); dropped frames are not counted here —
+	// they already show in FramesDropped and depress SLOAttained.
+	DeadlineMisses int
 	// AchievedFPS counts served frames over the session's presence window
 	// (the whole run for non-churned sessions).
 	AchievedFPS float64
@@ -169,6 +188,17 @@ type ClassMetrics struct {
 	MeanFPS float64
 	// P50 / P99 are percentiles of the pooled frame completion latencies.
 	P50, P99 float64
+	// QueueP50 / QueueP99 are percentiles of the pooled queue waits (time
+	// from arrival to service start) of served frames and queries.
+	QueueP50, QueueP99 float64
+	// DeadlineMisses counts served frames completing past their deadline.
+	DeadlineMisses int
+	// SLOAttained is the fraction of arrived frames served within their
+	// class deadline (dropped frames count against it; 0 when none arrived).
+	SLOAttained float64
+	// Goodput is SLO-attained frames per second of simulated time — the
+	// throughput that actually met the deadline.
+	Goodput float64
 	// DropRate is dropped / arrived frames (0 when nothing arrived).
 	DropRate float64
 	// RealTimeSessions counts sessions that served >= 95% of their frames.
@@ -190,6 +220,13 @@ type DeviceMetrics struct {
 	// the device's physical pool). Tracked whether or not the
 	// memory-pressure plane is enabled.
 	PeakResidentKV int
+	// Batches counts hardware steps the device executed: one per served
+	// frame or query on the serial timeline, one per coalesced step under
+	// the scheduler plane (so FramesServed/Batches is the mean frame batch).
+	Batches int
+	// MeanQueueWait is the mean time served frames and queries spent queued
+	// before service started on this device.
+	MeanQueueWait float64
 	// Memory-pressure plane counters, all zero when Config.KV is disabled:
 	// pages moved between device memory and the backing store, the seconds
 	// charged for that movement, and admission-control outcomes.
@@ -222,9 +259,14 @@ const (
 	evFrame        // video frame arrival
 	evQuery        // user query arrival
 	evEnd          // session leaves: balancer state release
+	// evStep is a scheduler-plane wake-up: the device is (or becomes) free
+	// and forms its next batch. Step events carry the device index in the
+	// session field and draw seq numbers above every arrival's, so at equal
+	// timestamps arrivals enqueue before the batch forms.
+	evStep
 )
 
-// event is one arrival.
+// event is one arrival (or, under the scheduler plane, a device wake-up).
 type event struct {
 	at      float64
 	session int
@@ -268,7 +310,21 @@ const (
 
 // expDraw samples an exponential with the given mean.
 func expDraw(rng *mathx.RNG, mean float64) float64 {
-	return -mean * math.Log(1-rng.Float64())
+	return expFromUniform(rng.Float64(), mean)
+}
+
+// expFromUniform maps a uniform draw in [0, 1) through the exponential
+// inverse CDF, clamped strictly away from 0: a draw of exactly 0 would
+// otherwise yield a zero inter-arrival gap or a zero-length session
+// lifetime, producing simultaneous events whose heap order is only
+// tie-break-dependent. The clamp is far below any simulated timescale, so
+// every other draw is unchanged.
+func expFromUniform(u, mean float64) float64 {
+	d := -mean * math.Log(1-u)
+	if d <= 0 {
+		return mean * 1e-12
+	}
+	return d
 }
 
 // session is one video session's static plan: its class, presence window,
@@ -350,9 +406,25 @@ func validate(cfg Config, classes []StreamClass) {
 		panic(fmt.Sprintf("serve: negative config field: %+v", cfg))
 	}
 	for _, c := range classes {
-		if c.Stream.FPS <= 0 || c.Weight <= 0 {
-			panic(fmt.Sprintf("serve: class %q needs positive FPS and weight", c.Name))
+		// Real-time classes divide by FPS (the frame schedule and the drop
+		// threshold's frame-interval scale), so NaN/Inf must fail here, not
+		// corrupt the timeline: `!(x > 0)` also catches NaN.
+		if !(c.Stream.FPS > 0) || math.IsInf(c.Stream.FPS, 0) {
+			panic(fmt.Sprintf("serve: stream class %q: FPS must be a positive finite number, got %v (the frame schedule and drop threshold divide by it)",
+				c.Name, c.Stream.FPS))
 		}
+		if c.Weight <= 0 {
+			panic(fmt.Sprintf("serve: class %q needs positive weight", c.Name))
+		}
+		if c.SLO < 0 || math.IsNaN(c.SLO) {
+			panic(fmt.Sprintf("serve: class %q: negative SLO %v", c.Name, c.SLO))
+		}
+	}
+	if cfg.Scheduler.BatchMax < 0 {
+		panic(fmt.Sprintf("serve: negative scheduler batch cap %d", cfg.Scheduler.BatchMax))
+	}
+	if cfg.Scheduler.SLO < 0 || math.IsNaN(cfg.Scheduler.SLO) {
+		panic(fmt.Sprintf("serve: negative scheduler SLO %v", cfg.Scheduler.SLO))
 	}
 	if cfg.KV.Capacity < 0 && cfg.KV.Capacity != AutoCapacity {
 		panic(fmt.Sprintf("serve: KV capacity %v must be positive, 0 (disabled) or AutoCapacity", cfg.KV.Capacity))
@@ -413,235 +485,59 @@ func Run(cfg Config) Result {
 	}
 	heap.Init(&events)
 
-	kv := make([]int, len(sessions))
-	for s := range kv {
-		kv[s] = classes[sessions[s].class].Stream.StartKV
+	e := &engine{
+		cfg: cfg, classes: classes, sim: sim, sessions: sessions,
+		nDev: nDev, bal: bal,
+		kv:         make([]int, len(sessions)),
+		metrics:    make([]StreamMetrics, len(sessions)),
+		latencies:  make([][]float64, len(sessions)),
+		waits:      make([][]float64, len(sessions)),
+		devs:       make([]DeviceState, nDev),
+		devMetrics: make([]DeviceMetrics, nDev),
+		waitSum:    make([]float64, nDev),
+		waitN:      make([]int, nDev),
+		slo:        make([]float64, len(classes)),
 	}
-	metrics := make([]StreamMetrics, len(sessions))
-	latencies := make([][]float64, len(sessions))
-	devs := make([]DeviceState, nDev)
-	devMetrics := make([]DeviceMetrics, nDev)
-	for d := range devs {
-		devs[d].Index = d
-		devs[d].ClassSessions = make([]int, len(classes))
+	for s := range e.kv {
+		e.kv[s] = classes[sessions[s].class].Stream.StartKV
 	}
-	plane := newKVPlane(cfg, nDev, len(sessions))
-	if plane != nil {
-		for d := range devs {
-			devs[d].CapacityPages = plane.pools[d].CapacityPages()
-			devs[d].FreePages = devs[d].CapacityPages
-		}
+	for d := range e.devs {
+		e.devs[d].Index = d
+		e.devs[d].ClassSessions = make([]int, len(classes))
 	}
-	observe := func(kind EventKind, at float64, s int, latency float64) {
-		if cfg.Observer == nil {
-			return
+	for c := range classes {
+		v := classes[c].SLO
+		if v <= 0 {
+			v = cfg.Scheduler.SLO
 		}
-		cfg.Observer.Observe(Event{
-			Kind: kind, Time: at, Session: s,
-			Class: classes[sessions[s].class].Name, Device: sessions[s].device,
-			Latency: latency, KV: kv[s],
-		})
+		if v <= 0 {
+			v = 1 / classes[c].Stream.FPS
+		}
+		e.slo[c] = v
 	}
-	// trackPeak records device d's resident-KV high-water mark.
-	trackPeak := func(d int) {
-		if devs[d].ResidentKV > devMetrics[d].PeakResidentKV {
-			devMetrics[d].PeakResidentKV = devs[d].ResidentKV
+	e.plane = newKVPlane(cfg, nDev, len(sessions))
+	if e.plane != nil {
+		for d := range e.devs {
+			e.devs[d].CapacityPages = e.plane.pools[d].CapacityPages()
+			e.devs[d].FreePages = e.devs[d].CapacityPages
 		}
-	}
-	// chargePaging occupies device d's serving timeline with page movement
-	// starting no earlier than now: spills and reloads ride the same PCIe
-	// link the device fetches KV over, so they serialise with service.
-	chargePaging := func(d int, now, dur float64) {
-		if dur <= 0 {
-			return
-		}
-		start := devs[d].Free
-		if now > start {
-			start = now
-		}
-		devs[d].Free = start + dur
-		devs[d].Busy += dur
-	}
-	// admit runs admission control for session s on device d: reject when
-	// the working set can never fit, queue when the pool is full and
-	// spilling is disabled, otherwise allocate (spilling cold sessions).
-	admit := func(s, d int, at float64) int {
-		pool := plane.pools[d]
-		if !pool.Fits(kv[s]) {
-			devMetrics[d].SessionsRejected++
-			observe(EventSessionRejected, at, s, 0)
-			return sessRejected
-		}
-		spill, ok := pool.Admit(s, kv[s], at)
-		if !ok {
-			plane.queues[d] = append(plane.queues[d], s)
-			devMetrics[d].SessionsQueued++
-			observe(EventSessionQueued, at, s, 0)
-			return sessQueued
-		}
-		chargePaging(d, at, spill)
-		devs[d].ResidentKV += kv[s]
-		trackPeak(d)
-		return sessAdmitted
-	}
-	// drainQueue admits waiting sessions in FIFO order after pages freed;
-	// the head of the line blocks (no overtaking by smaller sessions).
-	drainQueue := func(d int, at float64) {
-		q := plane.queues[d]
-		i := 0
-		for ; i < len(q); i++ {
-			h := q[i]
-			if plane.state[h] != sessQueued {
-				continue // departed while waiting
-			}
-			spill, ok := plane.pools[d].Admit(h, kv[h], at)
-			if !ok {
-				break
-			}
-			chargePaging(d, at, spill)
-			plane.state[h] = sessAdmitted
-			devs[d].ResidentKV += kv[h]
-			trackPeak(d)
-			observe(EventSessionAdmitted, at, h, 0)
-		}
-		plane.queues[d] = q[i:]
 	}
 
-	for events.Len() > 0 {
-		ev := heap.Pop(&events).(event)
-		sess := &sessions[ev.session]
-		sc := classes[sess.class].Stream
-		switch ev.kind {
-		case evStart:
-			if plane != nil {
-				// Refresh the balancer's view of pool occupancy.
-				for i := range devs {
-					devs[i].FreePages = plane.pools[i].FreePages()
-				}
-			}
-			d := bal.Assign(ev.at, sess.class, devs)
-			if d < 0 || d >= nDev {
-				panic(fmt.Sprintf("serve: balancer %q returned device %d of %d", bal.Name(), d, nDev))
-			}
-			sess.device = d
-			devs[d].ActiveSessions++
-			devs[d].ClassSessions[sess.class]++
-			devMetrics[d].Sessions++
-			observe(EventSessionStart, ev.at, ev.session, 0)
-			if plane == nil {
-				devs[d].ResidentKV += kv[ev.session]
-				trackPeak(d)
-			} else {
-				plane.state[ev.session] = admit(ev.session, d, ev.at)
-			}
-			continue
-		case evEnd:
-			d := sess.device
-			devs[d].ActiveSessions--
-			if plane == nil {
-				devs[d].ResidentKV -= kv[ev.session]
-			} else if plane.state[ev.session] == sessAdmitted {
-				devs[d].ResidentKV -= kv[ev.session]
-				plane.pools[d].Release(ev.session)
-				drainQueue(d, ev.at)
-			}
-			if plane != nil {
-				plane.state[ev.session] = sessGone
-			}
-			devs[d].ClassSessions[sess.class]--
-			observe(EventSessionEnd, ev.at, ev.session, 0)
-			continue
-		}
-		m := &metrics[ev.session]
-		dev := &devs[sess.device]
-		if plane != nil && plane.state[ev.session] != sessAdmitted {
-			// Queued or rejected sessions hold no pages: their frames drop
-			// and their queries go unanswered until admission.
-			if ev.kind == evFrame {
-				m.FramesArrived++
-				m.FramesDropped++
-				observe(EventFrameDropped, ev.at, ev.session, 0)
-			} else {
-				m.QueriesDropped++
-				observe(EventQueryDropped, ev.at, ev.session, 0)
-			}
-			continue
-		}
-		start := dev.Free
-		if ev.at > start {
-			start = ev.at
-		}
-		if ev.kind == evFrame {
-			m.FramesArrived++
-			if cfg.DropThreshold > 0 && start-ev.at > cfg.DropThreshold*(1/sc.FPS) {
-				m.FramesDropped++
-				observe(EventFrameDropped, ev.at, ev.session, 0)
-				continue
-			}
-			b := sim.FrameLatency(sc.TokensPerFrame, kv[ev.session], 1)
-			if b.OOM {
-				m.FramesDropped++
-				observe(EventFrameDropped, ev.at, ev.session, 0)
-				continue
-			}
-			paging := 0.0
-			if plane != nil {
-				// Reserve pages for the frame's new tokens, then make the
-				// session fully resident; the movement time lands on the
-				// device's serving timeline like any other work.
-				pool := plane.pools[sess.device]
-				growSpill, ok := pool.Grow(ev.session, sc.TokensPerFrame, ev.at)
-				if !ok {
-					m.FramesDropped++
-					observe(EventFrameDropped, ev.at, ev.session, 0)
-					continue
-				}
-				pageIn, pageOut := pool.Touch(ev.session, ev.at)
-				paging = growSpill + pageIn + pageOut
-			}
-			dev.Free = start + paging + b.Total
-			dev.Busy += paging + b.Total
-			kv[ev.session] += sc.TokensPerFrame
-			dev.ResidentKV += sc.TokensPerFrame
-			trackPeak(sess.device)
-			m.FramesServed++
-			devMetrics[sess.device].FramesServed++
-			latencies[ev.session] = append(latencies[ev.session], dev.Free-ev.at)
-			observe(EventFrameServed, ev.at, ev.session, dev.Free-ev.at)
-		} else {
-			paging := 0.0
-			if plane != nil {
-				pool := plane.pools[sess.device]
-				growSpill, ok := pool.Grow(ev.session, sc.QueryTokens+sc.AnswerTokens, ev.at)
-				if !ok {
-					m.QueriesDropped++
-					observe(EventQueryDropped, ev.at, ev.session, 0)
-					continue
-				}
-				pageIn, pageOut := pool.Touch(ev.session, ev.at)
-				paging = growSpill + pageIn + pageOut
-			}
-			q := sim.Chunk(sc.QueryTokens, kv[ev.session], 1, hwsim.StageTextPhase)
-			total := q.Total
-			kv[ev.session] += sc.QueryTokens
-			for i := 0; i < sc.AnswerTokens; i++ {
-				total += sim.TPOT(kv[ev.session], 1).Total
-				kv[ev.session]++
-			}
-			dev.Free = start + paging + total
-			dev.Busy += paging + total
-			dev.ResidentKV += sc.QueryTokens + sc.AnswerTokens
-			trackPeak(sess.device)
-			m.QueriesServed++
-			devMetrics[sess.device].QueriesServed++
-			observe(EventQueryServed, ev.at, ev.session, dev.Free-ev.at)
-		}
+	if cfg.Scheduler.enabled() {
+		e.runScheduled(&events)
+	} else {
+		e.runSerial(&events)
 	}
+	kv, metrics, latencies := e.kv, e.metrics, e.latencies
+	devs, devMetrics, plane := e.devs, e.devMetrics, e.plane
 
 	var busy float64
 	for d := range devs {
 		busy += devs[d].Busy
 		devMetrics[d].Utilization = clampUtil(devs[d].Busy / cfg.Duration)
+		if e.waitN[d] > 0 {
+			devMetrics[d].MeanQueueWait = e.waitSum[d] / float64(e.waitN[d])
+		}
 	}
 	if plane != nil {
 		for d := range plane.pools {
@@ -681,8 +577,319 @@ func Run(cfg Config) Result {
 			res.RealTime = false
 		}
 	}
-	res.PerClass, res.Aggregate = reduceClasses(classes, sessions, metrics, latencies)
+	res.PerClass, res.Aggregate = reduceClasses(classes, sessions, metrics, latencies, e.waits, cfg.Duration)
 	return res
+}
+
+// engine bundles one Run's mutable state so the serial and scheduled event
+// loops (this file / scheduler.go) share the same arrival, admission and
+// accounting machinery. Both loops are single-threaded; Workers parallelism
+// stays confined to schedule construction and metric reduction.
+type engine struct {
+	cfg      Config
+	classes  []StreamClass
+	sim      *hwsim.Sim
+	sessions []session
+	nDev     int
+	bal      Balancer
+
+	kv        []int
+	metrics   []StreamMetrics
+	latencies [][]float64
+	// waits collects per-session queue waits (service start minus arrival)
+	// of served frames and queries; reduceClasses pools them into the class
+	// queue-wait percentiles.
+	waits      [][]float64
+	devs       []DeviceState
+	devMetrics []DeviceMetrics
+	// waitSum / waitN accumulate per-device queue waits for MeanQueueWait.
+	waitSum []float64
+	waitN   []int
+	// slo is the resolved per-class frame deadline in seconds (class SLO,
+	// else SchedulerConfig.SLO, else one frame interval).
+	slo   []float64
+	plane *kvPlane
+}
+
+func (e *engine) observe(kind EventKind, at float64, s int, latency float64) {
+	if e.cfg.Observer == nil {
+		return
+	}
+	e.cfg.Observer.Observe(Event{
+		Kind: kind, Time: at, Session: s,
+		Class: e.classes[e.sessions[s].class].Name, Device: e.sessions[s].device,
+		Latency: latency, KV: e.kv[s],
+	})
+}
+
+// trackPeak records device d's resident-KV high-water mark.
+func (e *engine) trackPeak(d int) {
+	if e.devs[d].ResidentKV > e.devMetrics[d].PeakResidentKV {
+		e.devMetrics[d].PeakResidentKV = e.devs[d].ResidentKV
+	}
+}
+
+// chargePaging occupies device d's serving timeline with page movement
+// starting no earlier than now: spills and reloads ride the same PCIe
+// link the device fetches KV over, so they serialise with service.
+func (e *engine) chargePaging(d int, now, dur float64) {
+	if dur <= 0 {
+		return
+	}
+	start := e.devs[d].Free
+	if now > start {
+		start = now
+	}
+	e.devs[d].Free = start + dur
+	e.devs[d].Busy += dur
+}
+
+// admit runs admission control for session s on device d: reject when
+// the working set can never fit, queue when the pool is full and
+// spilling is disabled, otherwise allocate (spilling cold sessions).
+func (e *engine) admit(s, d int, at float64) int {
+	pool := e.plane.pools[d]
+	if !pool.Fits(e.kv[s]) {
+		e.devMetrics[d].SessionsRejected++
+		e.observe(EventSessionRejected, at, s, latencyNone)
+		return sessRejected
+	}
+	spill, ok := pool.Admit(s, e.kv[s], at)
+	if !ok {
+		e.plane.queues[d] = append(e.plane.queues[d], s)
+		e.devMetrics[d].SessionsQueued++
+		e.observe(EventSessionQueued, at, s, latencyNone)
+		return sessQueued
+	}
+	e.chargePaging(d, at, spill)
+	e.devs[d].ResidentKV += e.kv[s]
+	e.trackPeak(d)
+	return sessAdmitted
+}
+
+// drainQueue admits waiting sessions in FIFO order after pages freed;
+// the head of the line blocks (no overtaking by smaller sessions).
+func (e *engine) drainQueue(d int, at float64) {
+	q := e.plane.queues[d]
+	i := 0
+	for ; i < len(q); i++ {
+		h := q[i]
+		if e.plane.state[h] != sessQueued {
+			continue // departed while waiting
+		}
+		spill, ok := e.plane.pools[d].Admit(h, e.kv[h], at)
+		if !ok {
+			break
+		}
+		e.chargePaging(d, at, spill)
+		e.plane.state[h] = sessAdmitted
+		e.devs[d].ResidentKV += e.kv[h]
+		e.trackPeak(d)
+		e.observe(EventSessionAdmitted, at, h, latencyNone)
+	}
+	e.plane.queues[d] = q[i:]
+}
+
+// startSession handles an evStart arrival: balancer assignment, balancer
+// state bookkeeping, and (with the memory-pressure plane) admission control.
+func (e *engine) startSession(ev event) {
+	sess := &e.sessions[ev.session]
+	if e.plane != nil {
+		// Refresh the balancer's view of pool occupancy.
+		for i := range e.devs {
+			e.devs[i].FreePages = e.plane.pools[i].FreePages()
+		}
+	}
+	d := e.bal.Assign(ev.at, sess.class, e.devs)
+	if d < 0 || d >= e.nDev {
+		panic(fmt.Sprintf("serve: balancer %q returned device %d of %d", e.bal.Name(), d, e.nDev))
+	}
+	sess.device = d
+	e.devs[d].ActiveSessions++
+	e.devs[d].ClassSessions[sess.class]++
+	e.devMetrics[d].Sessions++
+	e.observe(EventSessionStart, ev.at, ev.session, latencyNone)
+	if e.plane == nil {
+		e.devs[d].ResidentKV += e.kv[ev.session]
+		e.trackPeak(d)
+	} else {
+		e.plane.state[ev.session] = e.admit(ev.session, d, ev.at)
+	}
+}
+
+// releaseSession returns session s's KV to device d: the balancer-visible
+// resident count drops and (with the plane) its pages free up, unblocking
+// the admission queue. On the serial timeline this happens at the evEnd
+// event; the scheduler plane defers it until the session's queued work has
+// drained (see schedRun.resolve).
+func (e *engine) releaseSession(s int, at float64) {
+	d := e.sessions[s].device
+	if e.plane == nil {
+		e.devs[d].ResidentKV -= e.kv[s]
+	} else if e.plane.state[s] == sessAdmitted {
+		e.devs[d].ResidentKV -= e.kv[s]
+		e.plane.pools[d].Release(s)
+		e.drainQueue(d, at)
+	}
+	if e.plane != nil {
+		e.plane.state[s] = sessGone
+	}
+}
+
+// served records the queue-wait sample and deadline accounting for one
+// served frame or query: wait is service start minus arrival, lat the
+// completion latency. Frames completing past the class deadline count as
+// deadline misses (they were still served — only DropThreshold discards
+// work).
+func (e *engine) served(s, d int, at, wait, lat float64, frame bool) {
+	e.waits[s] = append(e.waits[s], wait)
+	e.waitSum[d] += wait
+	e.waitN[d]++
+	if frame && lat > e.slo[e.sessions[s].class] {
+		e.metrics[s].DeadlineMisses++
+		e.observe(EventDeadlineMissed, at, s, lat)
+	}
+}
+
+// runSerial is the original batch-1 timeline: every arrival is charged to
+// its device in global arrival order, one hardware step per frame or query.
+func (e *engine) runSerial(events *eventHeap) {
+	for events.Len() > 0 {
+		ev := heap.Pop(events).(event)
+		sess := &e.sessions[ev.session]
+		sc := e.classes[sess.class].Stream
+		switch ev.kind {
+		case evStart:
+			e.startSession(ev)
+			continue
+		case evEnd:
+			d := sess.device
+			e.devs[d].ActiveSessions--
+			e.releaseSession(ev.session, ev.at)
+			e.devs[d].ClassSessions[sess.class]--
+			e.observe(EventSessionEnd, ev.at, ev.session, latencyNone)
+			continue
+		}
+		m := &e.metrics[ev.session]
+		dev := &e.devs[sess.device]
+		if e.plane != nil && e.plane.state[ev.session] != sessAdmitted {
+			// Queued or rejected sessions hold no pages: their frames drop
+			// and their queries go unanswered until admission.
+			if ev.kind == evFrame {
+				m.FramesArrived++
+				m.FramesDropped++
+				e.observe(EventFrameDropped, ev.at, ev.session, latencyNone)
+			} else {
+				m.QueriesDropped++
+				e.observe(EventQueryDropped, ev.at, ev.session, latencyNone)
+			}
+			continue
+		}
+		start := dev.Free
+		if ev.at > start {
+			start = ev.at
+		}
+		if ev.kind == evFrame {
+			m.FramesArrived++
+			paging, ok := e.admitFrameAt(ev.session, sess.device, ev.at, start)
+			if !ok {
+				continue
+			}
+			b := e.sim.FrameLatency(sc.TokensPerFrame, e.kv[ev.session], 1)
+			dev.Free = start + paging + b.Total
+			dev.Busy += paging + b.Total
+			e.kv[ev.session] += sc.TokensPerFrame
+			dev.ResidentKV += sc.TokensPerFrame
+			e.trackPeak(sess.device)
+			m.FramesServed++
+			e.devMetrics[sess.device].FramesServed++
+			e.devMetrics[sess.device].Batches++
+			e.latencies[ev.session] = append(e.latencies[ev.session], dev.Free-ev.at)
+			e.observe(EventFrameServed, ev.at, ev.session, dev.Free-ev.at)
+			e.served(ev.session, sess.device, ev.at, start-ev.at, dev.Free-ev.at, true)
+		} else {
+			e.serveQueryAt(ev.session, sess.device, ev.at, start)
+		}
+	}
+}
+
+// admitFrameAt applies per-frame admission for session s on device d: the
+// drop threshold (measured from arrival to service start), the
+// device-memory check, and — with the memory-pressure plane — reserving
+// pages for the frame's new tokens and making the session fully resident
+// (the returned page-movement time lands on the device timeline before the
+// frame's step, like any other work). Failures drop the frame with its
+// accounting. Both event loops admit frames through this one method, so the
+// scheduled and serial timelines can never drift apart on the drop/OOM/page
+// rules.
+func (e *engine) admitFrameAt(s, d int, arrival, start float64) (paging float64, ok bool) {
+	sc := e.classes[e.sessions[s].class].Stream
+	drop := func() {
+		e.metrics[s].FramesDropped++
+		e.observe(EventFrameDropped, arrival, s, latencyNone)
+	}
+	if e.cfg.DropThreshold > 0 && start-arrival > e.cfg.DropThreshold*(1/sc.FPS) {
+		drop()
+		return 0, false
+	}
+	if e.sim.OOM(e.kv[s], 1) {
+		drop()
+		return 0, false
+	}
+	if e.plane != nil {
+		pool := e.plane.pools[d]
+		growSpill, ok := pool.Grow(s, sc.TokensPerFrame, arrival)
+		if !ok {
+			drop()
+			return 0, false
+		}
+		pageIn, pageOut := pool.Touch(s, arrival)
+		paging = growSpill + pageIn + pageOut
+	}
+	return paging, true
+}
+
+// serveQueryAt prices one query — prefill plus the full answer, KV growing
+// token by token — for session s on device d: arrival is the query's arrival
+// time (the pool's touch stamps and the latency baseline), start its service
+// start. Both event loops charge queries through this one method, so the
+// scheduled and serial timelines can never drift apart on query arithmetic.
+// It returns the step's service time and whether the device was occupied
+// (false when the memory-pressure plane could not allocate the KV growth —
+// the query drops).
+func (e *engine) serveQueryAt(s, d int, arrival, start float64) (total float64, ok bool) {
+	sc := e.classes[e.sessions[s].class].Stream
+	m := &e.metrics[s]
+	paging := 0.0
+	if e.plane != nil {
+		pool := e.plane.pools[d]
+		growSpill, ok := pool.Grow(s, sc.QueryTokens+sc.AnswerTokens, arrival)
+		if !ok {
+			m.QueriesDropped++
+			e.observe(EventQueryDropped, arrival, s, latencyNone)
+			return 0, false
+		}
+		pageIn, pageOut := pool.Touch(s, arrival)
+		paging = growSpill + pageIn + pageOut
+	}
+	dev := &e.devs[d]
+	q := e.sim.Chunk(sc.QueryTokens, e.kv[s], 1, hwsim.StageTextPhase)
+	total = q.Total
+	e.kv[s] += sc.QueryTokens
+	for i := 0; i < sc.AnswerTokens; i++ {
+		total += e.sim.TPOT(e.kv[s], 1).Total
+		e.kv[s]++
+	}
+	dev.Free = start + paging + total
+	dev.Busy += paging + total
+	dev.ResidentKV += sc.QueryTokens + sc.AnswerTokens
+	e.trackPeak(d)
+	m.QueriesServed++
+	e.devMetrics[d].QueriesServed++
+	e.devMetrics[d].Batches++
+	e.observe(EventQueryServed, arrival, s, dev.Free-arrival)
+	e.served(s, d, arrival, start-arrival, dev.Free-arrival, false)
+	return total, true
 }
 
 func clampUtil(u float64) float64 {
@@ -693,16 +900,17 @@ func clampUtil(u float64) float64 {
 }
 
 // reduceClasses pools per-session metrics into per-class and aggregate
-// summaries. Latency percentiles are computed over the pooled (re-sorted)
-// latency samples of each group, so they reflect frames, not sessions.
-func reduceClasses(classes []StreamClass, sessions []session, metrics []StreamMetrics, latencies [][]float64) ([]ClassMetrics, ClassMetrics) {
+// summaries. Latency and queue-wait percentiles are computed over the pooled
+// (re-sorted) samples of each group, so they reflect frames, not sessions.
+func reduceClasses(classes []StreamClass, sessions []session, metrics []StreamMetrics, latencies, waits [][]float64, duration float64) ([]ClassMetrics, ClassMetrics) {
 	perClass := make([]ClassMetrics, len(classes))
 	pooled := make([][]float64, len(classes))
+	pooledWait := make([][]float64, len(classes))
 	for c := range classes {
 		perClass[c].Class = classes[c].Name
 	}
 	agg := ClassMetrics{Class: "all"}
-	var aggPool []float64
+	var aggPool, aggWait []float64
 	var aggFPS float64
 	fps := make([]float64, len(classes))
 	for s, m := range metrics {
@@ -714,38 +922,51 @@ func reduceClasses(classes []StreamClass, sessions []session, metrics []StreamMe
 		cm.FramesDropped += m.FramesDropped
 		cm.QueriesServed += m.QueriesServed
 		cm.QueriesDropped += m.QueriesDropped
+		cm.DeadlineMisses += m.DeadlineMisses
 		fps[c] += m.AchievedFPS
 		if m.FramesArrived > 0 && float64(m.FramesServed) >= 0.95*float64(m.FramesArrived) {
 			cm.RealTimeSessions++
 		}
 		pooled[c] = append(pooled[c], latencies[s]...)
+		pooledWait[c] = append(pooledWait[c], waits[s]...)
 		aggFPS += m.AchievedFPS
 		aggPool = append(aggPool, latencies[s]...)
+		aggWait = append(aggWait, waits[s]...)
 	}
-	finish := func(cm *ClassMetrics, pool []float64, fpsSum float64) {
+	finish := func(cm *ClassMetrics, pool, wait []float64, fpsSum float64) {
 		if cm.Sessions > 0 {
 			cm.MeanFPS = fpsSum / float64(cm.Sessions)
 		}
 		if cm.FramesArrived > 0 {
 			cm.DropRate = float64(cm.FramesDropped) / float64(cm.FramesArrived)
+			cm.SLOAttained = float64(cm.FramesServed-cm.DeadlineMisses) / float64(cm.FramesArrived)
+		}
+		if duration > 0 {
+			cm.Goodput = float64(cm.FramesServed-cm.DeadlineMisses) / duration
 		}
 		if len(pool) > 0 {
 			sort.Float64s(pool)
 			cm.P50 = mathx.Percentile(pool, 50)
 			cm.P99 = mathx.Percentile(pool, 99)
 		}
+		if len(wait) > 0 {
+			sort.Float64s(wait)
+			cm.QueueP50 = mathx.Percentile(wait, 50)
+			cm.QueueP99 = mathx.Percentile(wait, 99)
+		}
 	}
 	for c := range perClass {
-		finish(&perClass[c], pooled[c], fps[c])
+		finish(&perClass[c], pooled[c], pooledWait[c], fps[c])
 		agg.Sessions += perClass[c].Sessions
 		agg.FramesArrived += perClass[c].FramesArrived
 		agg.FramesServed += perClass[c].FramesServed
 		agg.FramesDropped += perClass[c].FramesDropped
 		agg.QueriesServed += perClass[c].QueriesServed
 		agg.QueriesDropped += perClass[c].QueriesDropped
+		agg.DeadlineMisses += perClass[c].DeadlineMisses
 		agg.RealTimeSessions += perClass[c].RealTimeSessions
 	}
-	finish(&agg, aggPool, aggFPS)
+	finish(&agg, aggPool, aggWait, aggFPS)
 	return perClass, agg
 }
 
