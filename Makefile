@@ -14,7 +14,16 @@ OLD ?= BENCH_PR5.json
 NEW ?= bench-perf.json
 TOL ?=
 
-.PHONY: build test test-race bench bench-smoke bench-json bench-perf bench-compare cover examples fmt fmt-check vet ci
+# Coverage gate: `make cover` fails when total statement coverage drops
+# below COVER_FLOOR percent. The repo sits well above 80%; the floor is
+# deliberately conservative so it trips on wholesale untested subsystems,
+# not on a single sparse PR.
+COVER_FLOOR ?= 60
+
+# Fuzz smoke budget for `make fuzz-smoke` (native Go fuzzing).
+FUZZTIME ?= 20s
+
+.PHONY: build test test-race bench bench-smoke bench-json bench-perf bench-compare cover examples fmt fmt-check vet scenario-lint scenarios fuzz-smoke ci
 
 build:
 	$(GO) build ./...
@@ -51,10 +60,34 @@ bench-perf:
 bench-compare:
 	$(GO) run ./cmd/vrex-benchstat -compare $(if $(TOL),-tolerance $(TOL)) $(OLD) $(NEW)
 
-# Coverage profile across all packages; CI uploads cover.out as an artifact.
+# Parse, compile and canonical-round-trip every committed scenario file.
+scenario-lint:
+	$(GO) run ./cmd/vrex-sim -scenario-lint scenarios
+
+# Run the committed .vrex suite (plus the adversarial search) in Quick
+# mode and diff against its pinned golden — the CI gate for scenarios/.
+# (.PHONY keeps the scenarios/ directory from satisfying this target.)
+scenarios:
+	$(GO) run ./cmd/vrex-bench -exp scenarios -quick -parallel 1 | \
+		diff -u internal/experiments/testdata/golden/quick/scenarios.txt -
+
+# Native-fuzz smoke over the scenario parser: replays the committed seed
+# corpus, then fuzzes for FUZZTIME looking for parse/marshal fixed-point
+# violations.
+fuzz-smoke:
+	$(GO) test -run xxx -fuzz=FuzzParseScenario -fuzztime=$(FUZZTIME) ./internal/scenario/
+
+# Coverage profile across all packages (per-package lines from go test,
+# totals from cover -func); CI uploads cover.out as an artifact and the
+# COVER_FLOOR gate fails the job if total coverage regresses below it.
 cover:
 	$(GO) test -coverprofile=cover.out ./...
 	@$(GO) tool cover -func=cover.out | tail -n 1
+	@$(GO) tool cover -func=cover.out | tail -n 1 | \
+		awk -v floor=$(COVER_FLOOR) '{ sub(/%/, "", $$3); \
+			if ($$3 + 0 < floor + 0) { \
+				printf "FAIL: total coverage %s%% below floor %s%%\n", $$3, floor; exit 1 } \
+			printf "coverage gate ok: %s%% >= %s%%\n", $$3, floor }'
 
 # Build and run every example binary as a smoke test.
 examples:
@@ -77,5 +110,5 @@ vet:
 	$(GO) vet ./...
 
 # Same steps as the workflow: build, vet, gofmt, race tests, examples,
-# bench smoke + JSON artifact.
-ci: build vet fmt-check test-race examples bench-smoke bench-json
+# scenario lint + suite golden, bench smoke + JSON artifact.
+ci: build vet fmt-check test-race examples scenario-lint scenarios bench-smoke bench-json

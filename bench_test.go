@@ -63,7 +63,11 @@ func BenchmarkMemoryPressure(b *testing.B) { benchExperiment(b, "memory") }
 
 // BenchmarkScheduler drives the continuous-batching scheduler plane end to
 // end through the slo experiment (load x policy x batch-cap sweep).
-func BenchmarkScheduler(b *testing.B)       { benchExperiment(b, "slo") }
+func BenchmarkScheduler(b *testing.B) { benchExperiment(b, "slo") }
+
+// BenchmarkScenarioSuite drives the committed .vrex workload suite plus the
+// adversarial load-shape search through the scenarios experiment.
+func BenchmarkScenarioSuite(b *testing.B)   { benchExperiment(b, "scenarios") }
 func BenchmarkTable1Hardware(b *testing.B)  { benchExperiment(b, "tab1") }
 func BenchmarkTable2Accuracy(b *testing.B)  { benchExperiment(b, "tab2") }
 func BenchmarkTable3AreaPower(b *testing.B) { benchExperiment(b, "tab3") }

@@ -1,6 +1,6 @@
 // Command vrex-sim runs the standalone hardware simulator — either a
-// single-device workload-point study or, with the Scenario flags, a
-// multi-device serving simulation over a heterogeneous stream mix.
+// single-device workload-point study or, in serving mode, a multi-device
+// serving simulation over a heterogeneous stream mix.
 //
 // Point mode (default):
 //
@@ -9,17 +9,29 @@
 //	vrex-sim -policy 'rekv(frame=0.58,text=0.31)' -kv 40000
 //	vrex-sim -kv 10000,20000,40000,80000 -parallel 4   # sweep, ordered output
 //
-// Serving mode (enabled by any of -mix, -devices, -balancer, -streams,
-// -duration, -drop, -churn-arrivals, -churn-life, -seed, -kv-capacity,
-// -spill, -page-tokens, -scheduler, -batch-max, -slo-ms):
+// Serving mode (enabled by -scenario, or by any of -mix, -devices,
+// -balancer, -streams, -duration, -drop, -churn-arrivals, -churn-life,
+// -seed, -kv-capacity, -spill, -page-tokens, -scheduler, -batch-max,
+// -slo-ms):
 //
 //	vrex-sim -policy 'rekv(frame=0.58,text=0.31)' -devices 4 \
 //	    -balancer least-loaded -mix '2fps:0.7,4fps:0.3'
 //	vrex-sim -devices 2 -mix 2fps -streams 8 -churn-arrivals 0.5 -churn-life 30
-//	vrex-sim -devices 2 -mix longctx -streams 8 -balancer kv-pressure \
-//	    -kv-capacity 8 -spill 'spill(evict=lru,pages=8)'
-//	vrex-sim -mix longctx -streams 6 -kv-capacity auto -spill none
 //	vrex-sim -mix longctx -streams 10 -scheduler edf -batch-max 8 -slo-ms 600
+//	vrex-sim -scenario scenarios/flash-crowd.vrex
+//	vrex-sim -scenario-lint scenarios
+//
+// The serving flags are sugar over the declarative scenario layer
+// (internal/scenario): they synthesize an in-memory .vrex scenario that is
+// then compiled into the engine configuration, so a flag-built run and a
+// file-built run go through the same code path. -scenario-dump prints the
+// synthesized (or loaded) scenario in canonical .vrex form — feed it back
+// via -scenario and the run is identical. Scenario files additionally
+// describe time-varying load the flags cannot: diurnal rate cycles, flash
+// crowds, Pareto/lognormal lifetimes, correlated per-class bursts, and
+// trace replay (see scenarios/ for the committed suite). -record-trace
+// writes the run's arrival pattern back out as a replayable trace scenario,
+// and -scenario-lint checks a file or directory against the format.
 //
 // -kv-capacity enables the KV memory-pressure plane (internal/kvpool): each
 // device gets a paged KV budget of that many gigabytes ("auto" derives the
@@ -48,7 +60,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"reflect"
 	"runtime"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -56,22 +71,9 @@ import (
 	"vrex/internal/kvpool"
 	"vrex/internal/parallel"
 	"vrex/internal/report"
+	"vrex/internal/scenario"
 	"vrex/internal/serve"
 )
-
-func deviceByName(name string) (hwsim.DeviceSpec, bool) {
-	switch strings.ToLower(name) {
-	case "agx", "agxorin", "orin":
-		return hwsim.AGXOrin(), true
-	case "a100":
-		return hwsim.A100(), true
-	case "vrex8", "v-rex8":
-		return hwsim.VRex8(), true
-	case "vrex48", "v-rex48":
-		return hwsim.VRex48(), true
-	}
-	return hwsim.DeviceSpec{}, false
-}
 
 // parseKVList parses the -kv flag: one length or a comma-separated sweep.
 func parseKVList(s string) ([]int, error) {
@@ -144,21 +146,51 @@ func listPolicies() {
 	}
 }
 
-// parseKVCapacity decodes the -kv-capacity flag: gigabytes, "auto" (derive
-// from the device spec) or "0"/"" (plane disabled), returned in bytes.
-func parseKVCapacity(s string) (float64, error) {
-	s = strings.TrimSpace(strings.ToLower(s))
-	switch s {
-	case "", "0":
-		return 0, nil
-	case "auto":
-		return serve.AutoCapacity, nil
+// lintScenarios parses, validates, compiles and round-trips one .vrex file
+// or every .vrex file in a directory; any failure exits non-zero.
+func lintScenarios(path string) {
+	info, err := os.Stat(path)
+	if err != nil {
+		fail("%v", err)
 	}
-	gb, err := strconv.ParseFloat(s, 64)
-	if err != nil || gb <= 0 {
-		return 0, fmt.Errorf("bad -kv-capacity %q: want gigabytes, 'auto' or 0", s)
+	files := []string{path}
+	if info.IsDir() {
+		files, err = filepath.Glob(filepath.Join(path, "*.vrex"))
+		if err != nil || len(files) == 0 {
+			fail("no .vrex files in %s", path)
+		}
+		sort.Strings(files)
 	}
-	return gb * 1e9, nil
+	ok := true
+	complain := func(err error) {
+		fmt.Fprintln(os.Stderr, err)
+		ok = false
+	}
+	for _, f := range files {
+		s, err := scenario.ParseFile(f)
+		if err != nil {
+			complain(err)
+			continue
+		}
+		if _, err := s.Config(); err != nil {
+			complain(fmt.Errorf("%s: does not compile: %v", f, err))
+			continue
+		}
+		s2, err := scenario.Parse(f+" (canonical form)", s.Marshal())
+		if err != nil {
+			complain(fmt.Errorf("%s: canonical form rejected: %v", f, err))
+			continue
+		}
+		if !reflect.DeepEqual(s, s2) {
+			complain(fmt.Errorf("%s: canonical round trip changed the scenario", f))
+			continue
+		}
+		fmt.Printf("ok %s (scenario %s: arrivals %s, lifetime %s, %d classes, %d trace events)\n",
+			f, s.Name, s.Arrival.Kind, s.Lifetime.Kind, len(s.Classes), len(s.Trace))
+	}
+	if !ok {
+		os.Exit(1)
+	}
 }
 
 func main() {
@@ -184,6 +216,10 @@ func main() {
 	scheduler := flag.String("scheduler", "none", "serving: continuous-batching scheduler (fifo | edf | priority; 'none' keeps the serial batch-1 timeline)")
 	batchMax := flag.Int("batch-max", 0, "serving: max frames coalesced per hardware step (0 = default 8; needs -scheduler)")
 	sloMS := flag.Float64("slo-ms", 0, "serving: default per-frame deadline in milliseconds (0 = one frame interval; needs -scheduler)")
+	scenarioFile := flag.String("scenario", "", "serving: run a .vrex scenario file (replaces the serving flags)")
+	scenarioDump := flag.Bool("scenario-dump", false, "print the scenario (loaded, or synthesized from the serving flags) in canonical .vrex form, then exit")
+	scenarioLint := flag.String("scenario-lint", "", "lint a .vrex file or a directory of them, then exit")
+	recordTrace := flag.String("record-trace", "", "serving: after the run, write its arrival pattern as a replayable trace scenario to this .vrex file")
 	list := flag.Bool("list-policies", false, "list registered policies, balancers and stream classes, then exit")
 	flag.Parse()
 
@@ -194,6 +230,10 @@ func main() {
 	if args := flag.Args(); len(args) > 0 {
 		fail("unexpected arguments %q: vrex-sim takes only flags", args)
 	}
+	if *scenarioLint != "" {
+		lintScenarios(*scenarioLint)
+		return
+	}
 
 	set := map[string]bool{}
 	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
@@ -201,30 +241,87 @@ func main() {
 		"churn-arrivals", "churn-life", "seed", "kv-capacity", "spill", "page-tokens",
 		"scheduler", "batch-max", "slo-ms"}
 	pointFlags := []string{"kv", "batch", "tokens", "tpot"}
-	serving := false
+	serving := *scenarioFile != "" || *recordTrace != ""
 	for _, f := range servingFlags {
 		if set[f] {
 			serving = true
 		}
 	}
-	if serving {
+	if serving || *scenarioDump {
 		for _, f := range pointFlags {
 			if set[f] {
-				fail("-%s applies to point mode, but serving flags (-mix/-devices/-balancer/...) were given;\ndrop -%s, or remove the serving flags to run a workload point", f, f)
+				fail("-%s applies to point mode, but serving flags (-mix/-devices/-scenario/...) were given;\ndrop -%s, or remove the serving flags to run a workload point", f, f)
 			}
 		}
 	}
 
-	dev, ok := deviceByName(*device)
-	if !ok {
-		fail("unknown device %q (known: agx, a100, vrex8, vrex48)", *device)
+	// Build the scenario: from the file, or synthesized from the flags (the
+	// flags are sugar — both routes compile through scenario.Config, so
+	// -scenario-dump output fed back via -scenario reproduces the flag run).
+	var sc *scenario.Scenario
+	if *scenarioFile != "" {
+		for _, f := range servingFlags {
+			if set[f] {
+				fail("-scenario replaces the serving flags, but -%s was also given;\nedit the scenario file (or dump the flag equivalent with -scenario-dump) instead", f)
+			}
+		}
+		var err error
+		sc, err = scenario.ParseFile(*scenarioFile)
+		if err != nil {
+			fail("%v", err)
+		}
+	} else {
+		if *churnArrivals < 0 || *churnLife < 0 {
+			fail("-churn-arrivals and -churn-life must be non-negative")
+		}
+		classes, err := serve.ParseMix(*mix)
+		if err != nil {
+			fail("%v\nrun 'vrex-sim -list-policies' for stream class names", err)
+		}
+		sc = scenario.Default()
+		sc.Duration = *duration
+		sc.Seed = *seed
+		sc.Streams = *streams
+		sc.Devices = *devices
+		sc.Device = strings.ToLower(*device)
+		sc.Policy = *policy
+		sc.Balancer = *balancer
+		sc.Scheduler = *scheduler
+		sc.BatchMax = *batchMax
+		sc.SLOms = *sloMS
+		sc.Drop = *drop
+		sc.KVCapacity = strings.ToLower(strings.TrimSpace(*kvCapacity))
+		sc.Spill = *spill
+		sc.PageTokens = *pageTokens
+		if *churnArrivals > 0 {
+			sc.Arrival = scenario.ArrivalSpec{Kind: "poisson", Rate: *churnArrivals}
+		}
+		if *churnLife > 0 {
+			sc.Lifetime = scenario.LifetimeSpec{Kind: "exp", Mean: *churnLife}
+		}
+		// The priority scheduler ranks classes by their position in the
+		// -mix spec (ClassSpec priority -1 = mix order): list the most
+		// latency-critical class first.
+		sc.Classes = make([]scenario.ClassSpec, len(classes))
+		for i, c := range classes {
+			sc.Classes[i] = scenario.ClassSpec{Name: c.Name, Weight: c.Weight, Priority: -1}
+		}
 	}
-	pol, err := hwsim.ParsePolicy(*policy)
-	if err != nil {
-		fail("%v\nrun 'vrex-sim -list-policies' for registered policies", err)
+
+	if *scenarioDump {
+		os.Stdout.Write(sc.Marshal())
+		return
 	}
 
 	if !serving {
+		dev, ok := hwsim.DeviceByName(*device)
+		if !ok {
+			fail("unknown device %q (known: %s)", *device, strings.Join(hwsim.DeviceNames(), ", "))
+		}
+		pol, err := hwsim.ParsePolicy(*policy)
+		if err != nil {
+			fail("%v\nrun 'vrex-sim -list-policies' for registered policies", err)
+		}
 		kvs, err := parseKVList(*kv)
 		if err != nil {
 			fail("%v\n-kv takes one KV length or a comma-separated sweep, e.g. -kv 10000,20000", err)
@@ -238,86 +335,43 @@ func main() {
 		return
 	}
 
-	classes, err := serve.ParseMix(*mix)
+	cfg, err := sc.Config()
 	if err != nil {
-		fail("%v\nrun 'vrex-sim -list-policies' for stream class names", err)
+		fail("%v\nrun 'vrex-sim -list-policies' for registered policy, balancer and class names", err)
 	}
-	bal, err := serve.NewBalancer(*balancer)
-	if err != nil {
-		fail("%v", err)
-	}
-	capacity, err := parseKVCapacity(*kvCapacity)
-	if err != nil {
-		fail("%v", err)
-	}
-	spillCfg, err := kvpool.ParseSpill(*spill)
-	if err != nil {
-		fail("%v\nrun 'vrex-sim -list-policies' for spill and eviction policy names", err)
-	}
-	sched, err := serve.ParseScheduler(*scheduler)
-	if err != nil {
-		fail("%v\nrun 'vrex-sim -list-policies' for scheduler names", err)
-	}
-	switch {
-	case *devices < 1:
-		fail("-devices must be >= 1, got %d", *devices)
-	case *duration <= 0:
-		fail("-duration must be positive, got %v", *duration)
-	case *streams < 0 || (*streams == 0 && *churnArrivals <= 0):
-		fail("need sessions to serve: set -streams >= 1 or -churn-arrivals > 0")
-	case *churnArrivals < 0 || *churnLife < 0:
-		fail("-churn-arrivals and -churn-life must be non-negative")
-	case *drop < 0:
-		fail("-drop must be non-negative (0 disables dropping)")
-	case *pageTokens < 0:
-		fail("-page-tokens must be non-negative (0 = default)")
-	case capacity == 0 && (*pageTokens != 0 || spillCfg.Evict != nil):
-		fail("-spill and -page-tokens need the memory-pressure plane: set -kv-capacity")
-	case *batchMax < 0:
-		fail("-batch-max must be non-negative (0 = default)")
-	case *sloMS < 0:
-		fail("-slo-ms must be non-negative (0 = one frame interval)")
-	case sched == nil && (*batchMax != 0 || *sloMS != 0):
-		fail("-batch-max and -slo-ms need the scheduler plane: set -scheduler fifo|edf|priority")
-	}
-
-	// The priority scheduler ranks classes by their position in the -mix
-	// spec: list the most latency-critical class first.
-	for i := range classes {
-		classes[i].Priority = i
-	}
-	cfg := serve.Config{
-		Dev: dev, Pol: pol,
-		Streams: *streams, Duration: *duration,
-		Classes: classes, Devices: *devices, Balancer: bal,
-		Churn:         serve.ChurnConfig{ArrivalRate: *churnArrivals, MeanLifetime: *churnLife},
-		DropThreshold: *drop, Seed: *seed, Workers: *par,
-	}
-	if capacity != 0 {
-		cfg.KV = serve.KVConfig{Capacity: capacity, PageTokens: *pageTokens, Spill: spillCfg}
-		if _, _, _, err := cfg.KV.PoolShape(dev, pol); err != nil {
-			fail("%v\nraise -kv-capacity or lower -page-tokens", err)
-		}
-	}
-	if sched != nil {
-		cfg.Scheduler = serve.SchedulerConfig{Policy: sched, BatchMax: *batchMax, SLO: *sloMS / 1000}
+	cfg.Workers = *par
+	var rec *scenario.Recorder
+	if *recordTrace != "" {
+		rec = scenario.NewRecorder()
+		cfg.Observer = rec
 	}
 	res := serve.Run(cfg)
+	if rec != nil {
+		replay := rec.Scenario(sc)
+		if err := replay.Validate(); err != nil {
+			fail("-record-trace: recorded scenario invalid: %v", err)
+		}
+		if err := os.WriteFile(*recordTrace, replay.Marshal(), 0o644); err != nil {
+			fail("-record-trace: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "recorded %d sessions to %s (replay with -scenario)\n", len(replay.Trace), *recordTrace)
+	}
 
+	sched := cfg.Scheduler.Policy
 	verdict := "real-time"
 	if !res.RealTime {
 		verdict = "NOT real-time"
 	}
 	fmt.Printf("%s + %s | %d device(s), %s balancer | %d sessions over %gs | %s, fleet utilization %.0f%%\n",
-		dev.Name, pol.Name, *devices, bal.Name(), len(res.PerStream), *duration, verdict, 100*res.Utilization)
+		cfg.Dev.Name, cfg.Pol.Name, sc.Devices, cfg.Balancer.Name(), len(res.PerStream), sc.Duration, verdict, 100*res.Utilization)
 	if mem := res.Memory; mem.CapacityPages > 0 {
 		fmt.Printf("kv pool: %d pages x %d tokens per device, spill %s | pages in/out %d/%d (%.1f/%.1f ms) | queued %d, rejected %d\n",
-			mem.CapacityPages, mem.PageTokens, spillCfg.Name(),
+			mem.CapacityPages, mem.PageTokens, cfg.KV.Spill.Name(),
 			mem.PagesIn, mem.PagesOut, 1000*mem.PageInTime, 1000*mem.PageOutTime,
 			mem.SessionsQueued, mem.SessionsRejected)
 	}
 	if sched != nil {
-		bm := *batchMax
+		bm := cfg.Scheduler.BatchMax
 		if bm <= 0 {
 			bm = serve.DefaultBatchMax
 		}

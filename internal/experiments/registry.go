@@ -102,6 +102,7 @@ var registry = map[string]Runner{
 	"fleet":        FleetServing,
 	"memory":       MemoryPressure,
 	"slo":          SLOServing,
+	"scenarios":    ScenarioSuite,
 }
 
 // IDs returns the registered experiment IDs, sorted.

@@ -1,0 +1,104 @@
+package experiments
+
+import (
+	"fmt"
+
+	"vrex/internal/report"
+	"vrex/internal/scenario"
+	"vrex/internal/serve"
+	"vrex/scenarios"
+)
+
+// ScenarioSuite runs the committed .vrex workload suite (scenarios/) as one
+// table — every adversarial load shape the scenario layer supports, each
+// compiled through scenario.Config into the serving planes it exercises —
+// then lets the seeded adversary loose: a hill-climb over load-shape
+// parameters maximizing deadline damage against the fifo scheduler, with the
+// winning hostile scenario replayed under every scheduler to show how much
+// of the damage deadline-aware ordering buys back. Quick caps each
+// scenario's duration (truncating the replay trace consistently — arrival
+// ordinals keep their derived seeds) and shrinks the search.
+func ScenarioSuite(opts Options) []*report.Table {
+	capDur := 0.0
+	if opts.Quick {
+		capDur = 8
+	}
+	load := func(s *scenario.Scenario) serve.Result {
+		if capDur > 0 && s.Duration > capDur {
+			s.Duration = capDur
+		}
+		cfg, err := s.Config()
+		if err != nil {
+			panic(fmt.Sprintf("experiments: scenario %s: %v", s.Name, err))
+		}
+		cfg.Workers = opts.Parallel
+		return serve.Run(cfg)
+	}
+
+	suite := report.NewTable(
+		"Scenario suite: committed .vrex workloads through the serving planes",
+		"scenario", "arrivals", "lifetime", "scheduler", "sessions", "served",
+		"dropped_pct", "slo_pct", "goodput_fps", "p99_ms", "util_pct")
+	for _, name := range scenarios.Names() {
+		src, err := scenarios.Source(name)
+		if err != nil {
+			panic(fmt.Sprintf("experiments: %v", err))
+		}
+		s, err := scenario.Parse(name, src)
+		if err != nil {
+			panic(fmt.Sprintf("experiments: %v", err))
+		}
+		res := load(s)
+		agg := res.Aggregate
+		suite.AddRow(s.Name, s.Arrival.Kind, s.Lifetime.Kind, s.Scheduler,
+			agg.Sessions, agg.FramesServed, 100*agg.DropRate, 100*agg.SLOAttained,
+			agg.Goodput, 1000*agg.P99, 100*res.Utilization)
+	}
+
+	// Adversarial search: start from a benign poisson load under fifo with a
+	// tight frame deadline, let the hill-climb shape the worst load it can,
+	// then replay that load under each scheduler.
+	base := scenario.Default()
+	base.Name = "adv"
+	base.Duration = 16
+	base.Seed = opts.Seed
+	base.Streams = 4
+	base.Scheduler = "fifo"
+	base.BatchMax = serve.DefaultBatchMax
+	base.Arrival = scenario.ArrivalSpec{Kind: "poisson", Rate: 1}
+	base.Lifetime = scenario.LifetimeSpec{Kind: "exp", Mean: 20}
+	base.Classes = []scenario.ClassSpec{
+		{Name: "2fps", Weight: 0.5, SLOms: 400, Priority: -1},
+		{Name: "4fps", Weight: 0.5, SLOms: 700, Priority: -1},
+	}
+	if capDur > 0 {
+		base.Duration = capDur
+	}
+	rounds := 16
+	if opts.Quick {
+		rounds = 4
+	}
+	found, err := scenario.Search(base, scenario.SearchOptions{
+		Rounds: rounds, Seed: opts.Seed, Workers: opts.Parallel,
+	})
+	if err != nil {
+		panic(fmt.Sprintf("experiments: adversary: %v", err))
+	}
+	adv := report.NewTable(
+		fmt.Sprintf("Scenario adversary: %d-round seeded search vs fifo (damage = misses + drops + SLO shortfall)", rounds),
+		"load", "scheduler", "arrivals", "damage", "misses", "dropped", "slo_pct", "p99_ms")
+	row := func(label string, s *scenario.Scenario) {
+		res := load(s.Clone())
+		agg := res.Aggregate
+		adv.AddRow(label, s.Scheduler, s.Arrival.Spec(), scenario.Score(res),
+			agg.DeadlineMisses, agg.FramesDropped+agg.QueriesDropped,
+			100*agg.SLOAttained, 1000*agg.P99)
+	}
+	row("base", base)
+	for _, sched := range []string{"fifo", "edf", "priority"} {
+		s := found.Scenario.Clone()
+		s.Scheduler = sched
+		row("adversarial", s)
+	}
+	return []*report.Table{suite, adv}
+}

@@ -6,7 +6,11 @@
 // pipeline. All Fig. 13-18 experiments run on top of it.
 package hwsim
 
-import "vrex/internal/memsim"
+import (
+	"strings"
+
+	"vrex/internal/memsim"
+)
 
 // DeviceSpec describes one execution platform (Table I).
 type DeviceSpec struct {
@@ -156,3 +160,23 @@ func VRex48() DeviceSpec {
 		FrameOverhead: 0.012,
 	}
 }
+
+// DeviceByName resolves a CLI/scenario device name to its spec. Accepted
+// names (case-insensitive): agx | agxorin | orin, a100, vrex8 | v-rex8,
+// vrex48 | v-rex48.
+func DeviceByName(name string) (DeviceSpec, bool) {
+	switch strings.ToLower(strings.TrimSpace(name)) {
+	case "agx", "agxorin", "orin":
+		return AGXOrin(), true
+	case "a100":
+		return A100(), true
+	case "vrex8", "v-rex8":
+		return VRex8(), true
+	case "vrex48", "v-rex48":
+		return VRex48(), true
+	}
+	return DeviceSpec{}, false
+}
+
+// DeviceNames returns the canonical device names DeviceByName accepts.
+func DeviceNames() []string { return []string{"agx", "a100", "vrex8", "vrex48"} }

@@ -141,6 +141,51 @@ func (s *Spec) Unused() []string {
 	return out
 }
 
+// Param is one key=value parameter for Format. Value must be a string,
+// float64 or int; floats render with the shortest representation that
+// re-parses exactly, so Format output is a fixed point of Parse.
+type Param struct {
+	Key   string
+	Value any
+}
+
+// P builds a Param — sugar for Format call sites.
+func P(key string, value any) Param { return Param{Key: key, Value: value} }
+
+// Format renders a canonical spec string — "name" for no parameters,
+// "name(k=v,k2=v2)" otherwise — in the given parameter order. It is the
+// inverse of Parse for well-formed inputs: Parse(Format(n, ps...)) yields the
+// same name and parameter values, and the scenario marshaller relies on
+// Format being a fixed point (formatting a parsed spec reproduces it byte for
+// byte).
+func Format(name string, params ...Param) string {
+	if len(params) == 0 {
+		return name
+	}
+	var sb strings.Builder
+	sb.WriteString(name)
+	sb.WriteByte('(')
+	for i, p := range params {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(p.Key)
+		sb.WriteByte('=')
+		switch v := p.Value.(type) {
+		case string:
+			sb.WriteString(v)
+		case float64:
+			sb.WriteString(strconv.FormatFloat(v, 'g', -1, 64))
+		case int:
+			sb.WriteString(strconv.Itoa(v))
+		default:
+			panic(fmt.Sprintf("policyspec: Format value for %s must be string, float64 or int, got %T", p.Key, p.Value))
+		}
+	}
+	sb.WriteByte(')')
+	return sb.String()
+}
+
 // CheckConsumed returns an error for any type mismatch recorded during
 // consumption, then for unconsumed parameters, listing the keys the policy
 // does accept.

@@ -2,6 +2,7 @@ package policyspec
 
 import (
 	"reflect"
+	"strings"
 	"testing"
 )
 
@@ -117,4 +118,107 @@ func TestHas(t *testing.T) {
 	if err := sp.CheckConsumed("a"); err == nil {
 		t.Fatal("Has must not mark the key consumed")
 	}
+}
+
+func TestCheckConsumedErrorMessages(t *testing.T) {
+	// Unknown key: the error must name both the offending and the known keys
+	// so CLI typos are self-diagnosing.
+	sp, err := Parse("resv(frmae=0.5)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp.Float("frame", 0.5)
+	cerr := sp.CheckConsumed("frame", "text")
+	if cerr == nil {
+		t.Fatal("unknown key must fail CheckConsumed")
+	}
+	for _, want := range []string{"frmae", "frame", "text"} {
+		if !strings.Contains(cerr.Error(), want) {
+			t.Fatalf("error %q must mention %q", cerr, want)
+		}
+	}
+
+	// Malformed number: reported with the offending literal, and takes
+	// precedence over the unconsumed-parameter report.
+	sp, err = Parse("rekv(frame=0x,typo=1)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sp.Float("frame", 0.25); got != 0.25 {
+		t.Fatalf("malformed number must fall back to default, got %v", got)
+	}
+	cerr = sp.CheckConsumed("frame")
+	if cerr == nil || !strings.Contains(cerr.Error(), `bad number "0x"`) {
+		t.Fatalf("malformed number not reported: %v", cerr)
+	}
+
+	// Unconsumed params: every leftover key listed, sorted.
+	sp, err = Parse("fifo(z=1,a=2)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cerr = sp.CheckConsumed()
+	if cerr == nil || !strings.Contains(cerr.Error(), "a, z") {
+		t.Fatalf("unconsumed keys not listed sorted: %v", cerr)
+	}
+}
+
+func TestIntOnMalformedNumberReported(t *testing.T) {
+	sp, err := Parse("spill(pages=many)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sp.Int("pages", 4); got != 4 {
+		t.Fatalf("malformed int must fall back to default, got %v", got)
+	}
+	if err := sp.CheckConsumed("pages"); err == nil {
+		t.Fatal("malformed int must be reported by CheckConsumed")
+	}
+}
+
+func TestFormatRoundTrip(t *testing.T) {
+	for _, tc := range []struct {
+		spec string
+		ps   []Param
+	}{
+		{"resv", nil},
+		{"diurnal(rate=0.5,amp=0.9,period=12)", []Param{P("rate", 0.5), P("amp", 0.9), P("period", 12.0)}},
+		{"spill(evict=lru,pages=16)", []Param{P("evict", "lru"), P("pages", 16)}},
+		{"flash(rate=0.3333333333333333,mult=8)", []Param{P("rate", 1.0/3), P("mult", 8.0)}},
+	} {
+		name, _, _ := strings.Cut(tc.spec, "(")
+		got := Format(name, tc.ps...)
+		if got != tc.spec {
+			t.Fatalf("Format = %q, want %q", got, tc.spec)
+		}
+		sp, err := Parse(got)
+		if err != nil {
+			t.Fatalf("Format output %q must re-parse: %v", got, err)
+		}
+		for _, p := range tc.ps {
+			switch v := p.Value.(type) {
+			case float64:
+				if sp.Float(p.Key, -1) != v {
+					t.Fatalf("%s: param %s did not survive the round trip exactly", got, p.Key)
+				}
+			case int:
+				if sp.Int(p.Key, -1) != v {
+					t.Fatalf("%s: param %s did not survive the round trip", got, p.Key)
+				}
+			case string:
+				if sp.Str(p.Key, "") != v {
+					t.Fatalf("%s: param %s did not survive the round trip", got, p.Key)
+				}
+			}
+		}
+	}
+}
+
+func TestFormatRejectsUnknownValueType(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Format must panic on unsupported value types")
+		}
+	}()
+	Format("x", P("a", []int{1}))
 }

@@ -1,0 +1,34 @@
+package scenario
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzParseScenario drives the .vrex parser with arbitrary bytes: Parse must
+// never panic, and whenever it accepts an input, Marshal must be a fixed
+// point — the canonical form re-parses to an equal scenario that re-marshals
+// byte for byte (the property -scenario-dump and the lint gate rely on).
+// Seed corpus under testdata/fuzz/FuzzParseScenario; CI runs a short native
+// fuzz smoke on top of the corpus regression pass.
+func FuzzParseScenario(f *testing.F) {
+	f.Add([]byte("scenario x\narrivals poisson(rate=0.5)\nlifetime exp(mean=4)\n"))
+	f.Add([]byte(full))
+	f.Add([]byte("streams 0\narrivals trace\nclass 2fps\ntrace at=0,class=2fps,life=3\n"))
+	f.Add([]byte("duration -1\n"))
+	f.Add([]byte("# only comments\n\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := Parse("fuzz", data)
+		if err != nil {
+			return
+		}
+		m := s.Marshal()
+		s2, err := Parse("fuzz-marshal", m)
+		if err != nil {
+			t.Fatalf("Marshal output rejected: %v\ninput: %q\nmarshal:\n%s", err, data, m)
+		}
+		if m2 := s2.Marshal(); !bytes.Equal(m, m2) {
+			t.Fatalf("Marshal not a fixed point:\n%s\n----\n%s", m, m2)
+		}
+	})
+}

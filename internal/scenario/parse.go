@@ -1,0 +1,350 @@
+package scenario
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+
+	"vrex/internal/policyspec"
+	"vrex/internal/workload"
+)
+
+// The .vrex scenario grammar is line-oriented: one "key value" pair per
+// line, '#' starts a comment, blank lines are ignored. Scalar keys may
+// appear at most once; "class" and "trace" lines repeat. Structured values
+// (arrivals, lifetime, class) reuse the policyspec grammar, so scenario
+// files read like the CLI's spec strings:
+//
+//	scenario rush-hour
+//	duration 60
+//	arrivals diurnal(rate=0.8,amp=0.9,period=30)
+//	lifetime pareto(shape=1.3,scale=4)
+//	class 2fps(weight=0.7)
+//	class 4fps(weight=0.3,burst-rate=2,burst-at=20,burst-dur=5)
+//
+// Marshal renders the canonical form — every scalar key in a fixed order,
+// floats in their shortest exact representation — and is a fixed point:
+// Parse(Marshal(s)) reproduces s, and Marshal(Parse(b)) re-marshals byte
+// for byte.
+
+// Parse parses and validates a .vrex scenario. The name argument is used in
+// error messages (typically the file path).
+func Parse(name string, data []byte) (*Scenario, error) {
+	s := Default()
+	s.Classes = nil // default mix only when the file declares no class lines
+	seen := map[string]bool{}
+	for ln, line := range strings.Split(string(data), "\n") {
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		key, rest := line, ""
+		if i := strings.IndexAny(line, " \t"); i >= 0 {
+			key, rest = line[:i], strings.TrimSpace(line[i+1:])
+		}
+		key = strings.ToLower(key)
+		if key != "class" && key != "trace" {
+			if seen[key] {
+				return nil, fmt.Errorf("%s:%d: duplicate key %q", name, ln+1, key)
+			}
+			seen[key] = true
+		}
+		if rest == "" {
+			return nil, fmt.Errorf("%s:%d: key %q needs a value", name, ln+1, key)
+		}
+		if err := s.setKey(key, rest); err != nil {
+			return nil, fmt.Errorf("%s:%d: %v", name, ln+1, err)
+		}
+	}
+	if len(s.Classes) == 0 {
+		s.Classes = Default().Classes
+	}
+	if err := s.Validate(); err != nil {
+		return nil, fmt.Errorf("%s: %v", name, err)
+	}
+	return s, nil
+}
+
+// ParseFile reads and parses one .vrex file.
+func ParseFile(path string) (*Scenario, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return Parse(path, data)
+}
+
+func parseF(key, v string) (float64, error) {
+	f, err := strconv.ParseFloat(v, 64)
+	if err != nil || math.IsNaN(f) || math.IsInf(f, 0) {
+		return 0, fmt.Errorf("%s: bad number %q", key, v)
+	}
+	return f, nil
+}
+
+func parseI(key, v string) (int, error) {
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		return 0, fmt.Errorf("%s: bad integer %q", key, v)
+	}
+	return n, nil
+}
+
+func (s *Scenario) setKey(key, v string) error {
+	var err error
+	switch key {
+	case "scenario":
+		s.Name = strings.ToLower(v)
+	case "duration":
+		s.Duration, err = parseF(key, v)
+	case "seed":
+		s.Seed, err = strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			err = fmt.Errorf("seed: bad integer %q", v)
+		}
+	case "streams":
+		s.Streams, err = parseI(key, v)
+	case "devices":
+		s.Devices, err = parseI(key, v)
+	case "device":
+		s.Device = strings.ToLower(v)
+	case "policy":
+		s.Policy = strings.ToLower(v)
+	case "balancer":
+		s.Balancer = strings.ToLower(v)
+	case "scheduler":
+		s.Scheduler = strings.ToLower(v)
+	case "batch-max":
+		s.BatchMax, err = parseI(key, v)
+	case "slo-ms":
+		s.SLOms, err = parseF(key, v)
+	case "drop":
+		s.Drop, err = parseF(key, v)
+	case "kv-capacity":
+		s.KVCapacity = strings.ToLower(v)
+	case "spill":
+		s.Spill = strings.ToLower(v)
+	case "page-tokens":
+		s.PageTokens, err = parseI(key, v)
+	case "arrivals":
+		err = s.setArrival(v)
+	case "lifetime":
+		err = s.setLifetime(v)
+	case "class":
+		err = s.addClass(v)
+	case "trace":
+		err = s.addTrace(v)
+	default:
+		err = fmt.Errorf("unknown key %q (known: scenario, duration, seed, streams, devices, device, policy, balancer, scheduler, batch-max, slo-ms, drop, kv-capacity, spill, page-tokens, arrivals, lifetime, class, trace)", key)
+	}
+	return err
+}
+
+func (s *Scenario) setArrival(v string) error {
+	sp, err := policyspec.Parse(v)
+	if err != nil {
+		return fmt.Errorf("arrivals: %v", err)
+	}
+	a := ArrivalSpec{Kind: sp.Name}
+	var known []string
+	switch sp.Name {
+	case "none", "trace":
+	case "poisson":
+		a.Rate = sp.Float("rate", 0)
+		known = []string{"rate"}
+	case "diurnal":
+		a.Rate = sp.Float("rate", 0)
+		a.Amp = sp.Float("amp", 0)
+		a.Period = sp.Float("period", 0)
+		a.Phase = sp.Float("phase", 0)
+		known = []string{"rate", "amp", "period", "phase"}
+	case "flash":
+		a.Rate = sp.Float("rate", 0)
+		a.At = sp.Float("at", 0)
+		a.Dur = sp.Float("dur", 0)
+		a.Mult = sp.Float("mult", 1)
+		known = []string{"rate", "at", "dur", "mult"}
+	default:
+		return fmt.Errorf("arrivals: unknown process %q (known: none, poisson, diurnal, flash, trace)", sp.Name)
+	}
+	if err := sp.CheckConsumed(known...); err != nil {
+		return fmt.Errorf("arrivals: %v", err)
+	}
+	s.Arrival = a
+	return nil
+}
+
+func (s *Scenario) setLifetime(v string) error {
+	sp, err := policyspec.Parse(v)
+	if err != nil {
+		return fmt.Errorf("lifetime: %v", err)
+	}
+	l := LifetimeSpec{Kind: sp.Name}
+	var known []string
+	switch sp.Name {
+	case "none":
+	case "exp":
+		l.Mean = sp.Float("mean", 0)
+		known = []string{"mean"}
+	case "pareto":
+		l.Shape = sp.Float("shape", 0)
+		l.Scale = sp.Float("scale", 0)
+		known = []string{"shape", "scale"}
+	case "lognormal":
+		l.Mu = sp.Float("mu", 0)
+		l.Sigma = sp.Float("sigma", 0)
+		known = []string{"mu", "sigma"}
+	default:
+		return fmt.Errorf("lifetime: unknown distribution %q (known: none, exp, pareto, lognormal)", sp.Name)
+	}
+	if err := sp.CheckConsumed(known...); err != nil {
+		return fmt.Errorf("lifetime: %v", err)
+	}
+	s.Lifetime = l
+	return nil
+}
+
+func (s *Scenario) addClass(v string) error {
+	sp, err := policyspec.Parse(v)
+	if err != nil {
+		return fmt.Errorf("class: %v", err)
+	}
+	c := ClassSpec{
+		Name:     sp.Name,
+		Weight:   sp.Float("weight", 1),
+		SLOms:    sp.Float("slo-ms", 0),
+		Priority: sp.Int("priority", -1),
+	}
+	if sp.Has("burst-rate") || sp.Has("burst-at") || sp.Has("burst-dur") {
+		c.Burst = &BurstSpec{
+			Rate: sp.Float("burst-rate", 0),
+			At:   sp.Float("burst-at", 0),
+			Dur:  sp.Float("burst-dur", 0),
+		}
+	}
+	if err := sp.CheckConsumed("weight", "slo-ms", "priority", "burst-rate", "burst-at", "burst-dur"); err != nil {
+		return fmt.Errorf("class: %v", err)
+	}
+	s.Classes = append(s.Classes, c)
+	return nil
+}
+
+func (s *Scenario) addTrace(v string) error {
+	// Trace lines are bare parameter lists ("at=1.5,class=2fps,life=8");
+	// reuse the policyspec parameter grammar via a synthetic name.
+	sp, err := policyspec.Parse("t(" + v + ")")
+	if err != nil {
+		return fmt.Errorf("trace: %v", err)
+	}
+	e := workload.TraceEvent{
+		At:       sp.Float("at", -1),
+		Class:    sp.Str("class", ""),
+		Lifetime: sp.Float("life", 0),
+	}
+	if err := sp.CheckConsumed("at", "class", "life"); err != nil {
+		return fmt.Errorf("trace: %v", err)
+	}
+	if !sp.Has("at") || e.Class == "" {
+		return fmt.Errorf("trace: needs at= and class=")
+	}
+	s.Trace = append(s.Trace, e)
+	return nil
+}
+
+func fmtF(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// Marshal renders the scenario in canonical .vrex form. Marshal output
+// re-parses to an equal Scenario and is a fixed point of Parse∘Marshal, the
+// property -scenario-dump and the lint gate rely on.
+func (s *Scenario) Marshal() []byte {
+	var b strings.Builder
+	w := func(key, val string) {
+		b.WriteString(key)
+		b.WriteByte(' ')
+		b.WriteString(val)
+		b.WriteByte('\n')
+	}
+	w("scenario", s.Name)
+	w("duration", fmtF(s.Duration))
+	w("seed", strconv.FormatUint(s.Seed, 10))
+	w("streams", strconv.Itoa(s.Streams))
+	w("devices", strconv.Itoa(s.Devices))
+	w("device", s.Device)
+	w("policy", s.Policy)
+	w("balancer", s.Balancer)
+	w("scheduler", s.Scheduler)
+	if s.BatchMax != 0 {
+		w("batch-max", strconv.Itoa(s.BatchMax))
+	}
+	if s.SLOms != 0 {
+		w("slo-ms", fmtF(s.SLOms))
+	}
+	w("drop", fmtF(s.Drop))
+	w("kv-capacity", s.KVCapacity)
+	w("spill", s.Spill)
+	if s.PageTokens != 0 {
+		w("page-tokens", strconv.Itoa(s.PageTokens))
+	}
+	w("arrivals", s.Arrival.Spec())
+	w("lifetime", s.Lifetime.Spec())
+	for _, c := range s.Classes {
+		w("class", c.Spec())
+	}
+	for _, e := range s.Trace {
+		w("trace", fmt.Sprintf("at=%s,class=%s,life=%s", fmtF(e.At), e.Class, fmtF(e.Lifetime)))
+	}
+	return []byte(b.String())
+}
+
+// Spec renders the arrival process in canonical spec-string form.
+func (a ArrivalSpec) Spec() string {
+	p := policyspec.P
+	switch a.Kind {
+	case "poisson":
+		return policyspec.Format("poisson", p("rate", a.Rate))
+	case "diurnal":
+		ps := []policyspec.Param{p("rate", a.Rate), p("amp", a.Amp), p("period", a.Period)}
+		if a.Phase != 0 {
+			ps = append(ps, p("phase", a.Phase))
+		}
+		return policyspec.Format("diurnal", ps...)
+	case "flash":
+		return policyspec.Format("flash", p("rate", a.Rate), p("at", a.At), p("dur", a.Dur), p("mult", a.Mult))
+	}
+	return a.Kind // none, trace
+}
+
+// Spec renders the lifetime distribution in canonical spec-string form.
+func (l LifetimeSpec) Spec() string {
+	p := policyspec.P
+	switch l.Kind {
+	case "exp":
+		return policyspec.Format("exp", p("mean", l.Mean))
+	case "pareto":
+		return policyspec.Format("pareto", p("shape", l.Shape), p("scale", l.Scale))
+	case "lognormal":
+		return policyspec.Format("lognormal", p("mu", l.Mu), p("sigma", l.Sigma))
+	}
+	return l.Kind // none
+}
+
+// Spec renders the class in canonical spec-string form.
+func (c ClassSpec) Spec() string {
+	p := policyspec.P
+	ps := []policyspec.Param{p("weight", c.Weight)}
+	if c.SLOms != 0 {
+		ps = append(ps, p("slo-ms", c.SLOms))
+	}
+	if c.Priority >= 0 {
+		ps = append(ps, p("priority", c.Priority))
+	}
+	if b := c.Burst; b != nil {
+		ps = append(ps, p("burst-rate", b.Rate), p("burst-at", b.At), p("burst-dur", b.Dur))
+	}
+	return policyspec.Format(c.Name, ps...)
+}

@@ -1,0 +1,51 @@
+package scenario
+
+import (
+	"vrex/internal/serve"
+	"vrex/internal/workload"
+)
+
+// Recorder is a serve.Observer that accumulates a replayable per-session
+// arrival trace from a live run: wire it through Config.Observer, run, then
+// turn the recording into a trace-replay scenario with Scenario. Replaying
+// that scenario reproduces the run's exact arrival pattern — times, classes
+// and lifetimes — with no stochastic churn at all, which is how recorded
+// load shapes become committed regression fixtures.
+type Recorder struct {
+	rec *workload.TraceRecorder
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder {
+	return &Recorder{rec: workload.NewTraceRecorder()}
+}
+
+// Observe implements serve.Observer, capturing session starts and ends.
+func (r *Recorder) Observe(e serve.Event) {
+	switch e.Kind {
+	case serve.EventSessionStart:
+		r.rec.Start(e.Session, e.Time, e.Class)
+	case serve.EventSessionEnd:
+		r.rec.End(e.Session, e.Time)
+	}
+}
+
+// Events returns the recorded arrivals sorted by arrival time.
+func (r *Recorder) Events() []workload.TraceEvent { return r.rec.Events() }
+
+// Scenario converts the recording into a trace-replay scenario: base's
+// device/policy/scheduler surface with the stochastic load shape replaced by
+// the recorded trace (streams 0, arrivals trace, lifetime none, bursts
+// stripped — the trace already embodies them).
+func (r *Recorder) Scenario(base *Scenario) *Scenario {
+	s := base.Clone()
+	s.Name = base.Name + "-replay"
+	s.Streams = 0
+	s.Arrival = ArrivalSpec{Kind: "trace"}
+	s.Lifetime = LifetimeSpec{Kind: "none"}
+	s.Trace = r.Events()
+	for i := range s.Classes {
+		s.Classes[i].Burst = nil
+	}
+	return s
+}

@@ -75,13 +75,42 @@ type StreamClass struct {
 // a Poisson process and departing after exponentially distributed lifetimes.
 // The zero value disables churn (the closed population of Config.Streams
 // sessions runs for the whole duration).
+//
+// The three hooks generalise the churn plane to arbitrary load shapes
+// (internal/scenario compiles .vrex scenario files into them): each replaces
+// one draw while keeping the derived-seed discipline — the hook receives a
+// private RNG seeded exactly like the draw it replaces, so enabling one hook
+// never perturbs the randomness the others consume. All hooks nil reduces
+// byte-identically to the Poisson/exponential process above.
 type ChurnConfig struct {
 	// ArrivalRate is the mean session arrivals per second (0 disables).
 	ArrivalRate float64
 	// MeanLifetime is the mean session lifetime in seconds; 0 means sessions
 	// stay for the rest of the run.
 	MeanLifetime float64
+	// Arrivals, when non-nil, replaces the Poisson arrival process: it
+	// returns churned-session arrival times (seconds; values outside
+	// [0, Duration) are skipped without disturbing later ordinals). rng is
+	// the churn-domain generator the Poisson process would have used, so a
+	// hook drawing the same exponential gaps reproduces it exactly.
+	// ArrivalRate is ignored when set.
+	Arrivals func(rng *mathx.RNG, duration float64) []float64
+	// Lifetime, when non-nil, replaces the exponential lifetime draw for
+	// every session (initial and churned): rng is the session's private
+	// lifetime generator, ordinal its index within its seed domain, start its
+	// arrival time. A non-positive (or NaN) return means the session stays
+	// for the rest of the run. MeanLifetime is ignored when set.
+	Lifetime func(rng *mathx.RNG, ordinal int, start float64) float64
+	// Class, when non-nil, replaces the weighted class draw: it returns an
+	// index into the effective class mix (out-of-range panics). rng is the
+	// session's private class generator, ordinal and start as for Lifetime —
+	// time-varying mixes (correlated per-class bursts) key off start,
+	// trace replays key off ordinal.
+	Class func(rng *mathx.RNG, ordinal int, start float64) int
 }
+
+// hasArrivals reports whether churn can create sessions at all.
+func (c ChurnConfig) hasArrivals() bool { return c.ArrivalRate > 0 || c.Arrivals != nil }
 
 // Config describes a serving run.
 type Config struct {
@@ -351,7 +380,17 @@ func buildSessions(cfg Config, classes []StreamClass) []session {
 	}
 	// pickClass and endOf key their draws on a domain seed (the initial or
 	// churn session domain) plus the session's ordinal within that domain.
-	pickClass := func(domain uint64, i int) int {
+	// The Churn hooks, when set, consume the same privately seeded RNG as the
+	// draw they replace, so the hook and built-in paths never share state.
+	pickClass := func(domain uint64, i int, start float64) int {
+		if cfg.Churn.Class != nil {
+			rng := mathx.NewRNG(parallel.SeedFor(domain^classSeedSalt, i))
+			c := cfg.Churn.Class(rng, i, start)
+			if c < 0 || c >= len(classes) {
+				panic(fmt.Sprintf("serve: Churn.Class returned %d with %d classes", c, len(classes)))
+			}
+			return c
+		}
 		if len(classes) == 1 {
 			return 0
 		}
@@ -365,10 +404,19 @@ func buildSessions(cfg Config, classes []StreamClass) []session {
 		return len(classes) - 1
 	}
 	endOf := func(domain uint64, i int, start float64) float64 {
-		if cfg.Churn.MeanLifetime <= 0 {
-			return cfg.Duration
+		var life float64
+		if cfg.Churn.Lifetime != nil {
+			life = cfg.Churn.Lifetime(mathx.NewRNG(parallel.SeedFor(domain^lifeSeedSalt, i)), i, start)
+			if !(life > 0) { // non-positive or NaN: stays for the rest of the run
+				return cfg.Duration
+			}
+		} else {
+			if cfg.Churn.MeanLifetime <= 0 {
+				return cfg.Duration
+			}
+			life = expDraw(mathx.NewRNG(parallel.SeedFor(domain^lifeSeedSalt, i)), cfg.Churn.MeanLifetime)
 		}
-		end := start + expDraw(mathx.NewRNG(parallel.SeedFor(domain^lifeSeedSalt, i)), cfg.Churn.MeanLifetime)
+		end := start + life
 		if end > cfg.Duration {
 			end = cfg.Duration
 		}
@@ -378,17 +426,33 @@ func buildSessions(cfg Config, classes []StreamClass) []session {
 	sessions := make([]session, 0, cfg.Streams)
 	for s := 0; s < cfg.Streams; s++ {
 		sessions = append(sessions, session{
-			class: pickClass(cfg.Seed, s), end: endOf(cfg.Seed, s, 0),
+			class: pickClass(cfg.Seed, s, 0), end: endOf(cfg.Seed, s, 0),
 			device: -1, seed: parallel.SeedFor(cfg.Seed, s),
 		})
 	}
-	if cfg.Churn.ArrivalRate > 0 {
+	switch {
+	case cfg.Churn.Arrivals != nil:
+		domain := cfg.Seed ^ churnSessionSalt
+		rng := mathx.NewRNG(parallel.SeedFor(cfg.Seed^churnSeedSalt, 0))
+		for i, t := range cfg.Churn.Arrivals(rng, cfg.Duration) {
+			// Out-of-window times are skipped but keep their ordinal, so a
+			// trace replayed with a shorter duration still seeds and classes
+			// its surviving sessions identically.
+			if !(t >= 0) || t >= cfg.Duration {
+				continue
+			}
+			sessions = append(sessions, session{
+				class: pickClass(domain, i, t), start: t, end: endOf(domain, i, t),
+				device: -1, seed: parallel.SeedFor(domain, i),
+			})
+		}
+	case cfg.Churn.ArrivalRate > 0:
 		domain := cfg.Seed ^ churnSessionSalt
 		rng := mathx.NewRNG(parallel.SeedFor(cfg.Seed^churnSeedSalt, 0))
 		i := 0
 		for t := expDraw(rng, 1/cfg.Churn.ArrivalRate); t < cfg.Duration; t += expDraw(rng, 1/cfg.Churn.ArrivalRate) {
 			sessions = append(sessions, session{
-				class: pickClass(domain, i), start: t, end: endOf(domain, i, t),
+				class: pickClass(domain, i, t), start: t, end: endOf(domain, i, t),
 				device: -1, seed: parallel.SeedFor(domain, i),
 			})
 			i++
@@ -398,7 +462,7 @@ func buildSessions(cfg Config, classes []StreamClass) []session {
 }
 
 func validate(cfg Config, classes []StreamClass) {
-	if cfg.Duration <= 0 || (cfg.Streams <= 0 && cfg.Churn.ArrivalRate <= 0) {
+	if cfg.Duration <= 0 || (cfg.Streams <= 0 && !cfg.Churn.hasArrivals()) {
 		panic(fmt.Sprintf("serve: invalid config streams=%d duration=%v arrival_rate=%v",
 			cfg.Streams, cfg.Duration, cfg.Churn.ArrivalRate))
 	}

@@ -1,0 +1,43 @@
+// Package scenarios embeds the committed .vrex workload suite: one file per
+// adversarial load shape the serving planes must hold up under (diurnal rate
+// cycles, flash crowds, heavy-tailed lifetimes, correlated class bursts, and
+// a recorded trace replay). The suite is executable documentation of the
+// scenario format and a regression fixture: the `scenarios` experiment runs
+// every file as one golden-pinned table, and `make scenario-lint` holds each
+// file to the canonical Marshal form.
+package scenarios
+
+import (
+	"embed"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+//go:embed *.vrex
+var files embed.FS
+
+// Names returns the committed scenario file names, sorted.
+func Names() []string {
+	ents, err := files.ReadDir(".")
+	if err != nil {
+		panic(fmt.Sprintf("scenarios: embedded suite unreadable: %v", err))
+	}
+	var names []string
+	for _, e := range ents {
+		if strings.HasSuffix(e.Name(), ".vrex") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Source returns the raw bytes of one committed scenario file.
+func Source(name string) ([]byte, error) {
+	b, err := files.ReadFile(name)
+	if err != nil {
+		return nil, fmt.Errorf("scenarios: %q not in the committed suite (have: %s)", name, strings.Join(Names(), ", "))
+	}
+	return b, nil
+}

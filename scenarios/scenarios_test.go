@@ -1,0 +1,74 @@
+package scenarios
+
+import (
+	"reflect"
+	"testing"
+
+	"vrex/internal/scenario"
+)
+
+// TestSuiteLint is the in-tree form of `make scenario-lint`: every committed
+// file parses, validates, compiles to a runnable config, and round-trips
+// through the canonical Marshal form.
+func TestSuiteLint(t *testing.T) {
+	names := Names()
+	if len(names) < 5 {
+		t.Fatalf("committed suite has %d scenarios, want >= 5", len(names))
+	}
+	for _, name := range names {
+		src, err := Source(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := scenario.Parse(name, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Config(); err != nil {
+			t.Fatalf("%s: does not compile: %v", name, err)
+		}
+		s2, err := scenario.Parse(name+" (marshal)", s.Marshal())
+		if err != nil {
+			t.Fatalf("%s: canonical form rejected: %v", name, err)
+		}
+		if !reflect.DeepEqual(s, s2) {
+			t.Fatalf("%s: marshal round trip changed the scenario", name)
+		}
+	}
+	if _, err := Source("missing.vrex"); err == nil {
+		t.Fatal("unknown name must error")
+	}
+}
+
+// TestSuiteCoversShapes pins the suite's reason to exist: each load shape
+// the scenario layer supports has a committed exemplar.
+func TestSuiteCoversShapes(t *testing.T) {
+	arrivals := map[string]bool{}
+	lifetimes := map[string]bool{}
+	bursts := false
+	for _, name := range Names() {
+		src, _ := Source(name)
+		s, err := scenario.Parse(name, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		arrivals[s.Arrival.Kind] = true
+		lifetimes[s.Lifetime.Kind] = true
+		for _, c := range s.Classes {
+			bursts = bursts || c.Burst != nil
+		}
+	}
+	for _, kind := range []string{"poisson", "diurnal", "flash", "trace"} {
+		if !arrivals[kind] {
+			t.Errorf("suite lacks an %q arrival scenario", kind)
+		}
+	}
+	for _, kind := range []string{"exp", "pareto", "lognormal"} {
+		if !lifetimes[kind] {
+			t.Errorf("suite lacks a %q lifetime scenario", kind)
+		}
+	}
+	if !bursts {
+		t.Error("suite lacks a correlated class burst scenario")
+	}
+}
