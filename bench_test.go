@@ -67,7 +67,12 @@ func BenchmarkScheduler(b *testing.B) { benchExperiment(b, "slo") }
 
 // BenchmarkScenarioSuite drives the committed .vrex workload suite plus the
 // adversarial load-shape search through the scenarios experiment.
-func BenchmarkScenarioSuite(b *testing.B)   { benchExperiment(b, "scenarios") }
+func BenchmarkScenarioSuite(b *testing.B) { benchExperiment(b, "scenarios") }
+
+// BenchmarkCluster drives the cluster plane end to end through the cluster
+// experiment (node x router sweep, drain + recovery over LAN/WAN with live
+// KV migration, autoscaler cold start).
+func BenchmarkCluster(b *testing.B)         { benchExperiment(b, "cluster") }
 func BenchmarkTable1Hardware(b *testing.B)  { benchExperiment(b, "tab1") }
 func BenchmarkTable2Accuracy(b *testing.B)  { benchExperiment(b, "tab2") }
 func BenchmarkTable3AreaPower(b *testing.B) { benchExperiment(b, "tab3") }

@@ -12,7 +12,7 @@
 // Serving mode (enabled by -scenario, or by any of -mix, -devices,
 // -balancer, -streams, -duration, -drop, -churn-arrivals, -churn-life,
 // -seed, -kv-capacity, -spill, -page-tokens, -scheduler, -batch-max,
-// -slo-ms):
+// -slo-ms, or the cluster flags below):
 //
 //	vrex-sim -policy 'rekv(frame=0.58,text=0.31)' -devices 4 \
 //	    -balancer least-loaded -mix '2fps:0.7,4fps:0.3'
@@ -20,6 +20,19 @@
 //	vrex-sim -mix longctx -streams 10 -scheduler edf -batch-max 8 -slo-ms 600
 //	vrex-sim -scenario scenarios/flash-crowd.vrex
 //	vrex-sim -scenario-lint scenarios
+//
+// Cluster mode (enabled by -nodes, which replaces -devices): the fleet
+// becomes a geo-distributed cluster of nodes (internal/cluster), each node a
+// fleet of identical devices, with a global session router, optional
+// autoscaler, node fault injection and live KV session migration priced over
+// the LAN / WAN link models:
+//
+//	vrex-sim -nodes 'vrex8:2@us,vrex8:2@eu' -router least-loaded \
+//	    -churn-arrivals 2 -churn-life 10
+//	vrex-sim -nodes 'vrex48:4,vrex48:4' -scheduler edf \
+//	    -fault 'drain(node=1,at=8,recover=14)' -rebalance-moves 4
+//	vrex-sim -nodes 'vrex8:2,vrex8:2,vrex8:2' -autoscale 'queue(hi=0.05,lo=0.01)' \
+//	    -initial-nodes 1 -churn-arrivals 4 -churn-life 8
 //
 // The serving flags are sugar over the declarative scenario layer
 // (internal/scenario): they synthesize an in-memory .vrex scenario that is
@@ -67,6 +80,7 @@ import (
 	"strconv"
 	"strings"
 
+	"vrex/internal/cluster"
 	"vrex/internal/hwsim"
 	"vrex/internal/kvpool"
 	"vrex/internal/parallel"
@@ -136,6 +150,14 @@ func listPolicies() {
 	for _, n := range serve.ClassNames() {
 		fmt.Printf("  %s\n", n)
 	}
+	fmt.Println("cluster routers (-router; needs -nodes):")
+	for _, n := range cluster.RouterNames() {
+		fmt.Printf("  %s\n", n)
+	}
+	fmt.Println("cluster autoscalers (-autoscale; e.g. 'queue(hi=0.05,lo=0.01)'; 'none' disables):")
+	for _, n := range cluster.AutoscalerNames() {
+		fmt.Printf("  %s\n", n)
+	}
 	fmt.Println("spill policies (-spill; e.g. 'spill(evict=lru,pages=16)'):")
 	for _, n := range kvpool.SpillNames() {
 		fmt.Printf("  %s\n", n)
@@ -172,7 +194,12 @@ func lintScenarios(path string) {
 			complain(err)
 			continue
 		}
-		if _, err := s.Config(); err != nil {
+		if s.IsCluster() {
+			if _, err := s.ClusterConfig(); err != nil {
+				complain(fmt.Errorf("%s: does not compile: %v", f, err))
+				continue
+			}
+		} else if _, err := s.Config(); err != nil {
 			complain(fmt.Errorf("%s: does not compile: %v", f, err))
 			continue
 		}
@@ -185,11 +212,107 @@ func lintScenarios(path string) {
 			complain(fmt.Errorf("%s: canonical round trip changed the scenario", f))
 			continue
 		}
-		fmt.Printf("ok %s (scenario %s: arrivals %s, lifetime %s, %d classes, %d trace events)\n",
-			f, s.Name, s.Arrival.Kind, s.Lifetime.Kind, len(s.Classes), len(s.Trace))
+		kind := fmt.Sprintf("%d classes, %d trace events", len(s.Classes), len(s.Trace))
+		if s.IsCluster() {
+			kind += fmt.Sprintf(", cluster %s, %d faults", s.Nodes, len(s.Faults))
+		}
+		fmt.Printf("ok %s (scenario %s: arrivals %s, lifetime %s, %s)\n",
+			f, s.Name, s.Arrival.Kind, s.Lifetime.Kind, kind)
 	}
 	if !ok {
 		os.Exit(1)
+	}
+}
+
+func verdict(res serve.Result) string {
+	if !res.RealTime {
+		return "NOT real-time"
+	}
+	return "real-time"
+}
+
+// printFleetSummary renders the parts single-fleet and cluster serving runs
+// share: the KV pool and scheduler summary lines and the per-class table.
+func printFleetSummary(cfg serve.Config, res serve.Result) {
+	sched := cfg.Scheduler.Policy
+	if mem := res.Memory; mem.CapacityPages > 0 {
+		fmt.Printf("kv pool: %d pages x %d tokens per device, spill %s | pages in/out %d/%d (%.1f/%.1f ms) | queued %d, rejected %d\n",
+			mem.CapacityPages, mem.PageTokens, cfg.KV.Spill.Name(),
+			mem.PagesIn, mem.PagesOut, 1000*mem.PageInTime, 1000*mem.PageOutTime,
+			mem.SessionsQueued, mem.SessionsRejected)
+	}
+	if sched != nil {
+		bm := cfg.Scheduler.BatchMax
+		if bm <= 0 {
+			bm = serve.DefaultBatchMax
+		}
+		steps := 0
+		for _, dm := range res.PerDevice {
+			steps += dm.Batches
+		}
+		fmt.Printf("scheduler: %s, batch cap %d | %d hardware steps | SLO attainment %.1f%%, goodput %.2f fps, deadline misses %d\n",
+			sched.Name(), bm, steps, 100*res.Aggregate.SLOAttained,
+			res.Aggregate.Goodput, res.Aggregate.DeadlineMisses)
+	}
+	fmt.Println()
+
+	classHeaders := []string{"class", "sessions", "arrived", "served", "dropped", "queries", "fps_per_stream", "p50_ms", "p99_ms", "realtime_sessions"}
+	if sched != nil {
+		classHeaders = append(classHeaders, "slo_pct", "goodput_fps", "queue_p99_ms")
+	}
+	classTab := report.NewTable("serving: per-class metrics", classHeaders...)
+	for _, cm := range append(res.PerClass, res.Aggregate) {
+		row := []any{cm.Class, cm.Sessions, cm.FramesArrived, cm.FramesServed,
+			cm.FramesDropped, cm.QueriesServed, cm.MeanFPS, 1000 * cm.P50, 1000 * cm.P99, cm.RealTimeSessions}
+		if sched != nil {
+			row = append(row, 100*cm.SLOAttained, cm.Goodput, 1000*cm.QueueP99)
+		}
+		classTab.AddRow(row...)
+	}
+	classTab.Render(os.Stdout)
+	fmt.Println()
+}
+
+// runCluster executes a cluster scenario and renders the topology header,
+// migration traffic, the fleet-wide per-class metrics, per-node metrics and —
+// when faults or an autoscaler shaped the run — the SLO attainment windows.
+func runCluster(sc *scenario.Scenario, cfg cluster.Config) {
+	res := cluster.Run(cfg)
+	scaler := "none"
+	if cfg.Autoscaler != nil {
+		scaler = cfg.Autoscaler.Name()
+	}
+	fmt.Printf("cluster %s | router %s, autoscaler %s, node balancer %s | %d sessions over %gs | %s, cluster utilization %.0f%%\n",
+		sc.Nodes, cfg.Router.Name(), scaler, sc.Balancer,
+		len(res.Serve.PerStream), sc.Duration, verdict(res.Serve), 100*res.Serve.Utilization)
+	mig := res.Serve.Migrations
+	fmt.Printf("migrations: %d live, %d lossy | %d KV tokens moved | %.1f ms on device timelines | %d fault(s) injected\n",
+		mig.Live, mig.Lossy, mig.Tokens, 1000*mig.Time, len(cfg.Faults))
+	printFleetSummary(cfg.Base, res.Serve)
+
+	nodeTab := report.NewTable("cluster: per-node metrics",
+		"node", "region", "devices", "sessions", "frames", "queries", "util_pct",
+		"mig_in", "mig_out", "mig_ms")
+	for _, nm := range res.PerNode {
+		region := nm.Region
+		if region == "" {
+			region = "-"
+		}
+		nodeTab.AddRow(nm.Name, region, nm.Devices, nm.Sessions, nm.FramesServed,
+			nm.QueriesServed, 100*nm.Utilization, nm.MigrationsIn, nm.MigrationsOut,
+			1000*nm.MigrationTime)
+	}
+	nodeTab.Render(os.Stdout)
+
+	if len(cfg.Faults) > 0 || cfg.Autoscaler != nil {
+		winTab := report.NewTable("cluster: SLO attainment windows",
+			"t_start", "t_end", "served", "missed", "dropped", "attained_pct")
+		for _, w := range res.Windows {
+			winTab.AddRow(w.Start, w.End, w.FramesServed, w.DeadlineMisses,
+				w.FramesDropped, 100*w.Attained)
+		}
+		fmt.Println()
+		winTab.Render(os.Stdout)
 	}
 }
 
@@ -216,6 +339,13 @@ func main() {
 	scheduler := flag.String("scheduler", "none", "serving: continuous-batching scheduler (fifo | edf | priority; 'none' keeps the serial batch-1 timeline)")
 	batchMax := flag.Int("batch-max", 0, "serving: max frames coalesced per hardware step (0 = default 8; needs -scheduler)")
 	sloMS := flag.Float64("slo-ms", 0, "serving: default per-frame deadline in milliseconds (0 = one frame interval; needs -scheduler)")
+	nodes := flag.String("nodes", "", "cluster: node list 'spec[:devices][@region],...' e.g. 'vrex8:2@us,vrex48:4@eu' (enables the cluster plane; replaces -devices)")
+	router := flag.String("router", "", "cluster: global session router (empty = round-robin; see -list-policies; needs -nodes)")
+	autoscale := flag.String("autoscale", "", "cluster: node autoscaler, e.g. 'queue(hi=0.05,lo=0.01)' or 'slo(target=0.95)' ('none'/empty disables; needs -nodes)")
+	initialNodes := flag.Int("initial-nodes", 0, "cluster: nodes in service at t=0 (0 = all; the rest start drained, available for scale-out; needs -autoscale)")
+	rebalanceMoves := flag.Int("rebalance-moves", 0, "cluster: max live session migrations per controller tick (0 disables rebalancing; needs -nodes)")
+	rebalanceSlack := flag.Float64("rebalance-slack", 0, "cluster: sessions-per-device imbalance tolerated before rebalancing (needs -rebalance-moves)")
+	fault := flag.String("fault", "", "cluster: fault list 'drain(node=1,at=8,recover=14); fail(node=0,at=10)' (needs -nodes)")
 	scenarioFile := flag.String("scenario", "", "serving: run a .vrex scenario file (replaces the serving flags)")
 	scenarioDump := flag.Bool("scenario-dump", false, "print the scenario (loaded, or synthesized from the serving flags) in canonical .vrex form, then exit")
 	scenarioLint := flag.String("scenario-lint", "", "lint a .vrex file or a directory of them, then exit")
@@ -239,7 +369,8 @@ func main() {
 	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
 	servingFlags := []string{"mix", "devices", "balancer", "streams", "duration", "drop",
 		"churn-arrivals", "churn-life", "seed", "kv-capacity", "spill", "page-tokens",
-		"scheduler", "batch-max", "slo-ms"}
+		"scheduler", "batch-max", "slo-ms",
+		"nodes", "router", "autoscale", "initial-nodes", "rebalance-moves", "rebalance-slack", "fault"}
 	pointFlags := []string{"kv", "batch", "tokens", "tpot"}
 	serving := *scenarioFile != "" || *recordTrace != ""
 	for _, f := range servingFlags {
@@ -293,6 +424,24 @@ func main() {
 		sc.KVCapacity = strings.ToLower(strings.TrimSpace(*kvCapacity))
 		sc.Spill = *spill
 		sc.PageTokens = *pageTokens
+		if *nodes != "" {
+			ns, err := cluster.ParseNodes(*nodes)
+			if err != nil {
+				fail("%v\n-nodes takes 'spec[:devices][@region],...', e.g. 'vrex8:2@us,vrex48:4@eu'", err)
+			}
+			sc.Nodes = cluster.FormatNodes(ns)
+		}
+		sc.Router = strings.ToLower(strings.TrimSpace(*router))
+		sc.Autoscale = strings.ToLower(strings.TrimSpace(*autoscale))
+		sc.InitialNodes = *initialNodes
+		sc.RebalanceMoves = *rebalanceMoves
+		sc.RebalanceSlack = *rebalanceSlack
+		if *fault != "" {
+			sc.Faults, err = cluster.ParseFaults(*fault)
+			if err != nil {
+				fail("%v\n-fault takes 'drain(node=,at=[,recover=])' or 'fail(...)', ';'-separated", err)
+			}
+		}
 		if *churnArrivals > 0 {
 			sc.Arrival = scenario.ArrivalSpec{Kind: "poisson", Rate: *churnArrivals}
 		}
@@ -335,6 +484,19 @@ func main() {
 		return
 	}
 
+	if sc.IsCluster() {
+		if *recordTrace != "" {
+			fail("-record-trace is not supported for cluster scenarios")
+		}
+		ccfg, err := sc.ClusterConfig()
+		if err != nil {
+			fail("%v\nrun 'vrex-sim -list-policies' for registered router and autoscaler names", err)
+		}
+		ccfg.Base.Workers = *par
+		runCluster(sc, ccfg)
+		return
+	}
+
 	cfg, err := sc.Config()
 	if err != nil {
 		fail("%v\nrun 'vrex-sim -list-policies' for registered policy, balancer and class names", err)
@@ -358,48 +520,9 @@ func main() {
 	}
 
 	sched := cfg.Scheduler.Policy
-	verdict := "real-time"
-	if !res.RealTime {
-		verdict = "NOT real-time"
-	}
 	fmt.Printf("%s + %s | %d device(s), %s balancer | %d sessions over %gs | %s, fleet utilization %.0f%%\n",
-		cfg.Dev.Name, cfg.Pol.Name, sc.Devices, cfg.Balancer.Name(), len(res.PerStream), sc.Duration, verdict, 100*res.Utilization)
-	if mem := res.Memory; mem.CapacityPages > 0 {
-		fmt.Printf("kv pool: %d pages x %d tokens per device, spill %s | pages in/out %d/%d (%.1f/%.1f ms) | queued %d, rejected %d\n",
-			mem.CapacityPages, mem.PageTokens, cfg.KV.Spill.Name(),
-			mem.PagesIn, mem.PagesOut, 1000*mem.PageInTime, 1000*mem.PageOutTime,
-			mem.SessionsQueued, mem.SessionsRejected)
-	}
-	if sched != nil {
-		bm := cfg.Scheduler.BatchMax
-		if bm <= 0 {
-			bm = serve.DefaultBatchMax
-		}
-		steps := 0
-		for _, dm := range res.PerDevice {
-			steps += dm.Batches
-		}
-		fmt.Printf("scheduler: %s, batch cap %d | %d hardware steps | SLO attainment %.1f%%, goodput %.2f fps, deadline misses %d\n",
-			sched.Name(), bm, steps, 100*res.Aggregate.SLOAttained,
-			res.Aggregate.Goodput, res.Aggregate.DeadlineMisses)
-	}
-	fmt.Println()
-
-	classHeaders := []string{"class", "sessions", "arrived", "served", "dropped", "queries", "fps_per_stream", "p50_ms", "p99_ms", "realtime_sessions"}
-	if sched != nil {
-		classHeaders = append(classHeaders, "slo_pct", "goodput_fps", "queue_p99_ms")
-	}
-	classTab := report.NewTable("serving: per-class metrics", classHeaders...)
-	for _, cm := range append(res.PerClass, res.Aggregate) {
-		row := []any{cm.Class, cm.Sessions, cm.FramesArrived, cm.FramesServed,
-			cm.FramesDropped, cm.QueriesServed, cm.MeanFPS, 1000 * cm.P50, 1000 * cm.P99, cm.RealTimeSessions}
-		if sched != nil {
-			row = append(row, 100*cm.SLOAttained, cm.Goodput, 1000*cm.QueueP99)
-		}
-		classTab.AddRow(row...)
-	}
-	classTab.Render(os.Stdout)
-	fmt.Println()
+		cfg.Dev.Name, cfg.Pol.Name, sc.Devices, cfg.Balancer.Name(), len(res.PerStream), sc.Duration, verdict(res), 100*res.Utilization)
+	printFleetSummary(cfg, res)
 
 	headers := []string{"device", "sessions", "frames", "queries", "util_pct", "peak_kv"}
 	if sched != nil {

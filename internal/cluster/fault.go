@@ -1,0 +1,153 @@
+package cluster
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"vrex/internal/hwsim"
+	"vrex/internal/policyspec"
+)
+
+// Fault kinds: a drain evacuates the node's sessions by live migration; a
+// failure kills it, dropping queued work and losing device-side KV (lossy
+// re-placement at the survivors).
+const (
+	FaultDrain = "drain"
+	FaultFail  = "fail"
+)
+
+// Fault is one injected node outage.
+type Fault struct {
+	// Kind is FaultDrain or FaultFail.
+	Kind string
+	// Node indexes Config.Nodes.
+	Node int
+	// At is the outage time in simulation seconds.
+	At float64
+	// Recover, when positive, returns the node to service at that time
+	// (must be after At); 0 means the node stays down.
+	Recover float64
+}
+
+// ParseFaults parses a semicolon-separated fault list in the policyspec
+// grammar, e.g. "drain(node=1,at=30,recover=60);fail(node=0,at=80)".
+// Empty input means no faults.
+func ParseFaults(s string) ([]Fault, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, nil
+	}
+	var faults []Fault
+	for _, part := range strings.Split(s, ";") {
+		sp, err := policyspec.Parse(part)
+		if err != nil {
+			return nil, err
+		}
+		if sp.Name != FaultDrain && sp.Name != FaultFail {
+			return nil, fmt.Errorf("cluster: fault kind %q (want %s or %s)", sp.Name, FaultDrain, FaultFail)
+		}
+		if !sp.Has("node") || !sp.Has("at") {
+			return nil, fmt.Errorf("cluster: fault %q needs node= and at=", strings.TrimSpace(part))
+		}
+		f := Fault{
+			Kind: sp.Name,
+			Node: sp.Int("node", 0),
+			At:   sp.Float("at", 0),
+		}
+		f.Recover = sp.Float("recover", 0)
+		if err := sp.CheckConsumed("node", "at", "recover"); err != nil {
+			return nil, err
+		}
+		if f.Node < 0 {
+			return nil, fmt.Errorf("cluster: fault targets negative node %d", f.Node)
+		}
+		if f.At < 0 {
+			return nil, fmt.Errorf("cluster: fault at negative time %v", f.At)
+		}
+		if f.Recover != 0 && f.Recover <= f.At {
+			return nil, fmt.Errorf("cluster: fault recover %v not after fault time %v", f.Recover, f.At)
+		}
+		faults = append(faults, f)
+	}
+	return faults, nil
+}
+
+// FormatFaults renders a fault list canonically: Parse(Format(fs)) yields fs,
+// and formatting a parsed list reproduces it byte for byte (the scenario
+// marshaller's fixed-point requirement).
+func FormatFaults(fs []Fault) string {
+	parts := make([]string, len(fs))
+	for i, f := range fs {
+		ps := []policyspec.Param{
+			policyspec.P("node", f.Node),
+			policyspec.P("at", f.At),
+		}
+		if f.Recover > 0 {
+			ps = append(ps, policyspec.P("recover", f.Recover))
+		}
+		parts[i] = policyspec.Format(f.Kind, ps...)
+	}
+	return strings.Join(parts, ";")
+}
+
+// ParseNodes parses a comma-separated node list "spec[:devices][@region]",
+// e.g. "a100:4@us-east,vrex8:2@eu,agx@edge". Device specs resolve through
+// the hwsim device registry (hwsim.DeviceNames); devices defaults to 1.
+func ParseNodes(s string) ([]NodeSpec, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, fmt.Errorf("cluster: empty node list")
+	}
+	var nodes []NodeSpec
+	for i, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		region := ""
+		if j := strings.IndexByte(part, '@'); j >= 0 {
+			region = strings.TrimSpace(part[j+1:])
+			part = strings.TrimSpace(part[:j])
+			if region == "" {
+				return nil, fmt.Errorf("cluster: node %d: empty region after @", i)
+			}
+		}
+		devices := 1
+		if j := strings.IndexByte(part, ':'); j >= 0 {
+			n, err := strconv.Atoi(strings.TrimSpace(part[j+1:]))
+			if err != nil || n <= 0 {
+				return nil, fmt.Errorf("cluster: node %d: bad device count %q", i, part[j+1:])
+			}
+			devices = n
+			part = strings.TrimSpace(part[:j])
+		}
+		name := strings.ToLower(part)
+		spec, ok := hwsim.DeviceByName(name)
+		if !ok {
+			return nil, fmt.Errorf("cluster: node %d: unknown device %q (known: %s)",
+				i, part, strings.Join(hwsim.DeviceNames(), ", "))
+		}
+		nodes = append(nodes, NodeSpec{
+			Name:   fmt.Sprintf("node%d-%s", i, name),
+			Region: region, Spec: spec, Devices: devices,
+			SpecName: name,
+		})
+	}
+	return nodes, nil
+}
+
+// FormatNodes renders a node list canonically ("spec:devices@region", region
+// omitted when empty): a fixed point of ParseNodes for lists it produced.
+// Nodes built by hand without SpecName cannot be formatted (panic).
+func FormatNodes(nodes []NodeSpec) string {
+	parts := make([]string, len(nodes))
+	for i, n := range nodes {
+		if n.SpecName == "" {
+			panic(fmt.Sprintf("cluster: FormatNodes: node %d (%s) has no SpecName", i, n.Name))
+		}
+		p := fmt.Sprintf("%s:%d", n.SpecName, n.Devices)
+		if n.Region != "" {
+			p += "@" + n.Region
+		}
+		parts[i] = p
+	}
+	return strings.Join(parts, ",")
+}

@@ -81,6 +81,28 @@ func TestSLOExperimentParallelByteIdentical(t *testing.T) {
 	}
 }
 
+// TestClusterExperimentParallelByteIdentical: the cluster experiment drives
+// the composite balancer, control plane (faults, autoscaling, rebalancing)
+// and priced KV migration — its rendered output must be byte-identical
+// across worker counts 1, 4 and GOMAXPROCS.
+func TestClusterExperimentParallelByteIdentical(t *testing.T) {
+	render := func(workers int) string {
+		opts := quickOpts()
+		opts.Parallel = workers
+		var buf bytes.Buffer
+		if err := Run("cluster", opts, &buf); err != nil {
+			t.Fatalf("Run(cluster, workers=%d): %v", workers, err)
+		}
+		return buf.String()
+	}
+	seq := render(1)
+	for _, w := range []int{4, runtime.GOMAXPROCS(0)} {
+		if par := render(w); par != seq {
+			t.Fatalf("cluster experiment: workers=%d output diverged from sequential", w)
+		}
+	}
+}
+
 // TestRunManyByteIdenticalAndOrdered: dispatching experiments across workers
 // must emit exactly the sequential concatenation, in argument order.
 func TestRunManyByteIdenticalAndOrdered(t *testing.T) {

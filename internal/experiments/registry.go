@@ -103,6 +103,7 @@ var registry = map[string]Runner{
 	"memory":       MemoryPressure,
 	"slo":          SLOServing,
 	"scenarios":    ScenarioSuite,
+	"cluster":      ClusterServing,
 }
 
 // IDs returns the registered experiment IDs, sorted.

@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 
+	"vrex/internal/cluster"
 	"vrex/internal/report"
 	"vrex/internal/scenario"
 	"vrex/internal/serve"
@@ -26,6 +27,14 @@ func ScenarioSuite(opts Options) []*report.Table {
 	load := func(s *scenario.Scenario) serve.Result {
 		if capDur > 0 && s.Duration > capDur {
 			s.Duration = capDur
+		}
+		if s.IsCluster() {
+			cfg, err := s.ClusterConfig()
+			if err != nil {
+				panic(fmt.Sprintf("experiments: scenario %s: %v", s.Name, err))
+			}
+			cfg.Base.Workers = opts.Parallel
+			return cluster.Run(cfg).Serve
 		}
 		cfg, err := s.Config()
 		if err != nil {

@@ -1,6 +1,7 @@
 package kvpool
 
 import (
+	"math"
 	"reflect"
 	"testing"
 
@@ -248,5 +249,69 @@ func TestTransferPricing(t *testing.T) {
 	// Per-page segment pricing is at worst linear in the page count.
 	if many > 64*one*(1+1e-9) {
 		t.Fatalf("page cost super-linear: %v vs %v", many, 64*one)
+	}
+}
+
+// TestTransferZeroAndNegativePages: non-positive page counts are free no-ops
+// in both directions (cluster migration of an empty session must cost zero).
+func TestTransferZeroAndNegativePages(t *testing.T) {
+	ssd := memsim.KioxiaBG6()
+	tr := Transfer{Link: memsim.PCIe3x4(), SSD: &ssd, Host: memsim.DDR4Host(), PageBytes: 1 << 20}
+	for _, pages := range []int{0, -1, -64} {
+		if got := tr.PageIn(pages); got != 0 {
+			t.Fatalf("PageIn(%d) = %v, want 0", pages, got)
+		}
+		if got := tr.PageOut(pages); got != 0 {
+			t.Fatalf("PageOut(%d) = %v, want 0", pages, got)
+		}
+	}
+}
+
+// TestTransferInOutSymmetry: the write path deliberately reuses the
+// read-path model (flash program time hides behind the device write cache),
+// so PageIn and PageOut price identically at every batch size.
+func TestTransferInOutSymmetry(t *testing.T) {
+	ssd := memsim.KioxiaBG6()
+	for i, tr := range []Transfer{
+		{Link: memsim.PCIe3x4(), SSD: &ssd, Host: memsim.DDR4Host(), PageBytes: 1 << 20},
+		{Link: memsim.PCIe4x16(), Host: memsim.DDR4Host(), PageBytes: 1 << 18},
+	} {
+		for _, pages := range []int{1, 7, 64, 1024} {
+			if in, out := tr.PageIn(pages), tr.PageOut(pages); in != out {
+				t.Fatalf("transfer %d: PageIn(%d)=%v != PageOut(%d)=%v", i, pages, in, pages, out)
+			}
+		}
+	}
+}
+
+// TestTransferMissingModels pins the fallback pricing when a backing-store
+// model is absent, against hand-computed memsim numbers.
+func TestTransferMissingModels(t *testing.T) {
+	const pageBytes = float64(1 << 20)
+	const pages = 16
+	bytes := pages * pageBytes
+	link := memsim.PCIe3x4()
+
+	// No SSD: the far side is host DRAM; time is max(link, host stream).
+	hostOnly := Transfer{Link: link, Host: memsim.DDR4Host(), PageBytes: pageBytes}
+	want := math.Max(link.TransferTime(bytes, pages), memsim.DDR4Host().AccessTime(bytes))
+	if got := hostOnly.PageIn(pages); got != want {
+		t.Fatalf("host-only PageIn = %v, want %v", got, want)
+	}
+
+	// SSD attached but no host model: the drive bounds the move; the
+	// zero-valued Host is never consulted.
+	ssd := memsim.KioxiaBG6()
+	ssdOnly := Transfer{Link: link, SSD: &ssd, PageBytes: pageBytes}
+	want = math.Max(link.TransferTime(bytes, pages), ssd.ReadTime(bytes, pages))
+	if got := ssdOnly.PageIn(pages); got != want {
+		t.Fatalf("ssd-only PageIn = %v, want %v", got, want)
+	}
+
+	// Neither SSD nor Host: the zero-bandwidth DRAM fallback prices the move
+	// as +Inf — a fully unconfigured Transfer is unusable, never free.
+	bare := Transfer{Link: link, PageBytes: pageBytes}
+	if got := bare.PageIn(1); !math.IsInf(got, 1) {
+		t.Fatalf("bare PageIn = %v, want +Inf", got)
 	}
 }

@@ -133,3 +133,77 @@ func TestClusterContiguityHelpsEndToEnd(t *testing.T) {
 		t.Fatalf("clustering should speed fetch >= 1.3x, got %v", scattered/clustered)
 	}
 }
+
+func TestNICTransferTimeScalesWithBytes(t *testing.T) {
+	l := LAN100G()
+	small := l.TransferTime(1e6, 1)
+	big := l.TransferTime(2e6, 1)
+	if big <= small {
+		t.Fatalf("more bytes should take longer: %g vs %g", small, big)
+	}
+	// One message of b bytes costs exactly Setup + b/BW + MsgOverhead.
+	want := l.Setup + 1e6/l.Bandwidth + l.MsgOverhead
+	if small != want {
+		t.Fatalf("TransferTime(1e6,1) = %g, want %g", small, want)
+	}
+}
+
+func TestNICSetupDominatesWAN(t *testing.T) {
+	// A small move across the WAN is RTT-bound: halving the payload barely
+	// changes the latency, unlike on the LAN.
+	w, lan := WAN(), LAN100G()
+	smallWAN := w.TransferTime(1e5, 1)
+	if smallWAN < w.Setup {
+		t.Fatalf("WAN transfer %g must include setup %g", smallWAN, w.Setup)
+	}
+	if ratio := w.TransferTime(2e5, 1) / smallWAN; ratio > 1.01 {
+		t.Fatalf("small WAN moves should be setup-bound, got ratio %g", ratio)
+	}
+	if lr := lan.TransferTime(2e8, 1) / lan.TransferTime(1e8, 1); lr < 1.8 {
+		t.Fatalf("large LAN moves should be bandwidth-bound, got ratio %g", lr)
+	}
+}
+
+func TestNICMessageOverheadPenalty(t *testing.T) {
+	l := LAN25G()
+	one := l.TransferTime(1e7, 1)
+	many := l.TransferTime(1e7, 1000)
+	if many <= one {
+		t.Fatalf("fragmented transfer should be slower: %g vs %g", one, many)
+	}
+	if got, want := many-one, 999*l.MsgOverhead; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("fragmentation penalty = %g, want %g", got, want)
+	}
+}
+
+func TestNICZeroAndDegenerate(t *testing.T) {
+	l := LAN25G()
+	if got := l.TransferTime(0, 5); got != 0 {
+		t.Fatalf("zero bytes must cost zero, got %g", got)
+	}
+	if got := l.TransferTime(-1, 1); got != 0 {
+		t.Fatalf("negative bytes must cost zero, got %g", got)
+	}
+	if l.TransferTime(1e6, 0) != l.TransferTime(1e6, 1) {
+		t.Fatal("messages<=0 must behave as a single message")
+	}
+	if eff := l.Efficiency(0, 1); eff != 1 {
+		t.Fatalf("zero-byte efficiency = %g, want 1", eff)
+	}
+	if eff := l.Efficiency(1e9, 1); eff <= 0 || eff >= 1 {
+		t.Fatalf("efficiency must be in (0,1), got %g", eff)
+	}
+	if l.Power() != l.ActivePower {
+		t.Fatal("Power must report ActivePower")
+	}
+}
+
+func TestNICPresetsOrdering(t *testing.T) {
+	// 100G beats 25G beats WAN on bandwidth; WAN has the largest setup.
+	if !(LAN100G().Bandwidth > LAN25G().Bandwidth && LAN25G().Bandwidth > WAN().Bandwidth) {
+		t.Fatal("preset bandwidth ordering violated")
+	}
+	if !(WAN().Setup > LAN25G().Setup && WAN().Setup > LAN100G().Setup) {
+		t.Fatal("WAN must have the largest setup latency")
+	}
+}

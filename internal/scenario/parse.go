@@ -7,15 +7,17 @@ import (
 	"strconv"
 	"strings"
 
+	"vrex/internal/cluster"
 	"vrex/internal/policyspec"
 	"vrex/internal/workload"
 )
 
 // The .vrex scenario grammar is line-oriented: one "key value" pair per
 // line, '#' starts a comment, blank lines are ignored. Scalar keys may
-// appear at most once; "class" and "trace" lines repeat. Structured values
-// (arrivals, lifetime, class) reuse the policyspec grammar, so scenario
-// files read like the CLI's spec strings:
+// appear at most once; "class", "trace" and "fault" lines repeat.
+// Structured values (arrivals, lifetime, class, fault) reuse the policyspec
+// grammar, so scenario files read like the CLI's spec strings. A "nodes"
+// line turns the scenario into a cluster run (Scenario.IsCluster):
 //
 //	scenario rush-hour
 //	duration 60
@@ -48,7 +50,7 @@ func Parse(name string, data []byte) (*Scenario, error) {
 			key, rest = line[:i], strings.TrimSpace(line[i+1:])
 		}
 		key = strings.ToLower(key)
-		if key != "class" && key != "trace" {
+		if key != "class" && key != "trace" && key != "fault" {
 			if seen[key] {
 				return nil, fmt.Errorf("%s:%d: duplicate key %q", name, ln+1, key)
 			}
@@ -131,6 +133,28 @@ func (s *Scenario) setKey(key, v string) error {
 		s.Spill = strings.ToLower(v)
 	case "page-tokens":
 		s.PageTokens, err = parseI(key, v)
+	case "nodes":
+		// Canonicalize at parse time so Marshal's "nodes" line is a fixed
+		// point regardless of input spacing / implicit device counts.
+		var nodes []cluster.NodeSpec
+		if nodes, err = cluster.ParseNodes(v); err == nil {
+			s.Nodes = cluster.FormatNodes(nodes)
+		}
+	case "router":
+		s.Router = strings.ToLower(v)
+	case "autoscale":
+		s.Autoscale = strings.ToLower(v)
+	case "initial-nodes":
+		s.InitialNodes, err = parseI(key, v)
+	case "rebalance-moves":
+		s.RebalanceMoves, err = parseI(key, v)
+	case "rebalance-slack":
+		s.RebalanceSlack, err = parseF(key, v)
+	case "fault":
+		var fs []cluster.Fault
+		if fs, err = cluster.ParseFaults(v); err == nil {
+			s.Faults = append(s.Faults, fs...)
+		}
 	case "arrivals":
 		err = s.setArrival(v)
 	case "lifetime":
@@ -140,7 +164,7 @@ func (s *Scenario) setKey(key, v string) error {
 	case "trace":
 		err = s.addTrace(v)
 	default:
-		err = fmt.Errorf("unknown key %q (known: scenario, duration, seed, streams, devices, device, policy, balancer, scheduler, batch-max, slo-ms, drop, kv-capacity, spill, page-tokens, arrivals, lifetime, class, trace)", key)
+		err = fmt.Errorf("unknown key %q (known: scenario, duration, seed, streams, devices, device, policy, balancer, scheduler, batch-max, slo-ms, drop, kv-capacity, spill, page-tokens, nodes, router, autoscale, initial-nodes, rebalance-moves, rebalance-slack, fault, arrivals, lifetime, class, trace)", key)
 	}
 	return err
 }
@@ -289,6 +313,27 @@ func (s *Scenario) Marshal() []byte {
 	w("spill", s.Spill)
 	if s.PageTokens != 0 {
 		w("page-tokens", strconv.Itoa(s.PageTokens))
+	}
+	if s.Nodes != "" {
+		w("nodes", s.Nodes)
+	}
+	if s.Router != "" {
+		w("router", s.Router)
+	}
+	if s.Autoscale != "" {
+		w("autoscale", s.Autoscale)
+	}
+	if s.InitialNodes != 0 {
+		w("initial-nodes", strconv.Itoa(s.InitialNodes))
+	}
+	if s.RebalanceMoves != 0 {
+		w("rebalance-moves", strconv.Itoa(s.RebalanceMoves))
+	}
+	if s.RebalanceSlack != 0 {
+		w("rebalance-slack", fmtF(s.RebalanceSlack))
+	}
+	for _, f := range s.Faults {
+		w("fault", cluster.FormatFaults([]cluster.Fault{f}))
 	}
 	w("arrivals", s.Arrival.Spec())
 	w("lifetime", s.Lifetime.Spec())

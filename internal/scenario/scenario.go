@@ -26,6 +26,7 @@ import (
 	"strconv"
 	"strings"
 
+	"vrex/internal/cluster"
 	"vrex/internal/hwsim"
 	"vrex/internal/kvpool"
 	"vrex/internal/mathx"
@@ -116,6 +117,23 @@ type Scenario struct {
 	// Trace is the recorded per-session arrival trace replayed when
 	// Arrival.Kind is "trace".
 	Trace []workload.TraceEvent
+	// Nodes, when non-empty, turns the scenario into a cluster run (see
+	// IsCluster / ClusterConfig): a canonical cluster.ParseNodes list
+	// ("vrex8:4@us,a100:2@eu"). The remaining cluster keys only apply then.
+	Nodes string
+	// Router is the cluster session router spec ("" means round-robin).
+	Router string
+	// Autoscale is the cluster autoscaler spec (""/"none" disables).
+	Autoscale string
+	// InitialNodes is the number of nodes in service at t=0 under an
+	// autoscaler (0 starts everything).
+	InitialNodes int
+	// RebalanceMoves / RebalanceSlack configure the per-tick session
+	// rebalancer (moves 0 disables it).
+	RebalanceMoves int
+	RebalanceSlack float64
+	// Faults are the injected node drains / failures ("fault" lines).
+	Faults []cluster.Fault
 }
 
 // Default returns the scenario matching cmd/vrex-sim's serving-flag
@@ -153,6 +171,7 @@ func (s *Scenario) Clone() *Scenario {
 		}
 	}
 	c.Trace = append([]workload.TraceEvent(nil), s.Trace...)
+	c.Faults = append([]cluster.Fault(nil), s.Faults...)
 	return &c
 }
 
@@ -235,6 +254,9 @@ func (s *Scenario) Validate() error {
 	if capacity == 0 && (s.PageTokens != 0 || spill.Evict != nil) {
 		return fmt.Errorf("scenario %s: spill and page-tokens need the memory-pressure plane: set kv-capacity", s.Name)
 	}
+	if err := s.validateCluster(); err != nil {
+		return err
+	}
 	if err := s.validateClasses(); err != nil {
 		return err
 	}
@@ -251,6 +273,110 @@ func (s *Scenario) Validate() error {
 		return fmt.Errorf("scenario %s: peak arrival rate %.3g/s over %gs expects more than %g sessions", s.Name, rm.max(), s.Duration, maxExpectedSessions)
 	}
 	return nil
+}
+
+// IsCluster reports whether the scenario describes a cluster run (a "nodes"
+// line is present); cluster scenarios compile with ClusterConfig.
+func (s *Scenario) IsCluster() bool { return s.Nodes != "" }
+
+func (s *Scenario) validateCluster() error {
+	if !s.IsCluster() {
+		// The cluster keys are meaningless without a node list; reject them
+		// so a typo'd "nodes" line doesn't silently demote the scenario.
+		switch {
+		case s.Router != "":
+			return fmt.Errorf("scenario %s: router needs a node list: set nodes", s.Name)
+		case s.Autoscale != "":
+			return fmt.Errorf("scenario %s: autoscale needs a node list: set nodes", s.Name)
+		case s.InitialNodes != 0:
+			return fmt.Errorf("scenario %s: initial-nodes needs a node list: set nodes", s.Name)
+		case s.RebalanceMoves != 0 || s.RebalanceSlack != 0:
+			return fmt.Errorf("scenario %s: rebalance keys need a node list: set nodes", s.Name)
+		case len(s.Faults) > 0:
+			return fmt.Errorf("scenario %s: fault lines need a node list: set nodes", s.Name)
+		}
+		return nil
+	}
+	nodes, err := cluster.ParseNodes(s.Nodes)
+	if err != nil {
+		return fmt.Errorf("scenario %s: nodes: %v", s.Name, err)
+	}
+	if s.Devices != 1 {
+		return fmt.Errorf("scenario %s: devices comes from the node list in cluster scenarios (leave devices unset)", s.Name)
+	}
+	if _, err := cluster.ParseRouter(s.Router); err != nil {
+		return fmt.Errorf("scenario %s: router: %v", s.Name, err)
+	}
+	scaler, err := cluster.ParseAutoscaler(s.Autoscale)
+	if err != nil {
+		return fmt.Errorf("scenario %s: autoscale: %v", s.Name, err)
+	}
+	if s.InitialNodes != 0 {
+		if scaler == nil {
+			return fmt.Errorf("scenario %s: initial-nodes needs an autoscaler to grow the cluster back: set autoscale", s.Name)
+		}
+		if s.InitialNodes < 0 || s.InitialNodes > len(nodes) {
+			return fmt.Errorf("scenario %s: initial-nodes %d out of range [0, %d]", s.Name, s.InitialNodes, len(nodes))
+		}
+	}
+	if s.RebalanceMoves < 0 {
+		return fmt.Errorf("scenario %s: negative rebalance-moves %d", s.Name, s.RebalanceMoves)
+	}
+	if s.RebalanceSlack < 0 || !finite(s.RebalanceSlack) {
+		return fmt.Errorf("scenario %s: rebalance-slack %v must be non-negative and finite", s.Name, s.RebalanceSlack)
+	}
+	if s.RebalanceSlack != 0 && s.RebalanceMoves == 0 {
+		return fmt.Errorf("scenario %s: rebalance-slack needs rebalance-moves", s.Name)
+	}
+	for i, f := range s.Faults {
+		if f.Node >= len(nodes) {
+			return fmt.Errorf("scenario %s: fault %d targets node %d of a %d-node cluster", s.Name, i, f.Node, len(nodes))
+		}
+	}
+	return nil
+}
+
+// ClusterConfig compiles a cluster scenario (IsCluster) into a runnable
+// cluster.Config: the scenario's serving planes become the shared node base
+// and the cluster keys pick topology, router, autoscaler, rebalancer and
+// faults. The caller owns Base.Workers and Base.Observer.
+func (s *Scenario) ClusterConfig() (cluster.Config, error) {
+	if !s.IsCluster() {
+		return cluster.Config{}, fmt.Errorf("scenario %s: not a cluster scenario (no nodes line)", s.Name)
+	}
+	base, err := s.Config()
+	if err != nil {
+		return cluster.Config{}, err
+	}
+	nodes, err := cluster.ParseNodes(s.Nodes)
+	if err != nil {
+		return cluster.Config{}, fmt.Errorf("scenario %s: nodes: %v", s.Name, err)
+	}
+	router, err := cluster.ParseRouter(s.Router)
+	if err != nil {
+		return cluster.Config{}, fmt.Errorf("scenario %s: router: %v", s.Name, err)
+	}
+	scaler, err := cluster.ParseAutoscaler(s.Autoscale)
+	if err != nil {
+		return cluster.Config{}, fmt.Errorf("scenario %s: autoscale: %v", s.Name, err)
+	}
+	balSpec := s.Balancer
+	return cluster.Config{
+		Nodes:  nodes,
+		Base:   base,
+		Router: router,
+		NodeBalancer: func() serve.Balancer {
+			b, err := serve.NewBalancer(balSpec)
+			if err != nil {
+				panic(fmt.Sprintf("scenario: balancer %q validated but failed to build: %v", balSpec, err))
+			}
+			return b
+		},
+		Autoscaler:   scaler,
+		InitialNodes: s.InitialNodes,
+		Faults:       append([]cluster.Fault(nil), s.Faults...),
+		Rebalance:    cluster.RebalanceConfig{MaxMoves: s.RebalanceMoves, Slack: s.RebalanceSlack},
+	}, nil
 }
 
 func (s *Scenario) validateClasses() error {

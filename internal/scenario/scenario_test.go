@@ -7,6 +7,7 @@ import (
 	"strings"
 	"testing"
 
+	"vrex/internal/cluster"
 	"vrex/internal/hwsim"
 	"vrex/internal/mathx"
 	"vrex/internal/serve"
@@ -104,6 +105,19 @@ func TestParseErrors(t *testing.T) {
 		{"no sessions", "streams 0\n", "no sessions"},
 		{"rate flood", "duration 100\narrivals poisson(rate=1e9)\n", "sessions"},
 		{"nan rate", "arrivals poisson(rate=nan)\n", "rate"},
+		{"bad node list", "nodes warp:2\n", "unknown device"},
+		{"router without nodes", "router least-loaded\n", "needs a node list"},
+		{"autoscale without nodes", "autoscale queue\n", "needs a node list"},
+		{"fault without nodes", "fault drain(node=0,at=5)\n", "need a node list"},
+		{"rebalance without nodes", "rebalance-moves 2\n", "need a node list"},
+		{"devices with nodes", "nodes vrex8:2\ndevices 2\n", "node list"},
+		{"unknown router", "nodes vrex8:2\nrouter warp\n", "router"},
+		{"unknown autoscaler", "nodes vrex8:2\nautoscale warp\n", "autoscale"},
+		{"fault out of range", "nodes vrex8:2\nfault drain(node=3,at=5)\n", "node 3"},
+		{"bad fault kind", "nodes vrex8:2\nfault crash(node=0,at=5)\n", "fault kind"},
+		{"initial without autoscale", "nodes vrex8:1,vrex8:1\ninitial-nodes 1\n", "autoscale"},
+		{"initial out of range", "nodes vrex8:1,vrex8:1\nautoscale queue\ninitial-nodes 5\n", "out of range"},
+		{"slack without moves", "nodes vrex8:2\nrebalance-slack 2\n", "rebalance-moves"},
 	} {
 		if _, err := Parse(tc.name, []byte(tc.src)); err == nil || !strings.Contains(err.Error(), tc.want) {
 			t.Errorf("%s: error %v, want substring %q", tc.name, err, tc.want)
@@ -417,5 +431,97 @@ func TestCloneIsDeep(t *testing.T) {
 	c.Classes[0].Weight = 99
 	if s.Classes[1].Burst.Rate == 99 || s.Classes[0].Weight == 99 {
 		t.Fatal("Clone must not share class or burst storage")
+	}
+	s.Faults = []cluster.Fault{{Kind: cluster.FaultDrain, Node: 0, At: 5}}
+	c = s.Clone()
+	c.Faults[0].At = 99
+	if s.Faults[0].At == 99 {
+		t.Fatal("Clone must not share fault storage")
+	}
+}
+
+// clusterSrc exercises every cluster key: heterogeneous nodes with regions
+// (canonicalized from loose input spacing / implicit device counts), a
+// parameterized router and autoscaler, rebalancing, and repeated fault lines.
+const clusterSrc = `scenario geo
+duration 30
+streams 6
+nodes vrex8:2@us, a100@us ,agx:3@edge
+router kv-headroom
+autoscale queue(hi=2,lo=0.2)
+initial-nodes 2
+rebalance-moves 4
+rebalance-slack 1.5
+fault drain(node=1,at=10,recover=20)
+fault fail(node=2,at=15)
+arrivals poisson(rate=0.4)
+lifetime exp(mean=12)
+`
+
+func TestClusterScenarioRoundTrip(t *testing.T) {
+	s, err := Parse("geo.vrex", []byte(clusterSrc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.IsCluster() {
+		t.Fatal("nodes line must make the scenario a cluster scenario")
+	}
+	if want := "vrex8:2@us,a100:1@us,agx:3@edge"; s.Nodes != want {
+		t.Fatalf("nodes not canonicalized: %q, want %q", s.Nodes, want)
+	}
+	if len(s.Faults) != 2 || s.Faults[0].Kind != cluster.FaultDrain || s.Faults[1].Node != 2 {
+		t.Fatalf("fault lines lost: %+v", s.Faults)
+	}
+	m1 := s.Marshal()
+	s2, err := Parse("marshal", m1)
+	if err != nil {
+		t.Fatalf("Marshal output must re-parse: %v\n%s", err, m1)
+	}
+	if !reflect.DeepEqual(s, s2) {
+		t.Fatalf("Parse(Marshal(s)) != s:\n%+v\n%+v", s, s2)
+	}
+	if m2 := s2.Marshal(); string(m1) != string(m2) {
+		t.Fatalf("Marshal is not a fixed point:\n%s\n%s", m1, m2)
+	}
+}
+
+func TestClusterConfigCompiles(t *testing.T) {
+	s, err := Parse("geo.vrex", []byte(clusterSrc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := s.ClusterConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfg.Nodes) != 3 || cfg.Nodes[0].Devices != 2 || cfg.Nodes[2].Region != "edge" {
+		t.Fatalf("node list: %+v", cfg.Nodes)
+	}
+	if cfg.Router == nil || cfg.Router.Name() != "kv-headroom" {
+		t.Fatalf("router: %+v", cfg.Router)
+	}
+	if cfg.Autoscaler == nil || cfg.Autoscaler.Name() != "queue" || cfg.InitialNodes != 2 {
+		t.Fatalf("autoscaler: %+v initial %d", cfg.Autoscaler, cfg.InitialNodes)
+	}
+	if cfg.Rebalance.MaxMoves != 4 || cfg.Rebalance.Slack != 1.5 || len(cfg.Faults) != 2 {
+		t.Fatalf("rebalance %+v faults %+v", cfg.Rebalance, cfg.Faults)
+	}
+	if cfg.NodeBalancer == nil || cfg.NodeBalancer() == nil {
+		t.Fatal("node balancer factory must build")
+	}
+	if cfg.Base.Streams != 6 || cfg.Base.Duration != 30 {
+		t.Fatalf("base config lost workload fields: %+v", cfg.Base)
+	}
+	// The run itself must be live: both the drain and the failure fire.
+	res := cluster.Run(cfg)
+	if res.Serve.Aggregate.Sessions == 0 {
+		t.Fatal("cluster run served nothing")
+	}
+	if res.Serve.Migrations.Live == 0 {
+		t.Fatal("drain fault must live-migrate sessions")
+	}
+	// A plain scenario refuses to compile as a cluster.
+	if _, err := Default().ClusterConfig(); err == nil {
+		t.Fatal("ClusterConfig on a non-cluster scenario must error")
 	}
 }

@@ -37,6 +37,17 @@ const (
 	// (StreamClass.SLO); emitted right after the frame's EventFrameServed
 	// with the same completion latency.
 	EventDeadlineMissed
+	// EventDeviceDown: the control plane took a device out of service
+	// (drain or failure injection). Session is -1; Device identifies it.
+	EventDeviceDown
+	// EventDeviceUp: the control plane returned a device to service.
+	// Session is -1; Device identifies it.
+	EventDeviceUp
+	// EventSessionMigrated: the control plane moved a session to a new
+	// device. Device is the destination, KV the session's post-move KV
+	// length, and Latency the total seconds the move occupied device
+	// timelines (0 for a lossy failure re-placement).
+	EventSessionMigrated
 )
 
 // String names the kind for logs and traces.
@@ -64,6 +75,12 @@ func (k EventKind) String() string {
 		return "batch-formed"
 	case EventDeadlineMissed:
 		return "deadline-missed"
+	case EventDeviceDown:
+		return "device-down"
+	case EventDeviceUp:
+		return "device-up"
+	case EventSessionMigrated:
+		return "session-migrated"
 	}
 	return "unknown"
 }

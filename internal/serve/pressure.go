@@ -100,24 +100,35 @@ func newKVPlane(cfg Config, nDev, nSessions int) *kvPlane {
 	if !cfg.KV.enabled() {
 		return nil
 	}
-	pages, pageTokens, pageBytes, err := cfg.KV.PoolShape(cfg.Dev, cfg.Pol)
-	if err != nil {
-		panic(err.Error())
-	}
-	pcfg := kvpool.Config{
-		CapacityPages: pages, PageTokens: pageTokens, Spill: cfg.KV.Spill,
-		Mover: kvpool.Transfer{
-			Link: cfg.Dev.Link, SSD: cfg.Dev.OffloadSSD,
-			Host: cfg.Dev.HostMem, PageBytes: pageBytes,
-		},
-	}
 	p := &kvPlane{
 		pools:  make([]*kvpool.Pool, nDev),
 		state:  make([]int, nSessions),
 		queues: make([][]int, nDev),
 	}
-	for d := range p.pools {
-		p.pools[d] = kvpool.New(pcfg)
+	// Homogeneous fleets share one pool shape; with DevSpecs each device's
+	// budget, page bytes and spill pricing derive from its own spec.
+	build := func(dev hwsim.DeviceSpec) kvpool.Config {
+		pages, pageTokens, pageBytes, err := cfg.KV.PoolShape(dev, cfg.Pol)
+		if err != nil {
+			panic(err.Error())
+		}
+		return kvpool.Config{
+			CapacityPages: pages, PageTokens: pageTokens, Spill: cfg.KV.Spill,
+			Mover: kvpool.Transfer{
+				Link: dev.Link, SSD: dev.OffloadSSD,
+				Host: dev.HostMem, PageBytes: pageBytes,
+			},
+		}
+	}
+	if len(cfg.DevSpecs) == 0 {
+		pcfg := build(cfg.Dev)
+		for d := range p.pools {
+			p.pools[d] = kvpool.New(pcfg)
+		}
+	} else {
+		for d := range p.pools {
+			p.pools[d] = kvpool.New(build(cfg.DevSpecs[d]))
+		}
 	}
 	return p
 }

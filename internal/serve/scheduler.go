@@ -216,12 +216,17 @@ func (e *engine) runScheduled(events *eventHeap) {
 		ended:         make([]bool, len(e.sessions)),
 		reqs:          make([]hwsim.StepReq, 0, batchMax),
 	}
+	e.sched = r
 	for events.Len() > 0 {
 		ev := heap.Pop(events).(event)
 		if ev.kind == evStep {
 			d := ev.session
 			r.stepScheduled[d] = false
 			r.formBatch(d, ev.at)
+			continue
+		}
+		if ev.kind == evControl {
+			e.handleControl(ev.at)
 			continue
 		}
 		sess := &e.sessions[ev.session]
@@ -233,6 +238,7 @@ func (e *engine) runScheduled(events *eventHeap) {
 			d := sess.device
 			e.devs[d].ActiveSessions--
 			e.devs[d].ClassSessions[sess.class]--
+			e.alive[ev.session] = false
 			if r.pending[ev.session] > 0 {
 				// Queued work outlives the session: hold its KV (and pool
 				// pages) until the last pending item resolves.
@@ -244,6 +250,19 @@ func (e *engine) runScheduled(events *eventHeap) {
 			continue
 		}
 		m := &e.metrics[ev.session]
+		if e.devs[sess.device].Down {
+			// The session could not be moved off its failed device (or every
+			// device is down): its work drops until service resumes.
+			if ev.kind == evFrame {
+				m.FramesArrived++
+				m.FramesDropped++
+				e.observe(EventFrameDropped, ev.at, ev.session, latencyNone)
+			} else {
+				m.QueriesDropped++
+				e.observe(EventQueryDropped, ev.at, ev.session, latencyNone)
+			}
+			continue
+		}
 		if e.plane != nil && e.plane.state[ev.session] != sessAdmitted {
 			// Queued or rejected sessions hold no pages: their frames drop
 			// and their queries go unanswered until admission.
@@ -304,6 +323,11 @@ func (r *schedRun) formBatch(d int, at float64) {
 	e := r.engine
 	q := &r.ready[d]
 	if q.Len() == 0 {
+		return
+	}
+	if e.devs[d].Down {
+		// The device died with work queued (it could not be moved): drop it.
+		r.dropReady(d, at)
 		return
 	}
 	if e.devs[d].Free > at {
@@ -381,7 +405,7 @@ func (r *schedRun) serveFrames(d int, members []batchMember, at float64) {
 		})
 		paging += mb.paging
 	}
-	b := e.sim.Step(reqs)
+	b := e.sims[d].Step(reqs)
 	total := b.Total
 	if b.OOM {
 		// The members fit individually (admitFrame checked) but not
@@ -389,7 +413,7 @@ func (r *schedRun) serveFrames(d int, members []batchMember, at float64) {
 		// dropping work the pool already allocated.
 		total = 0
 		for i := range reqs {
-			total += e.sim.Step(reqs[i : i+1]).Total
+			total += e.sims[d].Step(reqs[i : i+1]).Total
 		}
 	}
 	dev.Free = start + paging + total

@@ -116,6 +116,11 @@ func (c ChurnConfig) hasArrivals() bool { return c.ArrivalRate > 0 || c.Arrivals
 type Config struct {
 	Dev hwsim.DeviceSpec
 	Pol hwsim.PolicyModel
+	// DevSpecs, when non-empty, gives each fleet member its own hardware
+	// spec (len must equal the fleet size): heterogeneous fleets price each
+	// device's work and KV pool from its own spec. Empty means every device
+	// is Dev — exactly the original homogeneous fleet.
+	DevSpecs []hwsim.DeviceSpec
 	// Streams is the number of sessions active at t=0.
 	Streams int
 	// Duration is the simulated wall-clock seconds.
@@ -145,6 +150,13 @@ type Config struct {
 	// round-robin. Run calls Reset before use, so one Balancer value can be
 	// reused across runs.
 	Balancer Balancer
+	// Control attaches a fleet controller (drain/fail/activate devices,
+	// migrate sessions) running at deterministic tick events; the zero value
+	// disables it (see ControlConfig).
+	Control ControlConfig
+	// Migration prices live session moves the controller triggers; the zero
+	// value makes moves free (see MigrationConfig).
+	Migration MigrationConfig
 	// Observer, when non-nil, receives every scheduling event in
 	// deterministic order (see Event).
 	Observer Observer
@@ -262,6 +274,11 @@ type DeviceMetrics struct {
 	PagesIn, PagesOut                int
 	PageInTime, PageOutTime          float64
 	SessionsQueued, SessionsRejected int
+	// Control-plane counters, all zero without a controller: sessions
+	// migrated onto / off this device and the seconds migration occupied
+	// its timeline (this device's leg only).
+	MigrationsIn, MigrationsOut int
+	MigrationTime               float64
 }
 
 // Result is a serving run's outcome.
@@ -276,6 +293,9 @@ type Result struct {
 	// Memory aggregates the KV memory-pressure plane across the fleet
 	// (zero when Config.KV is disabled).
 	Memory MemoryMetrics
+	// Migrations aggregates controller-driven session mobility (zero
+	// without a controller).
+	Migrations MigrationMetrics
 	// RealTime reports whether every stream served >= 95% of its frames.
 	RealTime bool
 	// Utilization is fleet busy time / (duration * devices).
@@ -293,6 +313,11 @@ const (
 	// session field and draw seq numbers above every arrival's, so at equal
 	// timestamps arrivals enqueue before the batch forms.
 	evStep
+	// evControl is a fleet-controller tick (session field unused, -1).
+	// Control events draw seq numbers above every arrival's but below the
+	// step range, so at equal timestamps a tick sees the arrivals that just
+	// landed and acts before any batch forms.
+	evControl
 )
 
 // event is one arrival (or, under the scheduler plane, a device wake-up).
@@ -496,17 +521,41 @@ func validate(cfg Config, classes []StreamClass) {
 	if cfg.KV.PageTokens < 0 {
 		panic(fmt.Sprintf("serve: negative KV page size %d", cfg.KV.PageTokens))
 	}
+	if n := len(cfg.DevSpecs); n > 0 {
+		nDev := cfg.Devices
+		if nDev <= 0 {
+			nDev = 1
+		}
+		if n != nDev {
+			panic(fmt.Sprintf("serve: %d DevSpecs for a %d-device fleet", n, nDev))
+		}
+	}
+	if cfg.Control.Interval < 0 || math.IsNaN(cfg.Control.Interval) {
+		panic(fmt.Sprintf("serve: negative control interval %v", cfg.Control.Interval))
+	}
 }
 
 // Run executes the serving simulation.
 func Run(cfg Config) Result {
 	classes := cfg.classes()
 	validate(cfg, classes)
-	sim := hwsim.NewSim(cfg.Dev, hwsim.Llama3_8B(), cfg.Pol)
 	sessions := buildSessions(cfg, classes)
 	nDev := cfg.Devices
 	if nDev <= 0 {
 		nDev = 1
+	}
+	// Homogeneous fleets share one analytic simulator (hwsim.Sim is
+	// stateless); heterogeneous fleets get one per device spec.
+	sims := make([]*hwsim.Sim, nDev)
+	if len(cfg.DevSpecs) == 0 {
+		sim := hwsim.NewSim(cfg.Dev, hwsim.Llama3_8B(), cfg.Pol)
+		for d := range sims {
+			sims[d] = sim
+		}
+	} else {
+		for d := range sims {
+			sims[d] = hwsim.NewSim(cfg.DevSpecs[d], hwsim.Llama3_8B(), cfg.Pol)
+		}
 	}
 	bal := cfg.Balancer
 	if bal == nil {
@@ -547,10 +596,19 @@ func Run(cfg Config) Result {
 			events = append(events, ev)
 		}
 	}
+	// Controller ticks seq above every arrival (and below the scheduler's
+	// step range, which starts at the heap length): at equal timestamps a
+	// tick sees the arrivals that just landed and runs before batches form.
+	if cfg.Control.enabled() {
+		for _, t := range cfg.Control.tickTimes(cfg.Duration) {
+			events = append(events, event{at: t, session: -1, kind: evControl, seq: seq})
+			seq++
+		}
+	}
 	heap.Init(&events)
 
 	e := &engine{
-		cfg: cfg, classes: classes, sim: sim, sessions: sessions,
+		cfg: cfg, classes: classes, sims: sims, sessions: sessions,
 		nDev: nDev, bal: bal,
 		kv:         make([]int, len(sessions)),
 		metrics:    make([]StreamMetrics, len(sessions)),
@@ -561,6 +619,8 @@ func Run(cfg Config) Result {
 		waitSum:    make([]float64, nDev),
 		waitN:      make([]int, nDev),
 		slo:        make([]float64, len(classes)),
+		alive:      make([]bool, len(sessions)),
+		resident:   make([]bool, len(sessions)),
 	}
 	for s := range e.kv {
 		e.kv[s] = classes[sessions[s].class].Stream.StartKV
@@ -618,6 +678,7 @@ func Run(cfg Config) Result {
 	if plane != nil {
 		res.Memory = plane.memory(devMetrics)
 	}
+	res.Migrations = e.mig
 	// Post-barrier reduction: each session's latency sort and percentiles are
 	// independent, so they run across the pool; the real-time verdict folds
 	// in session order afterwards.
@@ -650,9 +711,11 @@ func Run(cfg Config) Result {
 // accounting machinery. Both loops are single-threaded; Workers parallelism
 // stays confined to schedule construction and metric reduction.
 type engine struct {
-	cfg      Config
-	classes  []StreamClass
-	sim      *hwsim.Sim
+	cfg     Config
+	classes []StreamClass
+	// sims holds each device's analytic simulator; homogeneous fleets share
+	// one instance across all entries.
+	sims     []*hwsim.Sim
 	sessions []session
 	nDev     int
 	bal      Balancer
@@ -673,6 +736,20 @@ type engine struct {
 	// else SchedulerConfig.SLO, else one frame interval).
 	slo   []float64
 	plane *kvPlane
+
+	// Control-plane state, all idle without a controller: alive marks
+	// sessions between their start and end events, resident marks sessions
+	// holding a device slot (start to KV release — under the scheduler plane
+	// release can outlive the end event), nDown counts out-of-service
+	// devices, upScratch is the filtered-fleet scratch for placement, sched
+	// points at the scheduler plane's run state (nil on the serial
+	// timeline), and mig accumulates migration totals.
+	alive     []bool
+	resident  []bool
+	nDown     int
+	upScratch []DeviceState
+	sched     *schedRun
+	mig       MigrationMetrics
 }
 
 func (e *engine) observe(kind EventKind, at float64, s int, latency float64) {
@@ -734,6 +811,10 @@ func (e *engine) admit(s, d int, at float64) int {
 // drainQueue admits waiting sessions in FIFO order after pages freed;
 // the head of the line blocks (no overtaking by smaller sessions).
 func (e *engine) drainQueue(d int, at float64) {
+	if e.devs[d].Down {
+		// An out-of-service device admits nobody; Activate re-drains.
+		return
+	}
 	q := e.plane.queues[d]
 	i := 0
 	for ; i < len(q); i++ {
@@ -758,17 +839,24 @@ func (e *engine) drainQueue(d int, at float64) {
 // state bookkeeping, and (with the memory-pressure plane) admission control.
 func (e *engine) startSession(ev event) {
 	sess := &e.sessions[ev.session]
-	if e.plane != nil {
-		// Refresh the balancer's view of pool occupancy.
-		for i := range e.devs {
-			e.devs[i].FreePages = e.plane.pools[i].FreePages()
+	// Refresh the balancer's view of pool occupancy.
+	e.refreshFreePages()
+	var d int
+	if e.nDown > 0 && e.nDown < e.nDev {
+		// Some devices are out of service: place among the up ones (the
+		// filtered view preserves Index). With every device down, fall
+		// through to the full fleet — the session lands somewhere and its
+		// frames drop until a device comes back.
+		d = e.placeAvailable(ev.session, ev.at)
+	} else {
+		d = e.bal.Assign(ev.at, sess.class, e.devs)
+		if d < 0 || d >= e.nDev {
+			panic(fmt.Sprintf("serve: balancer %q returned device %d of %d", e.bal.Name(), d, e.nDev))
 		}
 	}
-	d := e.bal.Assign(ev.at, sess.class, e.devs)
-	if d < 0 || d >= e.nDev {
-		panic(fmt.Sprintf("serve: balancer %q returned device %d of %d", e.bal.Name(), d, e.nDev))
-	}
 	sess.device = d
+	e.alive[ev.session] = true
+	e.resident[ev.session] = true
 	e.devs[d].ActiveSessions++
 	e.devs[d].ClassSessions[sess.class]++
 	e.devMetrics[d].Sessions++
@@ -798,6 +886,7 @@ func (e *engine) releaseSession(s int, at float64) {
 	if e.plane != nil {
 		e.plane.state[s] = sessGone
 	}
+	e.resident[s] = false
 }
 
 // served records the queue-wait sample and deadline accounting for one
@@ -820,6 +909,10 @@ func (e *engine) served(s, d int, at, wait, lat float64, frame bool) {
 func (e *engine) runSerial(events *eventHeap) {
 	for events.Len() > 0 {
 		ev := heap.Pop(events).(event)
+		if ev.kind == evControl {
+			e.handleControl(ev.at)
+			continue
+		}
 		sess := &e.sessions[ev.session]
 		sc := e.classes[sess.class].Stream
 		switch ev.kind {
@@ -829,6 +922,7 @@ func (e *engine) runSerial(events *eventHeap) {
 		case evEnd:
 			d := sess.device
 			e.devs[d].ActiveSessions--
+			e.alive[ev.session] = false
 			e.releaseSession(ev.session, ev.at)
 			e.devs[d].ClassSessions[sess.class]--
 			e.observe(EventSessionEnd, ev.at, ev.session, latencyNone)
@@ -836,6 +930,19 @@ func (e *engine) runSerial(events *eventHeap) {
 		}
 		m := &e.metrics[ev.session]
 		dev := &e.devs[sess.device]
+		if dev.Down {
+			// The session could not be moved off its failed device (or every
+			// device is down): its work drops until service resumes.
+			if ev.kind == evFrame {
+				m.FramesArrived++
+				m.FramesDropped++
+				e.observe(EventFrameDropped, ev.at, ev.session, latencyNone)
+			} else {
+				m.QueriesDropped++
+				e.observe(EventQueryDropped, ev.at, ev.session, latencyNone)
+			}
+			continue
+		}
 		if e.plane != nil && e.plane.state[ev.session] != sessAdmitted {
 			// Queued or rejected sessions hold no pages: their frames drop
 			// and their queries go unanswered until admission.
@@ -859,7 +966,7 @@ func (e *engine) runSerial(events *eventHeap) {
 			if !ok {
 				continue
 			}
-			b := e.sim.FrameLatency(sc.TokensPerFrame, e.kv[ev.session], 1)
+			b := e.sims[sess.device].FrameLatency(sc.TokensPerFrame, e.kv[ev.session], 1)
 			dev.Free = start + paging + b.Total
 			dev.Busy += paging + b.Total
 			e.kv[ev.session] += sc.TokensPerFrame
@@ -896,7 +1003,7 @@ func (e *engine) admitFrameAt(s, d int, arrival, start float64) (paging float64,
 		drop()
 		return 0, false
 	}
-	if e.sim.OOM(e.kv[s], 1) {
+	if e.sims[d].OOM(e.kv[s], 1) {
 		drop()
 		return 0, false
 	}
@@ -937,11 +1044,11 @@ func (e *engine) serveQueryAt(s, d int, arrival, start float64) (total float64, 
 		paging = growSpill + pageIn + pageOut
 	}
 	dev := &e.devs[d]
-	q := e.sim.Chunk(sc.QueryTokens, e.kv[s], 1, hwsim.StageTextPhase)
+	q := e.sims[d].Chunk(sc.QueryTokens, e.kv[s], 1, hwsim.StageTextPhase)
 	total = q.Total
 	e.kv[s] += sc.QueryTokens
 	for i := 0; i < sc.AnswerTokens; i++ {
-		total += e.sim.TPOT(e.kv[s], 1).Total
+		total += e.sims[d].TPOT(e.kv[s], 1).Total
 		e.kv[s]++
 	}
 	dev.Free = start + paging + total

@@ -27,6 +27,11 @@ func TestSuiteLint(t *testing.T) {
 		if _, err := s.Config(); err != nil {
 			t.Fatalf("%s: does not compile: %v", name, err)
 		}
+		if s.IsCluster() {
+			if _, err := s.ClusterConfig(); err != nil {
+				t.Fatalf("%s: cluster config does not compile: %v", name, err)
+			}
+		}
 		s2, err := scenario.Parse(name+" (marshal)", s.Marshal())
 		if err != nil {
 			t.Fatalf("%s: canonical form rejected: %v", name, err)
@@ -70,5 +75,26 @@ func TestSuiteCoversShapes(t *testing.T) {
 	}
 	if !bursts {
 		t.Error("suite lacks a correlated class burst scenario")
+	}
+}
+
+// TestSuiteCoversCluster pins that the committed suite exercises the cluster
+// plane: at least one scenario declares nodes and an injected fault.
+func TestSuiteCoversCluster(t *testing.T) {
+	clustered, faulted := false, false
+	for _, name := range Names() {
+		src, _ := Source(name)
+		s, err := scenario.Parse(name, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		clustered = clustered || s.IsCluster()
+		faulted = faulted || len(s.Faults) > 0
+	}
+	if !clustered {
+		t.Error("suite lacks a cluster scenario")
+	}
+	if !faulted {
+		t.Error("suite lacks a node-fault scenario")
 	}
 }
