@@ -72,7 +72,12 @@ func BenchmarkScenarioSuite(b *testing.B) { benchExperiment(b, "scenarios") }
 // BenchmarkCluster drives the cluster plane end to end through the cluster
 // experiment (node x router sweep, drain + recovery over LAN/WAN with live
 // KV migration, autoscaler cold start).
-func BenchmarkCluster(b *testing.B)         { benchExperiment(b, "cluster") }
+func BenchmarkCluster(b *testing.B) { benchExperiment(b, "cluster") }
+
+// BenchmarkPareto drives the degradation plane end to end through the pareto
+// experiment (scheduler x eviction x degrader sweep over a KV-starved flash
+// crowd).
+func BenchmarkPareto(b *testing.B)          { benchExperiment(b, "pareto") }
 func BenchmarkTable1Hardware(b *testing.B)  { benchExperiment(b, "tab1") }
 func BenchmarkTable2Accuracy(b *testing.B)  { benchExperiment(b, "tab2") }
 func BenchmarkTable3AreaPower(b *testing.B) { benchExperiment(b, "tab3") }

@@ -12,7 +12,7 @@
 // Serving mode (enabled by -scenario, or by any of -mix, -devices,
 // -balancer, -streams, -duration, -drop, -churn-arrivals, -churn-life,
 // -seed, -kv-capacity, -spill, -page-tokens, -scheduler, -batch-max,
-// -slo-ms, or the cluster flags below):
+// -slo-ms, -degrade, or the cluster flags below):
 //
 //	vrex-sim -policy 'rekv(frame=0.58,text=0.31)' -devices 4 \
 //	    -balancer least-loaded -mix '2fps:0.7,4fps:0.3'
@@ -61,6 +61,14 @@
 // attainment / goodput / queue-wait metrics; "none" keeps the serial
 // batch-1 timeline.
 //
+// -degrade arms the degradation plane (internal/degrade): the named
+// controller — static, pressure, deadline or hybrid — watches each
+// session's KV free-page headroom and deadline slack and sheds its ReSV
+// retrieval budget in bounded steps when the device is pressured, restoring
+// with hysteresis once pressure clears. Degraded steps run cheaper on the
+// hardware plane and are charged against the accuracy proxy, reported per
+// class alongside the SLO metrics.
+//
 // Policies come from the hwsim registry and accept parameter overrides in
 // the spec string; -list-policies prints every registered policy, balancer,
 // scheduler, stream class, and spill/eviction policy name. -kv accepts a
@@ -81,6 +89,7 @@ import (
 	"strings"
 
 	"vrex/internal/cluster"
+	"vrex/internal/degrade"
 	"vrex/internal/hwsim"
 	"vrex/internal/kvpool"
 	"vrex/internal/parallel"
@@ -144,6 +153,11 @@ func listPolicies() {
 	}
 	fmt.Println("schedulers (-scheduler; 'none' disables the scheduler plane):")
 	for _, n := range serve.SchedulerNames() {
+		fmt.Printf("  %s\n", n)
+	}
+	fmt.Println("degraders (-degrade; e.g. 'pressure(lo=0.1,hi=0.3)'; 'none' disables the degradation plane):")
+	fmt.Println("  none")
+	for _, n := range degrade.Names() {
 		fmt.Printf("  %s\n", n)
 	}
 	fmt.Println("stream classes (-mix class:weight,...):")
@@ -254,11 +268,20 @@ func printFleetSummary(cfg serve.Config, res serve.Result) {
 			sched.Name(), bm, steps, 100*res.Aggregate.SLOAttained,
 			res.Aggregate.Goodput, res.Aggregate.DeadlineMisses)
 	}
+	deg := cfg.Degrade.Policy
+	if deg != nil {
+		fmt.Printf("degrade: %s | %d degradations, %d restorations | mean budget %.3f, accuracy proxy %.3f\n",
+			deg.Name(), res.Aggregate.Degradations, res.Aggregate.Restorations,
+			res.Aggregate.MeanBudget, res.Aggregate.AccuracyProxy)
+	}
 	fmt.Println()
 
 	classHeaders := []string{"class", "sessions", "arrived", "served", "dropped", "queries", "fps_per_stream", "p50_ms", "p99_ms", "realtime_sessions"}
 	if sched != nil {
 		classHeaders = append(classHeaders, "slo_pct", "goodput_fps", "queue_p99_ms")
+	}
+	if deg != nil {
+		classHeaders = append(classHeaders, "mean_budget", "acc_proxy", "degradations", "restorations")
 	}
 	classTab := report.NewTable("serving: per-class metrics", classHeaders...)
 	for _, cm := range append(res.PerClass, res.Aggregate) {
@@ -266,6 +289,9 @@ func printFleetSummary(cfg serve.Config, res serve.Result) {
 			cm.FramesDropped, cm.QueriesServed, cm.MeanFPS, 1000 * cm.P50, 1000 * cm.P99, cm.RealTimeSessions}
 		if sched != nil {
 			row = append(row, 100*cm.SLOAttained, cm.Goodput, 1000*cm.QueueP99)
+		}
+		if deg != nil {
+			row = append(row, cm.MeanBudget, cm.AccuracyProxy, cm.Degradations, cm.Restorations)
 		}
 		classTab.AddRow(row...)
 	}
@@ -339,6 +365,7 @@ func main() {
 	scheduler := flag.String("scheduler", "none", "serving: continuous-batching scheduler (fifo | edf | priority; 'none' keeps the serial batch-1 timeline)")
 	batchMax := flag.Int("batch-max", 0, "serving: max frames coalesced per hardware step (0 = default 8; needs -scheduler)")
 	sloMS := flag.Float64("slo-ms", 0, "serving: default per-frame deadline in milliseconds (0 = one frame interval; needs -scheduler)")
+	degradeSpec := flag.String("degrade", "none", "serving: degradation controller, e.g. 'pressure(lo=0.1,hi=0.3)' or 'hybrid' ('none' disables; see -list-policies)")
 	nodes := flag.String("nodes", "", "cluster: node list 'spec[:devices][@region],...' e.g. 'vrex8:2@us,vrex48:4@eu' (enables the cluster plane; replaces -devices)")
 	router := flag.String("router", "", "cluster: global session router (empty = round-robin; see -list-policies; needs -nodes)")
 	autoscale := flag.String("autoscale", "", "cluster: node autoscaler, e.g. 'queue(hi=0.05,lo=0.01)' or 'slo(target=0.95)' ('none'/empty disables; needs -nodes)")
@@ -369,7 +396,7 @@ func main() {
 	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
 	servingFlags := []string{"mix", "devices", "balancer", "streams", "duration", "drop",
 		"churn-arrivals", "churn-life", "seed", "kv-capacity", "spill", "page-tokens",
-		"scheduler", "batch-max", "slo-ms",
+		"scheduler", "batch-max", "slo-ms", "degrade",
 		"nodes", "router", "autoscale", "initial-nodes", "rebalance-moves", "rebalance-slack", "fault"}
 	pointFlags := []string{"kv", "batch", "tokens", "tpot"}
 	serving := *scenarioFile != "" || *recordTrace != ""
@@ -420,6 +447,12 @@ func main() {
 		sc.Scheduler = *scheduler
 		sc.BatchMax = *batchMax
 		sc.SLOms = *sloMS
+		// Mirror the parser's canonicalization: "none" is the zero value,
+		// so -scenario-dump output stays a Marshal fixed point.
+		sc.Degrade = strings.ToLower(strings.TrimSpace(*degradeSpec))
+		if sc.Degrade == "none" {
+			sc.Degrade = ""
+		}
 		sc.Drop = *drop
 		sc.KVCapacity = strings.ToLower(strings.TrimSpace(*kvCapacity))
 		sc.Spill = *spill
@@ -531,6 +564,10 @@ func main() {
 	if res.Memory.CapacityPages > 0 {
 		headers = append(headers, "pages_in", "pages_out", "pagein_ms", "pageout_ms", "queued", "rejected")
 	}
+	degOn := cfg.Degrade.Policy != nil
+	if degOn {
+		headers = append(headers, "degradations", "restorations")
+	}
 	devTab := report.NewTable("serving: per-device metrics", headers...)
 	for d, dm := range res.PerDevice {
 		row := []any{d, dm.Sessions, dm.FramesServed, dm.QueriesServed, 100 * dm.Utilization, dm.PeakResidentKV}
@@ -540,6 +577,9 @@ func main() {
 		if res.Memory.CapacityPages > 0 {
 			row = append(row, dm.PagesIn, dm.PagesOut, 1000*dm.PageInTime, 1000*dm.PageOutTime,
 				dm.SessionsQueued, dm.SessionsRejected)
+		}
+		if degOn {
+			row = append(row, dm.Degradations, dm.Restorations)
 		}
 		devTab.AddRow(row...)
 	}

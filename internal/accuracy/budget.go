@@ -1,0 +1,27 @@
+package accuracy
+
+import "math"
+
+// retentionExp shapes BudgetRetention's diminishing-returns curve. The
+// exponent is fitted to the functional ThWics sweep (sweeps experiment):
+// shrinking ReSV's retrieval budget from 1.0 to 0.25 costs roughly a third
+// of the proxy accuracy, with most of the loss arriving near the floor —
+// attention mass concentrates on few clusters, so the first tokens dropped
+// are the least salient.
+const retentionExp = 0.3
+
+// BudgetRetention maps a retrieval budget scale in (0, 1] to the fraction of
+// proxy accuracy retained: scale^0.3, so retention is 1 at full budget,
+// ~0.9 at half budget and ~0.66 at the default degradation floor (0.25).
+// The serving engine's degradation plane charges this per served frame and
+// query, producing the accuracy-proxy column next to SLO attainment in
+// serve.Result. Monotone increasing; clamped to [0, 1].
+func BudgetRetention(scale float64) float64 {
+	if scale >= 1 {
+		return 1
+	}
+	if scale <= 0 {
+		return 0
+	}
+	return math.Pow(scale, retentionExp)
+}

@@ -1,0 +1,37 @@
+package accuracy
+
+import (
+	"math"
+	"testing"
+)
+
+// TestBudgetRetention pins the degradation proxy curve: exact endpoints,
+// strict monotonicity, and bounded loss at the default floor (0.25 keeps
+// about two thirds of proxy accuracy).
+func TestBudgetRetention(t *testing.T) {
+	if got := BudgetRetention(1); got != 1 {
+		t.Fatalf("full budget: %g, want 1", got)
+	}
+	if got := BudgetRetention(1.5); got != 1 {
+		t.Fatalf("over-unity budget must clamp: %g", got)
+	}
+	if got := BudgetRetention(0); got != 0 {
+		t.Fatalf("zero budget: %g, want 0", got)
+	}
+	if got := BudgetRetention(-0.5); got != 0 {
+		t.Fatalf("negative budget must clamp: %g", got)
+	}
+	prev := 0.0
+	for s := 0.05; s < 1; s += 0.05 {
+		r := BudgetRetention(s)
+		if r <= prev || r >= 1 {
+			t.Fatalf("retention not strictly increasing in (0,1): f(%g)=%g after %g", s, r, prev)
+		}
+		prev = r
+	}
+	// Bounded loss at the floor: the knob trades latency for a sublinear
+	// accuracy cost (0.25^0.3 ~ 0.66).
+	if r := BudgetRetention(0.25); math.Abs(r-math.Pow(0.25, retentionExp)) > 1e-12 || r < 0.6 {
+		t.Fatalf("floor retention %g out of expected range", r)
+	}
+}

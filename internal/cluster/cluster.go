@@ -138,6 +138,9 @@ type NodeMetrics struct {
 	// device migration counters (time is the node's own timeline legs).
 	MigrationsIn, MigrationsOut int
 	MigrationTime               float64
+	// Degradations / Restorations aggregate the node's degradation-plane
+	// budget steps (zero with the plane disabled).
+	Degradations, Restorations int
 }
 
 // Result is a cluster run's outcome.
@@ -638,6 +641,8 @@ func Run(cfg Config) Result {
 			nm.MigrationsIn += dm.MigrationsIn
 			nm.MigrationsOut += dm.MigrationsOut
 			nm.MigrationTime += dm.MigrationTime
+			nm.Degradations += dm.Degradations
+			nm.Restorations += dm.Restorations
 		}
 		nm.Utilization /= float64(nm.Devices)
 	}

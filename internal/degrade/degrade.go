@@ -1,0 +1,351 @@
+// Package degrade implements accuracy-aware graceful degradation for the
+// serving engine: a policyspec-registered family of controllers that watch a
+// session's KV pressure and deadline signals and decide whether its ReSV
+// retrieval budget should shrink, hold, or recover.
+//
+// The controller surface is deliberately small. On every service decision the
+// engine samples Signals for the session and asks the controller for a target
+// budget scale in [0, 1]; the engine then moves the session's quantized
+// degradation level at most one bounded step toward that target. Budgets are
+// quantized to powers of Policy.Step clamped at Policy.Floor, and the
+// level-transition rule (Policy.Decide) never overshoots the target, so for
+// any fixed target the level converges monotonically and cannot oscillate:
+// after a degrade step the new budget is still >= target (no further restore
+// pressure), and after a restore step the new budget is still <= target.
+// Hysteresis lives in the controllers themselves — pressure and deadline
+// controllers return the current budget (hold) inside their dead bands.
+//
+// Controllers:
+//
+//	none                         degradation disabled (Parse returns nil)
+//	static(budget=B)             constant target: every session converges to
+//	                             the coarsest quantized budget >= B
+//	pressure(lo=,hi=,churn=)     degrade while the device's free-page
+//	                             fraction is below lo or paging churn exceeds
+//	                             churn pages/s; restore above hi with calm
+//	                             paging; hold in between (hysteresis band)
+//	deadline(slack=,meet=)       degrade on a deadline miss or negative
+//	                             slack; restore after meet consecutive
+//	                             on-time frames with slack beyond the margin
+//	hybrid(...)                  min of pressure and deadline: degrades when
+//	                             either is unhappy, restores only when both
+//	                             have cleared
+//
+// All controllers accept the common step= and floor= parameters (consumed by
+// Parse): step is the multiplicative budget shrink per degradation level and
+// floor the validated minimum budget scale no controller can go below.
+package degrade
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"vrex/internal/named"
+	"vrex/internal/policyspec"
+)
+
+// Defaults for the common and per-controller parameters. Step and floor give
+// four quantized budgets (1, 0.7, 0.49, 0.343, 0.25); the pressure band
+// mirrors the kvpool spill watermarks and the deadline slack margin is a
+// quarter second — generous against the repo's few-hundred-ms SLOs.
+const (
+	// DefaultStep is the multiplicative budget shrink per degradation level.
+	DefaultStep = 0.7
+	// DefaultFloor is the minimum budget scale any session can reach.
+	DefaultFloor = 0.25
+	// DefaultLo is the free-page fraction below which pressure degrades.
+	DefaultLo = 0.1
+	// DefaultHi is the free-page fraction above which pressure restores.
+	DefaultHi = 0.3
+	// DefaultChurn is the paging churn (pages/s) above which pressure
+	// degrades regardless of free headroom.
+	DefaultChurn = 256.0
+	// DefaultSlack is the deadline controller's restore margin in seconds.
+	DefaultSlack = 0.25
+	// DefaultMeet is the consecutive on-time frames required to restore.
+	DefaultMeet = 3
+)
+
+// Signals is the per-session snapshot the engine hands a controller at each
+// service decision.
+type Signals struct {
+	// Session identifies the session (controllers are stateless; any
+	// per-session memory belongs to the engine's plane).
+	Session int
+	// Budget is the session's current budget scale in (0, 1].
+	Budget float64
+	// FreePageFrac is the session's device free-page fraction in [0, 1]
+	// (1 when the KV pressure plane is disabled).
+	FreePageFrac float64
+	// PagingRate is the device's paging churn in pages per simulated second
+	// (spill + fetch traffic averaged since the run started).
+	PagingRate float64
+	// Slack is the class SLO minus the session's last observed frame
+	// latency, in seconds (positive when meeting the deadline; the class SLO
+	// when nothing has been served yet).
+	Slack float64
+	// MissStreak and MeetStreak count consecutive frames past / within the
+	// class deadline.
+	MissStreak int
+	MeetStreak int
+}
+
+// Controller maps a session's signals to a target budget scale in [0, 1]:
+// 0 asks for maximum degradation, 1 for full restoration, and returning
+// sig.Budget holds the current level. The engine quantizes the move —
+// controllers never see or set budgets directly.
+type Controller interface {
+	Name() string
+	Target(sig Signals) float64
+}
+
+// Policy is a parsed degradation policy: the controller plus the common
+// step/floor quantization parameters.
+type Policy struct {
+	Controller
+	// Step is the multiplicative budget shrink per level, in (0, 1).
+	Step float64
+	// Floor is the minimum budget scale, in (0, 1].
+	Floor float64
+}
+
+// Budget returns the budget scale at a degradation level: Step^level clamped
+// below at Floor. Level 0 is always exactly 1.
+func (p *Policy) Budget(level int) float64 {
+	if level <= 0 {
+		return 1
+	}
+	b := math.Pow(p.Step, float64(level))
+	if b < p.Floor {
+		return p.Floor
+	}
+	return b
+}
+
+// MaxLevel returns the deepest useful level: the first whose raw Step power
+// reaches Floor (Budget(MaxLevel()) == Floor exactly).
+func (p *Policy) MaxLevel() int {
+	lvl := 0
+	for b := 1.0; b > p.Floor; lvl++ {
+		b *= p.Step
+	}
+	return lvl
+}
+
+// Decide maps a controller target onto a level transition: +1 to degrade one
+// step, -1 to restore one step, 0 to hold. A step is only taken when the
+// resulting budget does not overshoot the target, which makes convergence
+// monotone for any fixed target: after degrading, Budget(level+1) >= target
+// so the same target cannot immediately ask for a restore, and vice versa.
+func (p *Policy) Decide(level int, target float64) int {
+	cur := p.Budget(level)
+	switch {
+	case target < cur && level < p.MaxLevel() && p.Budget(level+1) >= target:
+		return 1
+	case target > cur && level > 0 && p.Budget(level-1) <= target:
+		return -1
+	}
+	return 0
+}
+
+// staticCtl targets a constant budget for every session.
+type staticCtl struct{ budget float64 }
+
+func (c staticCtl) Name() string           { return "static" }
+func (c staticCtl) Target(Signals) float64 { return c.budget }
+
+// pressureCtl degrades on KV pressure (low free-page headroom or paging
+// churn) and restores with hysteresis once headroom clears hi.
+type pressureCtl struct{ lo, hi, churn float64 }
+
+func (c pressureCtl) Name() string { return "pressure" }
+func (c pressureCtl) Target(sig Signals) float64 {
+	switch {
+	case sig.FreePageFrac < c.lo || sig.PagingRate > c.churn:
+		return 0
+	case sig.FreePageFrac > c.hi && sig.PagingRate <= c.churn:
+		return 1
+	}
+	return sig.Budget
+}
+
+// deadlineCtl degrades on deadline misses and restores after a streak of
+// comfortably on-time frames.
+type deadlineCtl struct {
+	slack float64
+	meet  int
+}
+
+func (c deadlineCtl) Name() string { return "deadline" }
+func (c deadlineCtl) Target(sig Signals) float64 {
+	switch {
+	case sig.Slack < 0 || sig.MissStreak > 0:
+		return 0
+	case sig.Slack > c.slack && sig.MeetStreak >= c.meet:
+		return 1
+	}
+	return sig.Budget
+}
+
+// hybridCtl is the pointwise minimum of pressure and deadline: either signal
+// degrades, and restoration needs both to have cleared.
+type hybridCtl struct {
+	p pressureCtl
+	d deadlineCtl
+}
+
+func (c hybridCtl) Name() string { return "hybrid" }
+func (c hybridCtl) Target(sig Signals) float64 {
+	return math.Min(c.p.Target(sig), c.d.Target(sig))
+}
+
+// controllers is the degradation-controller registry: CLIs resolve -degrade
+// specs here through the shared policyspec grammar.
+var controllers = named.New[func(*policyspec.Spec) (Controller, error)]("degrade", "controller")
+
+func init() {
+	Register("static", func(sp *policyspec.Spec) (Controller, error) {
+		if !sp.Has("budget") {
+			return nil, fmt.Errorf("degrade: static: budget is required (e.g. static(budget=0.5))")
+		}
+		b := sp.Float("budget", 0)
+		if err := checkRange("static", "budget", b, 0, 1, openLo); err != nil {
+			return nil, err
+		}
+		return staticCtl{budget: b}, sp.CheckConsumed("budget", "step", "floor")
+	})
+	Register("pressure", func(sp *policyspec.Spec) (Controller, error) {
+		c, err := parsePressure(sp)
+		if err != nil {
+			return nil, err
+		}
+		return c, sp.CheckConsumed("lo", "hi", "churn", "step", "floor")
+	})
+	Register("deadline", func(sp *policyspec.Spec) (Controller, error) {
+		c, err := parseDeadline(sp)
+		if err != nil {
+			return nil, err
+		}
+		return c, sp.CheckConsumed("slack", "meet", "step", "floor")
+	})
+	Register("hybrid", func(sp *policyspec.Spec) (Controller, error) {
+		p, err := parsePressure(sp)
+		if err != nil {
+			return nil, err
+		}
+		d, err := parseDeadline(sp)
+		if err != nil {
+			return nil, err
+		}
+		return hybridCtl{p: p, d: d},
+			sp.CheckConsumed("lo", "hi", "churn", "slack", "meet", "step", "floor")
+	})
+}
+
+func parsePressure(sp *policyspec.Spec) (pressureCtl, error) {
+	c := pressureCtl{
+		lo:    sp.Float("lo", DefaultLo),
+		hi:    sp.Float("hi", DefaultHi),
+		churn: sp.Float("churn", DefaultChurn),
+	}
+	name := sp.Name
+	if err := checkRange(name, "lo", c.lo, 0, 1, closed); err != nil {
+		return c, err
+	}
+	if err := checkRange(name, "hi", c.hi, 0, 1, closed); err != nil {
+		return c, err
+	}
+	if c.lo >= c.hi {
+		return c, fmt.Errorf("degrade: %s: thresholds inverted: lo (%g) must be below hi (%g)", name, c.lo, c.hi)
+	}
+	if !isFinite(c.churn) || c.churn < 0 {
+		return c, fmt.Errorf("degrade: %s: churn must be a finite non-negative rate, got %g", name, c.churn)
+	}
+	return c, nil
+}
+
+func parseDeadline(sp *policyspec.Spec) (deadlineCtl, error) {
+	c := deadlineCtl{
+		slack: sp.Float("slack", DefaultSlack),
+		meet:  sp.Int("meet", DefaultMeet),
+	}
+	if !isFinite(c.slack) || c.slack < 0 {
+		return c, fmt.Errorf("degrade: %s: slack must be a finite non-negative duration in seconds, got %g", sp.Name, c.slack)
+	}
+	if c.meet < 1 {
+		return c, fmt.Errorf("degrade: %s: meet must be a positive streak length, got %d", sp.Name, c.meet)
+	}
+	return c, nil
+}
+
+// Register adds a degradation-controller factory under name (lower-cased);
+// duplicates panic — registry names are part of the CLI surface.
+func Register(name string, f func(*policyspec.Spec) (Controller, error)) {
+	controllers.Register(name, f)
+}
+
+// Names returns the registered controller names, sorted ("none" is not a
+// registered controller; Parse maps it to a nil Policy).
+func Names() []string { return controllers.Names() }
+
+// Parse builds a degradation policy from a policyspec string, e.g.
+// "pressure(lo=0.1,hi=0.3)" or "static(budget=0.5,floor=0.4)"; "" and "none"
+// return nil (plane disabled). The common step= and floor= parameters are
+// validated here; everything else belongs to the named controller.
+func Parse(spec string) (*Policy, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" || strings.EqualFold(spec, "none") {
+		return nil, nil
+	}
+	sp, err := policyspec.Parse(spec)
+	if err != nil {
+		return nil, err
+	}
+	step := sp.Float("step", DefaultStep)
+	floor := sp.Float("floor", DefaultFloor)
+	if err := checkRange(sp.Name, "step", step, 0, 1, open); err != nil {
+		return nil, err
+	}
+	if err := checkRange(sp.Name, "floor", floor, 0, 1, openLo); err != nil {
+		return nil, err
+	}
+	f, ok := controllers.Lookup(sp.Name)
+	if !ok {
+		return nil, controllers.Unknown(sp.Name)
+	}
+	c, err := f(sp)
+	if err != nil {
+		return nil, err
+	}
+	return &Policy{Controller: c, Step: step, Floor: floor}, nil
+}
+
+// Interval endpoint openness for checkRange.
+const (
+	closed = iota // [lo, hi]
+	openLo        // (lo, hi]
+	open          // (lo, hi)
+)
+
+// checkRange validates one numeric parameter with a clear per-field error:
+// non-finite values, negatives and out-of-interval values are all named.
+func checkRange(policy, key string, v, lo, hi float64, kind int) error {
+	iv := map[int]string{closed: "[%g,%g]", openLo: "(%g,%g]", open: "(%g,%g)"}[kind]
+	bad := func(why string) error {
+		return fmt.Errorf("degrade: %s: %s must be %s in "+iv+", got %g", policy, key, why, lo, hi, v)
+	}
+	switch {
+	case !isFinite(v):
+		return bad("a finite number")
+	case v < 0:
+		return bad("non-negative")
+	case v < lo || (kind != closed && v == lo):
+		return bad("a value")
+	case v > hi || (kind == open && v == hi):
+		return bad("a value")
+	}
+	return nil
+}
+
+func isFinite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }

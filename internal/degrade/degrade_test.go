@@ -1,0 +1,248 @@
+package degrade
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseNone(t *testing.T) {
+	for _, spec := range []string{"", "none", " NONE "} {
+		p, err := Parse(spec)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", spec, err)
+		}
+		if p != nil {
+			t.Fatalf("Parse(%q) = %v, want nil policy", spec, p)
+		}
+	}
+}
+
+func TestParseDefaults(t *testing.T) {
+	p, err := Parse("pressure")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Step != DefaultStep || p.Floor != DefaultFloor {
+		t.Fatalf("defaults: step=%g floor=%g, want %g/%g", p.Step, p.Floor, DefaultStep, DefaultFloor)
+	}
+	if p.Name() != "pressure" {
+		t.Fatalf("Name() = %q", p.Name())
+	}
+}
+
+func TestParseCommonParams(t *testing.T) {
+	p, err := Parse("static(budget=0.5,step=0.8,floor=0.4)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Step != 0.8 || p.Floor != 0.4 {
+		t.Fatalf("step=%g floor=%g, want 0.8/0.4", p.Step, p.Floor)
+	}
+}
+
+func TestNames(t *testing.T) {
+	want := []string{"deadline", "hybrid", "pressure", "static"}
+	got := Names()
+	if len(got) != len(want) {
+		t.Fatalf("Names() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Names() = %v, want %v", got, want)
+		}
+	}
+}
+
+// TestParseRejects covers the validation-hardening satellite: non-finite,
+// negative and inverted thresholds all fail with a per-field message naming
+// the offending key.
+func TestParseRejects(t *testing.T) {
+	cases := []struct {
+		spec string
+		frag string // required fragment of the error message
+	}{
+		{"static", "budget is required"},
+		{"static(budget=0)", "budget"},
+		{"static(budget=-0.5)", "budget"},
+		{"static(budget=1.5)", "budget"},
+		{"static(budget=NaN)", "budget"},
+		{"static(budget=+Inf)", "budget"},
+		{"static(budget=0.5,step=0)", "step"},
+		{"static(budget=0.5,step=1)", "step"},
+		{"static(budget=0.5,step=-0.7)", "step"},
+		{"static(budget=0.5,step=NaN)", "step"},
+		{"static(budget=0.5,floor=0)", "floor"},
+		{"static(budget=0.5,floor=1.2)", "floor"},
+		{"static(budget=0.5,floor=-1)", "floor"},
+		{"pressure(lo=-0.1)", "lo"},
+		{"pressure(lo=NaN)", "lo"},
+		{"pressure(hi=1.5)", "hi"},
+		{"pressure(hi=Inf)", "hi"},
+		{"pressure(lo=0.3,hi=0.3)", "inverted"},
+		{"pressure(lo=0.5,hi=0.2)", "inverted"},
+		{"pressure(churn=-1)", "churn"},
+		{"pressure(churn=NaN)", "churn"},
+		{"deadline(slack=-0.1)", "slack"},
+		{"deadline(slack=Inf)", "slack"},
+		{"deadline(meet=0)", "meet"},
+		{"hybrid(lo=0.4,hi=0.2)", "inverted"},
+		{"hybrid(slack=NaN)", "slack"},
+		{"pressure(typo=1)", "does not accept"},
+		{"deadline(lo=0.1)", "does not accept"},
+		{"nosuch", "unknown"},
+		{"static(budget=0.5", "parenthesis"},
+	}
+	for _, tc := range cases {
+		_, err := Parse(tc.spec)
+		if err == nil {
+			t.Errorf("Parse(%q): want error containing %q, got nil", tc.spec, tc.frag)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.frag) {
+			t.Errorf("Parse(%q): error %q does not mention %q", tc.spec, err, tc.frag)
+		}
+	}
+}
+
+func TestBudgetQuantization(t *testing.T) {
+	p := &Policy{Step: 0.7, Floor: 0.25}
+	if got := p.Budget(0); got != 1 {
+		t.Fatalf("Budget(0) = %g, want 1", got)
+	}
+	if got := p.Budget(1); got != 0.7 {
+		t.Fatalf("Budget(1) = %g, want 0.7", got)
+	}
+	if got := p.MaxLevel(); got != 4 {
+		t.Fatalf("MaxLevel() = %d, want 4 (0.7^4=0.2401 <= 0.25)", got)
+	}
+	if got := p.Budget(p.MaxLevel()); got != 0.25 {
+		t.Fatalf("Budget(MaxLevel) = %g, want floor 0.25", got)
+	}
+	if got := p.Budget(p.MaxLevel() + 3); got != 0.25 {
+		t.Fatalf("Budget beyond MaxLevel = %g, want floor 0.25", got)
+	}
+}
+
+// TestDecideConverges drives Decide to a fixed point for a sweep of targets
+// and levels: the level must converge monotonically (never reversing
+// direction) and the fixed point never oscillates.
+func TestDecideConverges(t *testing.T) {
+	p := &Policy{Step: 0.7, Floor: 0.25}
+	targets := []float64{0, 0.1, 0.25, 0.3, 0.49, 0.5, 0.7, 0.9, 1}
+	for _, target := range targets {
+		for start := 0; start <= p.MaxLevel(); start++ {
+			level, dir := start, 0
+			for i := 0; i < 2*p.MaxLevel()+4; i++ {
+				d := p.Decide(level, target)
+				if d == 0 {
+					break
+				}
+				if dir != 0 && d != dir {
+					t.Fatalf("target=%g start=%d: direction reversed at level %d", target, start, level)
+				}
+				dir = d
+				level += d
+			}
+			if d := p.Decide(level, target); d != 0 {
+				t.Fatalf("target=%g start=%d: no fixed point (level %d still moves %+d)", target, start, level, d)
+			}
+			if b := p.Budget(level); target <= 1 && b < p.Floor {
+				t.Fatalf("target=%g: converged budget %g below floor", target, b)
+			}
+			// When degrading from above the target, the converged budget
+			// never overshoots below it (except the floor clamp when the
+			// target is below the floor); 1e-9 absorbs math.Pow rounding when
+			// the target sits exactly on a level. Starting below the target
+			// the rule holds rather than crossing, so no claim there.
+			if b := p.Budget(level); p.Budget(start) >= target && b < target-1e-9 && b != p.Floor {
+				t.Fatalf("target=%g start=%d: converged budget %g overshoots", target, start, b)
+			}
+		}
+	}
+}
+
+func TestStaticController(t *testing.T) {
+	p, err := Parse("static(budget=0.5)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Target(Signals{Budget: 1}); got != 0.5 {
+		t.Fatalf("static target = %g, want 0.5", got)
+	}
+	// Quantized convergence: 1 -> 0.7, then hold (0.49 would overshoot 0.5).
+	if d := p.Decide(0, 0.5); d != 1 {
+		t.Fatalf("Decide(0, 0.5) = %+d, want +1", d)
+	}
+	if d := p.Decide(1, 0.5); d != 0 {
+		t.Fatalf("Decide(1, 0.5) = %+d, want 0 (hold at 0.7)", d)
+	}
+}
+
+func TestPressureHysteresis(t *testing.T) {
+	p, err := Parse("pressure(lo=0.1,hi=0.3)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sig := Signals{Budget: 0.7, FreePageFrac: 0.05}
+	if got := p.Target(sig); got != 0 {
+		t.Fatalf("below lo: target = %g, want 0", got)
+	}
+	sig.FreePageFrac = 0.2 // inside the band: hold
+	if got := p.Target(sig); got != sig.Budget {
+		t.Fatalf("in band: target = %g, want hold %g", got, sig.Budget)
+	}
+	sig.FreePageFrac = 0.5
+	if got := p.Target(sig); got != 1 {
+		t.Fatalf("above hi: target = %g, want 1", got)
+	}
+	sig.PagingRate = DefaultChurn + 1 // churn overrides headroom
+	if got := p.Target(sig); got != 0 {
+		t.Fatalf("churning: target = %g, want 0", got)
+	}
+}
+
+func TestDeadlineController(t *testing.T) {
+	p, err := Parse("deadline(slack=0.25,meet=3)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Target(Signals{Budget: 0.7, Slack: -0.05}); got != 0 {
+		t.Fatalf("negative slack: target = %g, want 0", got)
+	}
+	if got := p.Target(Signals{Budget: 0.7, Slack: 0.1, MissStreak: 2}); got != 0 {
+		t.Fatalf("miss streak: target = %g, want 0", got)
+	}
+	if got := p.Target(Signals{Budget: 0.7, Slack: 0.3, MeetStreak: 2}); got != 0.7 {
+		t.Fatalf("short meet streak: target = %g, want hold 0.7", got)
+	}
+	if got := p.Target(Signals{Budget: 0.7, Slack: 0.3, MeetStreak: 3}); got != 1 {
+		t.Fatalf("cleared: target = %g, want 1", got)
+	}
+}
+
+func TestHybridMin(t *testing.T) {
+	p, err := Parse("hybrid")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pressure unhappy, deadline fine: degrade.
+	sig := Signals{Budget: 0.7, FreePageFrac: 0.01, Slack: 1, MeetStreak: 10}
+	if got := p.Target(sig); got != 0 {
+		t.Fatalf("pressure unhappy: target = %g, want 0", got)
+	}
+	// Pressure cleared but deadline missing: still degrade.
+	sig = Signals{Budget: 0.7, FreePageFrac: 0.9, Slack: -1}
+	if got := p.Target(sig); got != 0 {
+		t.Fatalf("deadline unhappy: target = %g, want 0", got)
+	}
+	// One restores, the other holds: hold.
+	sig = Signals{Budget: 0.7, FreePageFrac: 0.9, Slack: 0.1, MeetStreak: 1}
+	if got := p.Target(sig); got != 0.7 {
+		t.Fatalf("partial clear: target = %g, want hold 0.7", got)
+	}
+	// Both clear: restore.
+	sig = Signals{Budget: 0.7, FreePageFrac: 0.9, Slack: 1, MeetStreak: 5}
+	if got := p.Target(sig); got != 1 {
+		t.Fatalf("both clear: target = %g, want 1", got)
+	}
+}

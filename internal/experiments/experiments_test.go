@@ -15,7 +15,7 @@ func TestIDsComplete(t *testing.T) {
 		"fig4a", "fig4b", "fig4c", "fig5", "fig7", "fig13", "fig14", "fig15",
 		"fig16", "fig17", "fig18", "fig19", "fig20", "tab1", "tab2", "tab3",
 		"sweep-thwics", "sweep-thhd", "sweep-nhp", "scale", "multiturn",
-		"fleet", "memory", "slo", "scenarios", "cluster",
+		"fleet", "memory", "slo", "scenarios", "cluster", "pareto",
 	}
 	ids := IDs()
 	got := map[string]bool{}

@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"bytes"
+	"runtime"
+	"testing"
+
+	"vrex/internal/report"
+	"vrex/internal/serve"
+)
+
+// TestParetoDegraderDominatesNone pins the experiment's reason to exist: at
+// the headline operating point (edf + lru) at least one degradation
+// controller strictly beats the undegraded baseline on SLO attainment, and
+// every controller's accuracy proxy stays above its configured floor — the
+// trade is bounded, not a collapse.
+func TestParetoDegraderDominatesNone(t *testing.T) {
+	opts := goldenOptions(true)
+	run := func(deg string) serve.Result {
+		return serve.Run(paretoConfig(opts, "edf", "lru", deg, 12, 2))
+	}
+	base := run("none").Aggregate
+	dominated := false
+	for _, deg := range paretoDegraders[1:] {
+		agg := run(deg).Aggregate
+		if agg.MeanBudget <= 0 {
+			t.Errorf("%s: degradation plane never engaged (MeanBudget %v)", deg, agg.MeanBudget)
+			continue
+		}
+		if agg.AccuracyProxy < 0.5 {
+			t.Errorf("%s: accuracy proxy %v collapsed below 0.5", deg, agg.AccuracyProxy)
+		}
+		if agg.SLOAttained > base.SLOAttained {
+			dominated = true
+		}
+	}
+	if !dominated {
+		t.Fatalf("no degrader beat none on SLO attainment (baseline %v)", base.SLOAttained)
+	}
+}
+
+// TestParetoWorkerInvariance requires the rendered experiment output to be
+// byte-identical at Workers 1, 4 and GOMAXPROCS: parallelism must never leak
+// into the degradation plane's decisions.
+func TestParetoWorkerInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full sweep three times; skipped in -short")
+	}
+	render := func(workers int) []byte {
+		opts := goldenOptions(true)
+		opts.Parallel = workers
+		var buf bytes.Buffer
+		if err := RunMany([]string{"pareto"}, opts, &buf, report.FormatText); err != nil {
+			t.Fatalf("run at %d workers: %v", workers, err)
+		}
+		return buf.Bytes()
+	}
+	ref := render(1)
+	for _, workers := range []int{4, runtime.GOMAXPROCS(0)} {
+		if got := render(workers); !bytes.Equal(got, ref) {
+			t.Fatalf("pareto output at %d workers diverged from workers=1\n--- got ---\n%s\n--- want ---\n%s",
+				workers, got, ref)
+		}
+	}
+}

@@ -104,6 +104,7 @@ var registry = map[string]Runner{
 	"slo":          SLOServing,
 	"scenarios":    ScenarioSuite,
 	"cluster":      ClusterServing,
+	"pareto":       ParetoFrontier,
 }
 
 // IDs returns the registered experiment IDs, sorted.

@@ -66,6 +66,22 @@ func NewSim(dev DeviceSpec, llm LLMSpec, pol PolicyModel) *Sim {
 	return &Sim{Dev: dev, LLM: llm, Pol: pol, VisionCost: &vc}
 }
 
+// Scaled returns a simulator whose retrieval fetch ratios (frame and text)
+// are multiplied by scale — the degradation plane's pricing hook: a session
+// at budget scale b retrieves b times the tokens per chunk, so its steps are
+// priced through Scaled(b). Scale 1 returns the receiver unchanged; other
+// scales return a shallow copy (Sim holds only value fields plus the shared
+// read-only VisionCost pointer, so the copy is safe and cheap).
+func (s *Sim) Scaled(scale float64) *Sim {
+	if scale == 1 {
+		return s
+	}
+	c := *s
+	c.Pol.FrameRatio *= scale
+	c.Pol.TextRatio *= scale
+	return &c
+}
+
 // rooflineTime returns max(flops-bound, bytes-bound) kernel time.
 func (s *Sim) rooflineTime(flops, eff, bytes float64) float64 {
 	t := 0.0

@@ -13,6 +13,19 @@ type StepReq struct {
 	// Stage selects the policy's fetch ratio and, for StageFramePhase, the
 	// vision tower cost.
 	Stage StageKind
+	// RatioScale multiplies the policy's fetch ratio for this stream — the
+	// degradation plane's per-session budget scale (Sim.Scaled for the
+	// single-stream path). 0 means unscaled (1), so the zero value prices
+	// identically to a request without the field.
+	RatioScale float64
+}
+
+// scale resolves RatioScale's zero-means-unscaled convention.
+func (r StepReq) scale() float64 {
+	if r.RatioScale == 0 {
+		return 1
+	}
+	return r.RatioScale
 }
 
 // Step simulates one continuous-batching hardware step over a heterogeneous
@@ -50,7 +63,7 @@ func (s *Sim) Step(reqs []StepReq) Breakdown {
 	}
 	if live == 1 && len(reqs) == 1 {
 		r := reqs[0]
-		return s.Chunk(r.NewTokens, r.KVLen, 1, r.Stage)
+		return s.Scaled(r.scale()).Chunk(r.NewTokens, r.KVLen, 1, r.Stage)
 	}
 
 	// Combined resident footprint: weights once, each stream's working set,
@@ -63,7 +76,7 @@ func (s *Sim) Step(reqs []StepReq) Breakdown {
 		}
 		kvBytes := s.LLM.KVBytesPerToken() * float64(r.KVLen) * s.Pol.quantFactor()
 		if s.Pol.Offloads {
-			resident += kvBytes * s.Pol.FrameRatio * 2 / float64(s.LLM.Layers)
+			resident += kvBytes * s.Pol.FrameRatio * r.scale() * 2 / float64(s.LLM.Layers)
 		} else {
 			resident += kvBytes
 		}
@@ -90,7 +103,7 @@ func (s *Sim) Step(reqs []StepReq) Breakdown {
 		if r.Stage == StageFramePhase {
 			nFrames++
 		}
-		ratio := s.Pol.ratio(r.Stage)
+		ratio := s.Pol.ratio(r.Stage) * r.scale()
 		attended := int(ratio*float64(r.KVLen)+0.5) + n
 
 		// Attention stays per stream: each request reads its own cache.

@@ -129,6 +129,59 @@ func TestStepCombinedOOM(t *testing.T) {
 	}
 }
 
+// TestScaledPricing pins the degradation hook: a scaled simulator fetches
+// fewer tokens so chunks get strictly cheaper, scale 1 is the identity (same
+// pointer, byte-identical costs), and the receiver is never mutated.
+func TestScaledPricing(t *testing.T) {
+	sim := NewSim(VRex8(), Llama3_8B(), ReSVModel())
+	before := *sim
+	full := sim.Chunk(10, 40000, 1, StageFramePhase)
+	if sim.Scaled(1) != sim {
+		t.Fatal("Scaled(1) must return the receiver")
+	}
+	prev := full.Total
+	for _, scale := range []float64{0.7, 0.49, 0.25} {
+		b := sim.Scaled(scale).Chunk(10, 40000, 1, StageFramePhase)
+		if b.Total >= prev {
+			t.Fatalf("scale %g: total %v not below %v", scale, b.Total, prev)
+		}
+		if b.FetchBytes >= full.FetchBytes*scale*1.01 {
+			t.Fatalf("scale %g: fetch bytes %v not scaled from %v", scale, b.FetchBytes, full.FetchBytes)
+		}
+		prev = b.Total
+	}
+	if *sim != before {
+		t.Fatal("Scaled mutated the receiver")
+	}
+}
+
+// TestStepRatioScale pins the zero-value convention and the per-request
+// scaling path: RatioScale 0 prices identically to an unscaled request (both
+// solo and batched), a scaled solo request matches the Scaled Chunk exactly,
+// and scaling one member of a batch makes the step cheaper.
+func TestStepRatioScale(t *testing.T) {
+	sim := NewSim(VRex8(), Llama3_8B(), ReSVModel())
+	req := StepReq{NewTokens: 10, KVLen: 40000, Stage: StageFramePhase}
+	if got, want := sim.Step([]StepReq{req}), sim.Chunk(10, 40000, 1, StageFramePhase); got != want {
+		t.Fatalf("zero RatioScale solo: %+v != %+v", got, want)
+	}
+	scaled := req
+	scaled.RatioScale = 0.5
+	if got, want := sim.Step([]StepReq{scaled}), sim.Scaled(0.5).Chunk(10, 40000, 1, StageFramePhase); got != want {
+		t.Fatalf("scaled solo: %+v != %+v", got, want)
+	}
+	full := sim.Step([]StepReq{req, req})
+	mixed := sim.Step([]StepReq{req, scaled})
+	if mixed.Total >= full.Total {
+		t.Fatalf("degraded member should cheapen the step: %v vs %v", mixed.Total, full.Total)
+	}
+	explicit := req
+	explicit.RatioScale = 1
+	if got := sim.Step([]StepReq{req, explicit}); got != full {
+		t.Fatalf("RatioScale 1 differs from zero value: %+v vs %+v", got, full)
+	}
+}
+
 // TestOOMMatchesChunk: the exported admission check agrees with Chunk's
 // internal one.
 func TestOOMMatchesChunk(t *testing.T) {

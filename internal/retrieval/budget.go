@@ -1,0 +1,56 @@
+package retrieval
+
+// BudgetScaler is the degradation plane's budget override surface: a policy
+// implementing it can have its retrieval budget rescaled mid-session without
+// rebuilding per-session state (HC tables, trackers). ScaleBudget(scale)
+// sets the effective budget to scale times the policy's configured budget —
+// absolute, not cumulative: repeated calls replace the previous scale, and
+// scale 1 restores the configured budget exactly. Scales are expected in
+// (0, 1]; policies clamp rather than reject out-of-range values.
+//
+// FlexGen deliberately does not implement it: it has no selection stage, so
+// there is no budget to shrink (degrading it would change its identity).
+type BudgetScaler interface {
+	ScaleBudget(scale float64)
+}
+
+func clampScale(scale float64) float64 {
+	if scale > 1 {
+		return 1
+	}
+	if scale <= 0 {
+		return 1e-6
+	}
+	return scale
+}
+
+// ScaleBudget implements BudgetScaler: the generation-stage top-k budget
+// shrinks to scale times its configured value (prefill attends everything
+// regardless — that is InfiniGen's defining mismatch).
+func (g *InfiniGen) ScaleBudget(scale float64) {
+	if g.baseText == 0 {
+		g.baseText = g.TextBudget
+	}
+	g.TextBudget = g.baseText * clampScale(scale)
+}
+
+// ScaleBudget implements BudgetScaler for both stage budgets.
+func (g *InfiniGenP) ScaleBudget(scale float64) {
+	if g.baseFrame == 0 {
+		g.baseFrame, g.baseText = g.FrameBudget, g.TextBudget
+	}
+	s := clampScale(scale)
+	g.FrameBudget = g.baseFrame * s
+	g.TextBudget = g.baseText * s
+}
+
+// ScaleBudget implements BudgetScaler for both stage budgets (selection
+// granularity — FrameSize — is untouched; fewer whole frames are fetched).
+func (r *ReKV) ScaleBudget(scale float64) {
+	if r.baseFrame == 0 {
+		r.baseFrame, r.baseText = r.FrameBudget, r.TextBudget
+	}
+	s := clampScale(scale)
+	r.FrameBudget = r.baseFrame * s
+	r.TextBudget = r.baseText * s
+}

@@ -1,0 +1,89 @@
+package retrieval
+
+import (
+	"testing"
+
+	"vrex/internal/core"
+	"vrex/internal/model"
+)
+
+// The budget override surface: every selecting policy implements it; FlexGen
+// (no selection stage) deliberately does not.
+var (
+	_ BudgetScaler = (*InfiniGen)(nil)
+	_ BudgetScaler = (*InfiniGenP)(nil)
+	_ BudgetScaler = (*ReKV)(nil)
+	_ BudgetScaler = (*core.ReSV)(nil)
+)
+
+// TestScaleBudgetAbsolute pins the absolute (replace, not compound)
+// semantics: two calls with the same scale are idempotent, and scale 1
+// restores the configured budgets exactly.
+func TestScaleBudgetAbsolute(t *testing.T) {
+	cfg := model.DefaultConfig()
+	g := NewInfiniGenP(cfg, 0.5, 0.068)
+	g.ScaleBudget(0.5)
+	if g.FrameBudget != 0.25 || g.TextBudget != 0.034 {
+		t.Fatalf("after ScaleBudget(0.5): frame=%g text=%g", g.FrameBudget, g.TextBudget)
+	}
+	g.ScaleBudget(0.5) // absolute: no compounding
+	if g.FrameBudget != 0.25 {
+		t.Fatalf("repeated scale compounded: frame=%g", g.FrameBudget)
+	}
+	g.ScaleBudget(1)
+	if g.FrameBudget != 0.5 || g.TextBudget != 0.068 {
+		t.Fatalf("scale 1 did not restore: frame=%g text=%g", g.FrameBudget, g.TextBudget)
+	}
+
+	r := NewReKV(cfg, 10, 0.584, 0.312)
+	r.ScaleBudget(0.25)
+	if r.FrameBudget != 0.584*0.25 || r.TextBudget != 0.312*0.25 {
+		t.Fatalf("ReKV scaled: frame=%g text=%g", r.FrameBudget, r.TextBudget)
+	}
+	r.ScaleBudget(-3) // clamps, never zeroes or inverts
+	if r.FrameBudget <= 0 || r.FrameBudget > 0.584 {
+		t.Fatalf("ReKV clamp: frame=%g", r.FrameBudget)
+	}
+
+	ig := NewInfiniGen(cfg, 0.068)
+	ig.ScaleBudget(0.5)
+	if ig.TextBudget != 0.034 {
+		t.Fatalf("InfiniGen scaled: text=%g", ig.TextBudget)
+	}
+	ig.ScaleBudget(1)
+	if ig.TextBudget != 0.068 {
+		t.Fatalf("InfiniGen restore: text=%g", ig.TextBudget)
+	}
+}
+
+// TestScaleBudgetReSVSelection exercises ReSV end to end: a scaled-down
+// WiCSum threshold selects no more tokens than the configured one on the
+// same stream, and Reset restores the configured threshold.
+func TestScaleBudgetReSVSelection(t *testing.T) {
+	run := func(scale float64) int64 {
+		r := core.New(model.DefaultConfig(), core.DefaultConfig())
+		if scale != 1 {
+			r.ScaleBudget(scale)
+		}
+		setup(t, r, 6, 10)
+		return r.Stats().Frame.SelectedTokens
+	}
+	full := run(1)
+	half := run(0.3)
+	if full == 0 {
+		t.Fatal("full run selected nothing; test stream too short")
+	}
+	if half > full {
+		t.Fatalf("scaled selection larger than full: %d > %d", half, full)
+	}
+
+	// Reset restores the configured threshold: a scaled-then-reset instance
+	// selects exactly like a fresh one.
+	r := core.New(model.DefaultConfig(), core.DefaultConfig())
+	r.ScaleBudget(0.3)
+	r.Reset()
+	setup(t, r, 6, 10)
+	if got := r.Stats().Frame.SelectedTokens; got != full {
+		t.Fatalf("reset instance selected %d tokens, fresh selected %d", got, full)
+	}
+}

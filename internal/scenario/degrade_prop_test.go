@@ -1,0 +1,143 @@
+package scenario
+
+import (
+	"fmt"
+	"testing"
+
+	"vrex/internal/degrade"
+	"vrex/internal/serve"
+)
+
+// degradeBase is the pressured load shape the adversarial property tests
+// mutate: a flash crowd of long-context sessions over a pool two sessions
+// deep, with the hybrid controller armed.
+const degradeBase = `scenario degrade-prop
+duration 16
+seed 3
+streams 2
+balancer kv-pressure
+scheduler edf
+batch-max 4
+slo-ms 700
+kv-capacity 6
+spill spill(evict=lru,pages=4)
+degrade hybrid(lo=0.15,hi=0.4)
+arrivals flash(rate=0.25,at=6,dur=6,mult=4)
+lifetime exp(mean=8)
+class longctx(weight=0.6,slo-ms=600)
+class 2fps(weight=0.4,slo-ms=900)
+`
+
+// TestAdversarialDegradeBudgetProperties drives the degradation plane with
+// adversarially searched load shapes and checks the properties that hold for
+// ANY workload: every budget step stays within [floor, 1], degrade steps
+// shrink and restore steps grow the budget, per-session budget trajectories
+// reconstruct exactly from the event stream, and once pressure has cleared
+// for good the tail of each session's trajectory restores monotonically.
+func TestAdversarialDegradeBudgetProperties(t *testing.T) {
+	base, err := Parse("degrade-prop", []byte(degradeBase))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol, err := degrade.Parse(base.Degrade)
+	if err != nil {
+		t.Fatal(err)
+	}
+	floor := pol.Floor
+	seeds := []uint64{1, 9}
+	rounds := 6
+	if testing.Short() {
+		seeds, rounds = seeds[:1], 3
+	}
+	for _, seed := range seeds {
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			res, err := Search(base, SearchOptions{Rounds: rounds, Seed: seed, Workers: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg, err := res.Scenario.Config()
+			if err != nil {
+				t.Fatal(err)
+			}
+			type step struct {
+				kind          serve.EventKind
+				before, after float64
+			}
+			trace := map[int][]step{}
+			cfg.Observer = serve.ObserverFunc(func(e serve.Event) {
+				if e.Kind == serve.EventDegraded || e.Kind == serve.EventRestored {
+					trace[e.Session] = append(trace[e.Session], step{e.Kind, e.BudgetBefore, e.BudgetAfter})
+				}
+			})
+			out := serve.Run(cfg)
+			if len(trace) == 0 {
+				t.Fatal("adversarial run never engaged the degradation plane; the properties below would be vacuous")
+			}
+			const eps = 1e-9
+			for s, steps := range trace {
+				cur := 1.0
+				lastDegrade := -1
+				for i, st := range steps {
+					if st.before < floor-eps || st.before > 1+eps || st.after < floor-eps || st.after > 1+eps {
+						t.Fatalf("session %d step %d: budget %v -> %v escapes [%v, 1]", s, i, st.before, st.after, floor)
+					}
+					if st.before != cur {
+						t.Fatalf("session %d step %d: BudgetBefore %v, trajectory says %v", s, i, st.before, cur)
+					}
+					if st.kind == serve.EventDegraded {
+						if st.after >= st.before {
+							t.Fatalf("session %d step %d: degrade did not shrink budget (%v -> %v)", s, i, st.before, st.after)
+						}
+						lastDegrade = i
+					} else if st.after <= st.before {
+						t.Fatalf("session %d step %d: restore did not grow budget (%v -> %v)", s, i, st.before, st.after)
+					}
+					cur = st.after
+				}
+				// Once the final degrade has happened, pressure has cleared
+				// for good: the tail must restore strictly monotonically.
+				for i := lastDegrade + 2; i < len(steps); i++ {
+					if steps[i].after <= steps[i-1].after {
+						t.Fatalf("session %d: post-pressure restores not monotone at step %d (%v then %v)",
+							s, i, steps[i-1].after, steps[i].after)
+					}
+				}
+			}
+			for s, m := range out.PerStream {
+				if m.MeanBudget != 0 && (m.MeanBudget < floor-eps || m.MeanBudget > 1+eps) {
+					t.Fatalf("session %d: MeanBudget %v escapes [%v, 1]", s, m.MeanBudget, floor)
+				}
+			}
+		})
+	}
+}
+
+// TestAdversarialPressureNeedsPressure pins the headroom property: with the
+// KV plane disabled every device reports full free-page headroom (far above
+// any hi threshold), so a pressure controller must never degrade a session,
+// no matter how hostile the searched load shape is.
+func TestAdversarialPressureNeedsPressure(t *testing.T) {
+	base, err := Parse("degrade-prop", []byte(degradeBase))
+	if err != nil {
+		t.Fatal(err)
+	}
+	base.Degrade = "pressure(lo=0.1,hi=0.3)"
+	base.KVCapacity = "0" // no pool: FreePageFrac pins at 1 > hi
+	base.Spill = "none"
+	base.Balancer = "round-robin"
+	res, err := Search(base, SearchOptions{Rounds: 3, Seed: 5, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := res.Scenario.Config()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := serve.Run(cfg)
+	if n := out.Aggregate.Degradations; n != 0 {
+		t.Fatalf("pressure controller degraded %d times with no KV pressure", n)
+	}
+	if out.Aggregate.MeanBudget != 1 {
+		t.Fatalf("MeanBudget = %v, want exactly 1 with an idle degradation plane", out.Aggregate.MeanBudget)
+	}
+}

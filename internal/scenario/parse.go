@@ -133,6 +133,13 @@ func (s *Scenario) setKey(key, v string) error {
 		s.Spill = strings.ToLower(v)
 	case "page-tokens":
 		s.PageTokens, err = parseI(key, v)
+	case "degrade":
+		// "none" is the zero value: canonicalize it away so Marshal stays a
+		// fixed point (the line is omitted when the plane is disabled).
+		s.Degrade = strings.ToLower(v)
+		if s.Degrade == "none" {
+			s.Degrade = ""
+		}
 	case "nodes":
 		// Canonicalize at parse time so Marshal's "nodes" line is a fixed
 		// point regardless of input spacing / implicit device counts.
@@ -164,7 +171,7 @@ func (s *Scenario) setKey(key, v string) error {
 	case "trace":
 		err = s.addTrace(v)
 	default:
-		err = fmt.Errorf("unknown key %q (known: scenario, duration, seed, streams, devices, device, policy, balancer, scheduler, batch-max, slo-ms, drop, kv-capacity, spill, page-tokens, nodes, router, autoscale, initial-nodes, rebalance-moves, rebalance-slack, fault, arrivals, lifetime, class, trace)", key)
+		err = fmt.Errorf("unknown key %q (known: scenario, duration, seed, streams, devices, device, policy, balancer, scheduler, batch-max, slo-ms, drop, kv-capacity, spill, page-tokens, degrade, nodes, router, autoscale, initial-nodes, rebalance-moves, rebalance-slack, fault, arrivals, lifetime, class, trace)", key)
 	}
 	return err
 }
@@ -313,6 +320,9 @@ func (s *Scenario) Marshal() []byte {
 	w("spill", s.Spill)
 	if s.PageTokens != 0 {
 		w("page-tokens", strconv.Itoa(s.PageTokens))
+	}
+	if s.Degrade != "" {
+		w("degrade", s.Degrade)
 	}
 	if s.Nodes != "" {
 		w("nodes", s.Nodes)

@@ -27,6 +27,7 @@ import (
 	"strings"
 
 	"vrex/internal/cluster"
+	"vrex/internal/degrade"
 	"vrex/internal/hwsim"
 	"vrex/internal/kvpool"
 	"vrex/internal/mathx"
@@ -111,9 +112,13 @@ type Scenario struct {
 	KVCapacity string
 	Spill      string
 	PageTokens int
-	Arrival    ArrivalSpec
-	Lifetime   LifetimeSpec
-	Classes    []ClassSpec
+	// Degrade is the graceful-degradation controller spec (""/"none"
+	// disables; see internal/degrade: static, pressure, deadline, hybrid),
+	// mirroring -degrade.
+	Degrade  string
+	Arrival  ArrivalSpec
+	Lifetime LifetimeSpec
+	Classes  []ClassSpec
 	// Trace is the recorded per-session arrival trace replayed when
 	// Arrival.Kind is "trace".
 	Trace []workload.TraceEvent
@@ -253,6 +258,9 @@ func (s *Scenario) Validate() error {
 	}
 	if capacity == 0 && (s.PageTokens != 0 || spill.Evict != nil) {
 		return fmt.Errorf("scenario %s: spill and page-tokens need the memory-pressure plane: set kv-capacity", s.Name)
+	}
+	if _, err := degrade.Parse(s.Degrade); err != nil {
+		return fmt.Errorf("scenario %s: %v", s.Name, err)
 	}
 	if err := s.validateCluster(); err != nil {
 		return err
@@ -557,6 +565,13 @@ func (s *Scenario) Config() (serve.Config, error) {
 	}
 	if sched != nil {
 		cfg.Scheduler = serve.SchedulerConfig{Policy: sched, BatchMax: s.BatchMax, SLO: s.SLOms / 1000}
+	}
+	dp, err := degrade.Parse(s.Degrade)
+	if err != nil {
+		return serve.Config{}, err
+	}
+	if dp != nil {
+		cfg.Degrade = serve.DegradeConfig{Policy: dp.Controller, Step: dp.Step, Floor: dp.Floor}
 	}
 	return cfg, nil
 }

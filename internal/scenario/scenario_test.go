@@ -29,6 +29,7 @@ slo-ms 700
 drop 6
 kv-capacity 8
 spill spill(evict=lru,pages=4)
+degrade hybrid(lo=0.15,hi=0.4,step=0.8)
 arrivals diurnal(rate=0.8,amp=0.9,period=12,phase=3)
 lifetime pareto(shape=1.3,scale=4)
 class 2fps(weight=0.7,slo-ms=500)
@@ -118,6 +119,16 @@ func TestParseErrors(t *testing.T) {
 		{"initial without autoscale", "nodes vrex8:1,vrex8:1\ninitial-nodes 1\n", "autoscale"},
 		{"initial out of range", "nodes vrex8:1,vrex8:1\nautoscale queue\ninitial-nodes 5\n", "out of range"},
 		{"slack without moves", "nodes vrex8:2\nrebalance-slack 2\n", "rebalance-moves"},
+		{"unknown degrader", "degrade warp\n", "unknown controller"},
+		{"degrade typo param", "degrade pressure(low=0.1)\n", "low"},
+		{"degrade nan threshold", "degrade pressure(lo=nan)\n", "lo"},
+		{"degrade negative threshold", "degrade pressure(lo=-0.1)\n", "lo"},
+		{"degrade inverted thresholds", "degrade pressure(lo=0.5,hi=0.2)\n", "inverted"},
+		{"degrade static without budget", "degrade static\n", "budget is required"},
+		{"degrade budget above one", "degrade static(budget=1.5)\n", "budget"},
+		{"degrade bad step", "degrade hybrid(step=1.2)\n", "step"},
+		{"degrade bad floor", "degrade deadline(floor=0)\n", "floor"},
+		{"degrade negative slack", "degrade deadline(slack=-inf)\n", "slack"},
 	} {
 		if _, err := Parse(tc.name, []byte(tc.src)); err == nil || !strings.Contains(err.Error(), tc.want) {
 			t.Errorf("%s: error %v, want substring %q", tc.name, err, tc.want)
@@ -233,6 +244,9 @@ func TestConfigResolvesFullSurface(t *testing.T) {
 	}
 	if cfg.Churn.Arrivals == nil || cfg.Churn.Class == nil || cfg.Churn.Lifetime == nil {
 		t.Fatal("time-varying scenario must compile arrival, class and lifetime hooks")
+	}
+	if cfg.Degrade.Policy == nil || cfg.Degrade.Policy.Name() != "hybrid" || cfg.Degrade.Step != 0.8 {
+		t.Fatalf("degrade plane not compiled: %+v", cfg.Degrade)
 	}
 	if cfg.Classes[0].SLO != 0.5 || cfg.Classes[0].Priority != 0 || cfg.Classes[1].Priority != 0 {
 		t.Fatalf("class surface: %+v", cfg.Classes)

@@ -23,6 +23,9 @@ type DeviceState struct {
 	// the memory-pressure plane is enabled (both zero otherwise): free and
 	// total pages of the device's kvpool.
 	FreePages, CapacityPages int
+	// DegradedSessions counts resident sessions currently running below full
+	// retrieval budget (always zero with the degradation plane disabled).
+	DegradedSessions int
 	// Down marks a device the control plane took out of service (drain or
 	// failure injection). Balancers never see down devices: placement runs
 	// over a filtered view that preserves Index. Always false without a

@@ -235,6 +235,12 @@ func (e *engine) migrateSession(s, dst int, at float64, lossy bool) {
 	if held {
 		e.devs[src].ResidentKV -= e.kv[s]
 	}
+	if e.deg != nil && e.deg.level[s] > 0 {
+		// The session keeps its degradation level across the move; the
+		// resident-degraded count follows it to the destination.
+		e.devs[src].DegradedSessions--
+		e.devs[dst].DegradedSessions++
+	}
 	if e.plane != nil {
 		switch e.plane.state[s] {
 		case sessAdmitted:

@@ -48,6 +48,13 @@ const (
 	// length, and Latency the total seconds the move occupied device
 	// timelines (0 for a lossy failure re-placement).
 	EventSessionMigrated
+	// EventDegraded: the degradation plane shrank the session's retrieval
+	// budget by one quantized step; BudgetBefore / BudgetAfter carry the
+	// budget scales around the step.
+	EventDegraded
+	// EventRestored: the degradation plane restored one quantized step of
+	// the session's retrieval budget (pressure cleared with hysteresis).
+	EventRestored
 )
 
 // String names the kind for logs and traces.
@@ -81,6 +88,10 @@ func (k EventKind) String() string {
 		return "device-up"
 	case EventSessionMigrated:
 		return "session-migrated"
+	case EventDegraded:
+		return "degraded"
+	case EventRestored:
+		return "restored"
 	}
 	return "unknown"
 }
@@ -112,6 +123,9 @@ type Event struct {
 	// Batch is the number of co-scheduled items for EventBatchFormed
 	// (1 for a solo query step), 0 for every other kind.
 	Batch int
+	// BudgetBefore / BudgetAfter are the session's retrieval budget scales
+	// around an EventDegraded / EventRestored step, 0 for every other kind.
+	BudgetBefore, BudgetAfter float64
 }
 
 // latencyNone is the Event.Latency sentinel for events that carry no

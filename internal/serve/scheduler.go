@@ -399,10 +399,16 @@ func (r *schedRun) serveFrames(d int, members []batchMember, at float64) {
 	reqs := r.reqs[:0]
 	for _, mb := range members {
 		sc := e.classes[e.sessions[mb.it.session].class].Stream
-		reqs = append(reqs, hwsim.StepReq{
+		req := hwsim.StepReq{
 			NewTokens: sc.TokensPerFrame, KVLen: e.kv[mb.it.session],
 			Stage: hwsim.StageFramePhase,
-		})
+		}
+		if e.deg != nil {
+			// Per-member budget scale: degraded members cheapen the coalesced
+			// step (and the serial OOM fallback below inherits it per request).
+			req.RatioScale = e.budgetOf(mb.it.session)
+		}
+		reqs = append(reqs, req)
 		paging += mb.paging
 	}
 	b := e.sims[d].Step(reqs)

@@ -144,6 +144,12 @@ type Config struct {
 	// zero value disables it and Run reduces exactly to the serial
 	// arrival-order batch-1 timeline.
 	Scheduler SchedulerConfig
+	// Degrade enables the accuracy-aware graceful-degradation plane: a
+	// controller shrinks KV-pressured or deadline-missing sessions' retrieval
+	// budgets in bounded quantized steps and restores them with hysteresis
+	// (see DegradeConfig). The zero value disables it and Run reduces exactly
+	// to the undegraded engine.
+	Degrade DegradeConfig
 	// Devices is the fleet size; 0 or 1 simulates a single device.
 	Devices int
 	// Balancer places each arriving session on a device; nil defaults to
@@ -210,6 +216,14 @@ type StreamMetrics struct {
 	P50, P99 float64
 	// FinalKV is the session's KV length at the end.
 	FinalKV int
+	// Degradation-plane accounting, all zero with Config.Degrade disabled:
+	// budget steps taken in each direction, the mean retrieval budget scale
+	// across served frames and queries, and the mean accuracy-proxy
+	// retention at those budgets (1 when never degraded).
+	Degradations  int
+	Restorations  int
+	MeanBudget    float64
+	AccuracyProxy float64
 }
 
 // ClassMetrics aggregates the sessions of one stream class (or, for
@@ -244,6 +258,14 @@ type ClassMetrics struct {
 	DropRate float64
 	// RealTimeSessions counts sessions that served >= 95% of their frames.
 	RealTimeSessions int
+	// Degradation-plane accounting, all zero with Config.Degrade disabled:
+	// budget steps across the class's sessions, plus the served-work-weighted
+	// mean budget scale and accuracy-proxy retention (sessions that served
+	// nothing carry no weight).
+	Degradations  int
+	Restorations  int
+	MeanBudget    float64
+	AccuracyProxy float64
 }
 
 // DeviceMetrics summarises one fleet member.
@@ -279,6 +301,9 @@ type DeviceMetrics struct {
 	// its timeline (this device's leg only).
 	MigrationsIn, MigrationsOut int
 	MigrationTime               float64
+	// Degradation-plane counters, zero with Config.Degrade disabled: budget
+	// steps taken by sessions while resident on this device.
+	Degradations, Restorations int
 }
 
 // Result is a serving run's outcome.
@@ -533,6 +558,15 @@ func validate(cfg Config, classes []StreamClass) {
 	if cfg.Control.Interval < 0 || math.IsNaN(cfg.Control.Interval) {
 		panic(fmt.Sprintf("serve: negative control interval %v", cfg.Control.Interval))
 	}
+	if cfg.Degrade.enabled() {
+		// `!(x > 0 && ...)` also catches NaN.
+		if s := cfg.Degrade.Step; s != 0 && !(s > 0 && s < 1) {
+			panic(fmt.Sprintf("serve: degrade step %v must be in (0, 1) or 0 for the default", s))
+		}
+		if f := cfg.Degrade.Floor; f != 0 && !(f > 0 && f <= 1) {
+			panic(fmt.Sprintf("serve: degrade floor %v must be in (0, 1] or 0 for the default", f))
+		}
+	}
 }
 
 // Run executes the serving simulation.
@@ -646,6 +680,7 @@ func Run(cfg Config) Result {
 			e.devs[d].FreePages = e.devs[d].CapacityPages
 		}
 	}
+	e.deg = newDegradePlane(cfg, len(sessions), nDev)
 
 	if cfg.Scheduler.enabled() {
 		e.runScheduled(&events)
@@ -695,6 +730,11 @@ func Run(cfg Config) Result {
 			m.P50 = mathx.Percentile(latencies[s], 50)
 			m.P99 = mathx.Percentile(latencies[s], 99)
 		}
+		if e.deg != nil && e.deg.servedN[s] > 0 {
+			n := float64(e.deg.servedN[s])
+			m.MeanBudget = e.deg.budgetSum[s] / n
+			m.AccuracyProxy = e.deg.retainSum[s] / n
+		}
 	})
 	for s := range metrics {
 		m := &metrics[s]
@@ -736,6 +776,9 @@ type engine struct {
 	// else SchedulerConfig.SLO, else one frame interval).
 	slo   []float64
 	plane *kvPlane
+	// deg is the degradation plane's run state (nil with Config.Degrade
+	// disabled — every pricing path then uses the unscaled sims).
+	deg *degradePlane
 
 	// Control-plane state, all idle without a controller: alive marks
 	// sessions between their start and end events, resident marks sessions
@@ -886,6 +929,9 @@ func (e *engine) releaseSession(s int, at float64) {
 	if e.plane != nil {
 		e.plane.state[s] = sessGone
 	}
+	if e.deg != nil && e.deg.level[s] > 0 {
+		e.devs[d].DegradedSessions--
+	}
 	e.resident[s] = false
 }
 
@@ -902,6 +948,7 @@ func (e *engine) served(s, d int, at, wait, lat float64, frame bool) {
 		e.metrics[s].DeadlineMisses++
 		e.observe(EventDeadlineMissed, at, s, lat)
 	}
+	e.degradeServed(s, lat, frame)
 }
 
 // runSerial is the original batch-1 timeline: every arrival is charged to
@@ -966,7 +1013,7 @@ func (e *engine) runSerial(events *eventHeap) {
 			if !ok {
 				continue
 			}
-			b := e.sims[sess.device].FrameLatency(sc.TokensPerFrame, e.kv[ev.session], 1)
+			b := e.simFor(sess.device, ev.session).FrameLatency(sc.TokensPerFrame, e.kv[ev.session], 1)
 			dev.Free = start + paging + b.Total
 			dev.Busy += paging + b.Total
 			e.kv[ev.session] += sc.TokensPerFrame
@@ -994,6 +1041,7 @@ func (e *engine) runSerial(events *eventHeap) {
 // scheduled and serial timelines can never drift apart on the drop/OOM/page
 // rules.
 func (e *engine) admitFrameAt(s, d int, arrival, start float64) (paging float64, ok bool) {
+	e.degradeDecide(s, d, arrival)
 	sc := e.classes[e.sessions[s].class].Stream
 	drop := func() {
 		e.metrics[s].FramesDropped++
@@ -1003,7 +1051,7 @@ func (e *engine) admitFrameAt(s, d int, arrival, start float64) (paging float64,
 		drop()
 		return 0, false
 	}
-	if e.sims[d].OOM(e.kv[s], 1) {
+	if e.simFor(d, s).OOM(e.kv[s], 1) {
 		drop()
 		return 0, false
 	}
@@ -1029,6 +1077,7 @@ func (e *engine) admitFrameAt(s, d int, arrival, start float64) (paging float64,
 // (false when the memory-pressure plane could not allocate the KV growth —
 // the query drops).
 func (e *engine) serveQueryAt(s, d int, arrival, start float64) (total float64, ok bool) {
+	e.degradeDecide(s, d, arrival)
 	sc := e.classes[e.sessions[s].class].Stream
 	m := &e.metrics[s]
 	paging := 0.0
@@ -1044,11 +1093,12 @@ func (e *engine) serveQueryAt(s, d int, arrival, start float64) (total float64, 
 		paging = growSpill + pageIn + pageOut
 	}
 	dev := &e.devs[d]
-	q := e.sims[d].Chunk(sc.QueryTokens, e.kv[s], 1, hwsim.StageTextPhase)
+	sim := e.simFor(d, s)
+	q := sim.Chunk(sc.QueryTokens, e.kv[s], 1, hwsim.StageTextPhase)
 	total = q.Total
 	e.kv[s] += sc.QueryTokens
 	for i := 0; i < sc.AnswerTokens; i++ {
-		total += e.sims[d].TPOT(e.kv[s], 1).Total
+		total += sim.TPOT(e.kv[s], 1).Total
 		e.kv[s]++
 	}
 	dev.Free = start + paging + total
@@ -1084,6 +1134,12 @@ func reduceClasses(classes []StreamClass, sessions []session, metrics []StreamMe
 	var aggPool, aggWait []float64
 	var aggFPS float64
 	fps := make([]float64, len(classes))
+	// Served-work-weighted budget/proxy accumulators per class plus the
+	// aggregate (index len(classes)); weight is served frames + queries, so a
+	// session's budget only counts while it actually served at it.
+	budgetW := make([]float64, len(classes)+1)
+	budgetSum := make([]float64, len(classes)+1)
+	proxySum := make([]float64, len(classes)+1)
 	for s, m := range metrics {
 		c := sessions[s].class
 		cm := &perClass[c]
@@ -1094,6 +1150,15 @@ func reduceClasses(classes []StreamClass, sessions []session, metrics []StreamMe
 		cm.QueriesServed += m.QueriesServed
 		cm.QueriesDropped += m.QueriesDropped
 		cm.DeadlineMisses += m.DeadlineMisses
+		cm.Degradations += m.Degradations
+		cm.Restorations += m.Restorations
+		if w := float64(m.FramesServed + m.QueriesServed); m.MeanBudget > 0 && w > 0 {
+			for _, i := range [2]int{c, len(classes)} {
+				budgetW[i] += w
+				budgetSum[i] += m.MeanBudget * w
+				proxySum[i] += m.AccuracyProxy * w
+			}
+		}
 		fps[c] += m.AchievedFPS
 		if m.FramesArrived > 0 && float64(m.FramesServed) >= 0.95*float64(m.FramesArrived) {
 			cm.RealTimeSessions++
@@ -1128,6 +1193,10 @@ func reduceClasses(classes []StreamClass, sessions []session, metrics []StreamMe
 	}
 	for c := range perClass {
 		finish(&perClass[c], pooled[c], pooledWait[c], fps[c])
+		if budgetW[c] > 0 {
+			perClass[c].MeanBudget = budgetSum[c] / budgetW[c]
+			perClass[c].AccuracyProxy = proxySum[c] / budgetW[c]
+		}
 		agg.Sessions += perClass[c].Sessions
 		agg.FramesArrived += perClass[c].FramesArrived
 		agg.FramesServed += perClass[c].FramesServed
@@ -1136,8 +1205,14 @@ func reduceClasses(classes []StreamClass, sessions []session, metrics []StreamMe
 		agg.QueriesDropped += perClass[c].QueriesDropped
 		agg.DeadlineMisses += perClass[c].DeadlineMisses
 		agg.RealTimeSessions += perClass[c].RealTimeSessions
+		agg.Degradations += perClass[c].Degradations
+		agg.Restorations += perClass[c].Restorations
 	}
 	finish(&agg, aggPool, aggWait, aggFPS)
+	if w := budgetW[len(classes)]; w > 0 {
+		agg.MeanBudget = budgetSum[len(classes)] / w
+		agg.AccuracyProxy = proxySum[len(classes)] / w
+	}
 	return perClass, agg
 }
 

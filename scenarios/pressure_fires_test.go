@@ -1,0 +1,36 @@
+package scenarios
+
+import (
+	"testing"
+
+	"vrex/internal/scenario"
+	"vrex/internal/serve"
+)
+
+// TestPressureForcesDegradation pins the committed pressure scenario's
+// purpose: its flash crowd must actually drive the degradation plane (budget
+// steps fire) rather than merely declaring a degrade line.
+func TestPressureForcesDegradation(t *testing.T) {
+	src, err := Source("pressure.vrex")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := scenario.Parse("pressure.vrex", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := s.Config()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if testing.Short() {
+		cfg.Duration = 24 // past the flash window at t=15
+	}
+	res := serve.Run(cfg)
+	if res.Aggregate.Degradations == 0 {
+		t.Fatal("pressure scenario never engaged the degradation plane")
+	}
+	if res.Aggregate.MeanBudget <= 0 || res.Aggregate.MeanBudget >= 1 {
+		t.Fatalf("MeanBudget = %v, want in (0, 1)", res.Aggregate.MeanBudget)
+	}
+}

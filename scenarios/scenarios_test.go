@@ -51,6 +51,7 @@ func TestSuiteCoversShapes(t *testing.T) {
 	arrivals := map[string]bool{}
 	lifetimes := map[string]bool{}
 	bursts := false
+	degrades := false
 	for _, name := range Names() {
 		src, _ := Source(name)
 		s, err := scenario.Parse(name, src)
@@ -59,6 +60,7 @@ func TestSuiteCoversShapes(t *testing.T) {
 		}
 		arrivals[s.Arrival.Kind] = true
 		lifetimes[s.Lifetime.Kind] = true
+		degrades = degrades || s.Degrade != ""
 		for _, c := range s.Classes {
 			bursts = bursts || c.Burst != nil
 		}
@@ -75,6 +77,9 @@ func TestSuiteCoversShapes(t *testing.T) {
 	}
 	if !bursts {
 		t.Error("suite lacks a correlated class burst scenario")
+	}
+	if !degrades {
+		t.Error("suite lacks a degradation-plane scenario")
 	}
 }
 
