@@ -10,7 +10,7 @@ GO ?= go
 # frozen baselines — capture to a scratch name and compare against them,
 # don't overwrite them.)
 BENCH_OUT ?= bench-perf.json
-OLD ?= BENCH_PR8.json
+OLD ?= BENCH_PR9.json
 NEW ?= bench-perf.json
 TOL ?=
 

@@ -12,10 +12,13 @@ import (
 	"vrex/internal/experiments"
 	"vrex/internal/hashbit"
 	"vrex/internal/hwsim"
+	"vrex/internal/kvpool"
 	"vrex/internal/mathx"
 	"vrex/internal/model"
 	"vrex/internal/parallel"
 	"vrex/internal/report"
+	"vrex/internal/serve"
+	"vrex/internal/telemetry"
 	"vrex/internal/tensor"
 	"vrex/internal/wicsum"
 	"vrex/internal/workload"
@@ -81,6 +84,77 @@ func BenchmarkPareto(b *testing.B)          { benchExperiment(b, "pareto") }
 func BenchmarkTable1Hardware(b *testing.B)  { benchExperiment(b, "tab1") }
 func BenchmarkTable2Accuracy(b *testing.B)  { benchExperiment(b, "tab2") }
 func BenchmarkTable3AreaPower(b *testing.B) { benchExperiment(b, "tab3") }
+
+// BenchmarkTelemetry drives the observability plane end to end through the
+// telemetry experiment (cluster drain scenario with a collector attached,
+// span reconstruction, Chrome trace and Prometheus exports).
+func BenchmarkTelemetry(b *testing.B) { benchExperiment(b, "telemetry") }
+
+// telemetryBenchConfig is the serving run BenchmarkTelemetryOverhead prices:
+// scheduler + KV pressure so the hot paths with telemetry hooks (frame
+// service, paging, batching) all execute.
+func telemetryBenchConfig() serve.Config {
+	sched, err := serve.ParseScheduler("edf")
+	if err != nil {
+		panic(err)
+	}
+	sp, err := kvpool.ParseSpill("spill(evict=lru,pages=8)")
+	if err != nil {
+		panic(err)
+	}
+	classes, err := serve.ParseMix("2fps:0.7,4fps:0.3")
+	if err != nil {
+		panic(err)
+	}
+	for i := range classes {
+		classes[i].Stream.StartKV = 8000
+	}
+	return serve.Config{
+		Dev: hwsim.VRex8(), Pol: hwsim.ReSVModel(),
+		Streams: 8, Duration: 10, Classes: classes, Devices: 2,
+		KV:            serve.KVConfig{Capacity: 35 * 256 * 131072, Spill: sp},
+		Scheduler:     serve.SchedulerConfig{Policy: sched, BatchMax: 4},
+		DropThreshold: 4, Seed: 7,
+	}
+}
+
+// BenchmarkTelemetryOverhead isolates the cost of the telemetry hooks at both
+// levels. step/* prices the hot simulation path (hwsim.Chunk) with phase
+// attribution detached vs attached — the nil check is free and the attached
+// accumulation is a handful of float adds, ≤1% of a step. run/* prices a whole
+// serving run with the plane disabled vs a full collector + profile attached;
+// the delta there is event buffering, the price of keeping every observation.
+func BenchmarkTelemetryOverhead(b *testing.B) {
+	b.Run("step/nil", func(b *testing.B) {
+		sim := hwsim.NewSim(hwsim.VRex8(), hwsim.Llama3_8B(), hwsim.ReSVModel())
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_ = sim.Chunk(10, 40000, 1, 10)
+		}
+	})
+	b.Run("step/profiled", func(b *testing.B) {
+		sim := hwsim.NewSim(hwsim.VRex8(), hwsim.Llama3_8B(), hwsim.ReSVModel())
+		sim.Phases = &hwsim.PhaseAccount{}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_ = sim.Chunk(10, 40000, 1, 10)
+		}
+	})
+	b.Run("run/nil", func(b *testing.B) {
+		cfg := telemetryBenchConfig()
+		for i := 0; i < b.N; i++ {
+			_ = serve.Run(cfg)
+		}
+	})
+	b.Run("run/collected", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			cfg := telemetryBenchConfig()
+			col := telemetry.NewCollector()
+			col.Attach(&cfg)
+			_ = serve.Run(cfg)
+		}
+	})
+}
 
 // benchRunAll dispatches the full registry through the parallel engine with
 // the given worker count (Quick mode, accuracy sessions trimmed); comparing

@@ -69,6 +69,18 @@
 // hardware plane and are charged against the accuracy proxy, reported per
 // class alongside the SLO metrics.
 //
+// The observability flags attach the telemetry plane (internal/telemetry) to
+// any serving or cluster run without touching the simulation itself:
+// -trace-out writes the run as Chrome trace-event JSON — load it in Perfetto
+// (https://ui.perfetto.dev) or chrome://tracing to see per-device lanes of
+// batches, paging stalls and migration legs over per-session lifecycle lanes;
+// -metrics-out writes event counters, fixed-bucket latency histograms and
+// stall/gauge series in Prometheus text exposition format; -profile prints a
+// simulated-time profile attributing every charged device-second to a phase
+// (attention, linear, vision, prediction, retrieval fetch, KV paging,
+// migration). All three are deterministic: byte-identical output for any
+// -parallel value.
+//
 // Policies come from the hwsim registry and accept parameter overrides in
 // the spec string; -list-policies prints every registered policy, balancer,
 // scheduler, stream class, and spill/eviction policy name. -kv accepts a
@@ -96,6 +108,7 @@ import (
 	"vrex/internal/report"
 	"vrex/internal/scenario"
 	"vrex/internal/serve"
+	"vrex/internal/telemetry"
 )
 
 // parseKVList parses the -kv flag: one length or a comma-separated sweep.
@@ -342,6 +355,71 @@ func runCluster(sc *scenario.Scenario, cfg cluster.Config) {
 	}
 }
 
+// telemetryOut bundles the -trace-out / -metrics-out / -profile wiring: a
+// collector attached to the run's config, and the exports emitted afterwards.
+// The zero configuration (no flag set) attaches nothing, keeping the engine's
+// telemetry-disabled fast path.
+type telemetryOut struct {
+	traceOut, metricsOut string
+	profile              bool
+	col                  *telemetry.Collector
+	prof                 *serve.PhaseProfile
+}
+
+func newTelemetryOut(traceOut, metricsOut string, profile bool) *telemetryOut {
+	return &telemetryOut{traceOut: traceOut, metricsOut: metricsOut, profile: profile}
+}
+
+func (t *telemetryOut) enabled() bool {
+	return t.traceOut != "" || t.metricsOut != "" || t.profile
+}
+
+// attach wires a collector and profile into the serving config (a no-op when
+// no telemetry flag was set).
+func (t *telemetryOut) attach(cfg *serve.Config) {
+	if !t.enabled() {
+		return
+	}
+	t.col = telemetry.NewCollector()
+	t.prof = t.col.Attach(cfg)
+}
+
+// emit writes the requested exports after the run.
+func (t *telemetryOut) emit(duration float64) {
+	if t.col == nil {
+		return
+	}
+	if t.traceOut != "" {
+		f, err := os.Create(t.traceOut)
+		if err != nil {
+			fail("-trace-out: %v", err)
+		}
+		if err := t.col.WriteTrace(f); err != nil {
+			fail("-trace-out: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			fail("-trace-out: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote Chrome trace for %d events to %s (load in Perfetto or chrome://tracing)\n",
+			len(t.col.Events()), t.traceOut)
+	}
+	if t.metricsOut != "" {
+		f, err := os.Create(t.metricsOut)
+		if err != nil {
+			fail("-metrics-out: %v", err)
+		}
+		t.col.Metrics(1, duration).WritePrometheus(f)
+		if err := f.Close(); err != nil {
+			fail("-metrics-out: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote Prometheus metrics to %s\n", t.metricsOut)
+	}
+	if t.profile {
+		fmt.Println()
+		telemetry.AttributionTable(t.prof).Render(os.Stdout)
+	}
+}
+
 func main() {
 	device := flag.String("device", "vrex8", "agx | a100 | vrex8 | vrex48")
 	policy := flag.String("policy", "resv", "policy spec, e.g. resv or 'rekv(frame=0.58,text=0.31)' (see -list-policies)")
@@ -377,6 +455,9 @@ func main() {
 	scenarioDump := flag.Bool("scenario-dump", false, "print the scenario (loaded, or synthesized from the serving flags) in canonical .vrex form, then exit")
 	scenarioLint := flag.String("scenario-lint", "", "lint a .vrex file or a directory of them, then exit")
 	recordTrace := flag.String("record-trace", "", "serving: after the run, write its arrival pattern as a replayable trace scenario to this .vrex file")
+	traceOut := flag.String("trace-out", "", "serving: write the run as Chrome trace-event JSON to this file (load in Perfetto / chrome://tracing)")
+	metricsOut := flag.String("metrics-out", "", "serving: write run metrics in Prometheus text exposition format to this file")
+	profileRun := flag.Bool("profile", false, "serving: print the simulated-time phase attribution profile after the run")
 	list := flag.Bool("list-policies", false, "list registered policies, balancers and stream classes, then exit")
 	flag.Parse()
 
@@ -399,7 +480,10 @@ func main() {
 		"scheduler", "batch-max", "slo-ms", "degrade",
 		"nodes", "router", "autoscale", "initial-nodes", "rebalance-moves", "rebalance-slack", "fault"}
 	pointFlags := []string{"kv", "batch", "tokens", "tpot"}
-	serving := *scenarioFile != "" || *recordTrace != ""
+	// The telemetry flags, like -record-trace, imply serving mode but still
+	// compose with -scenario (they attach observers, they don't shape the run).
+	serving := *scenarioFile != "" || *recordTrace != "" ||
+		*traceOut != "" || *metricsOut != "" || *profileRun
 	for _, f := range servingFlags {
 		if set[f] {
 			serving = true
@@ -517,6 +601,8 @@ func main() {
 		return
 	}
 
+	tele := newTelemetryOut(*traceOut, *metricsOut, *profileRun)
+
 	if sc.IsCluster() {
 		if *recordTrace != "" {
 			fail("-record-trace is not supported for cluster scenarios")
@@ -526,7 +612,9 @@ func main() {
 			fail("%v\nrun 'vrex-sim -list-policies' for registered router and autoscaler names", err)
 		}
 		ccfg.Base.Workers = *par
+		tele.attach(&ccfg.Base)
 		runCluster(sc, ccfg)
+		tele.emit(sc.Duration)
 		return
 	}
 
@@ -540,6 +628,7 @@ func main() {
 		rec = scenario.NewRecorder()
 		cfg.Observer = rec
 	}
+	tele.attach(&cfg)
 	res := serve.Run(cfg)
 	if rec != nil {
 		replay := rec.Scenario(sc)
@@ -584,4 +673,5 @@ func main() {
 		devTab.AddRow(row...)
 	}
 	devTab.Render(os.Stdout)
+	tele.emit(sc.Duration)
 }

@@ -83,7 +83,10 @@ type Config struct {
 	// Base is the serving configuration every node shares: workload, classes,
 	// churn, KV plane, scheduler, seed. Its Devices, DevSpecs, Dev, Balancer,
 	// Control and Migration fields are owned by the cluster compiler and
-	// overwritten; everything else passes through.
+	// overwritten; everything else passes through — including Telemetry,
+	// whose sink sees the flattened fleet's raw event/stall streams (device
+	// indices are global, in node declaration order) and whose profile
+	// attributes the whole cluster's device-seconds.
 	Base serve.Config
 	// Router places arriving sessions on nodes; nil defaults to round-robin.
 	Router Router

@@ -16,6 +16,7 @@ func TestIDsComplete(t *testing.T) {
 		"fig16", "fig17", "fig18", "fig19", "fig20", "tab1", "tab2", "tab3",
 		"sweep-thwics", "sweep-thhd", "sweep-nhp", "scale", "multiturn",
 		"fleet", "memory", "slo", "scenarios", "cluster", "pareto",
+		"telemetry",
 	}
 	ids := IDs()
 	got := map[string]bool{}

@@ -105,6 +105,7 @@ var registry = map[string]Runner{
 	"scenarios":    ScenarioSuite,
 	"cluster":      ClusterServing,
 	"pareto":       ParetoFrontier,
+	"telemetry":    TelemetryObservability,
 }
 
 // IDs returns the registered experiment IDs, sorted.

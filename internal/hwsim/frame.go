@@ -58,6 +58,9 @@ type Sim struct {
 	// ExamineFraction overrides the WTU early-exit examine fraction
 	// (<= 0 uses the default 16%).
 	ExamineFraction float64
+	// Phases, when non-nil, accumulates each priced chunk/step into a
+	// per-phase time account (telemetry plane). Scaled copies share it.
+	Phases *PhaseAccount
 }
 
 // NewSim builds a simulator with the SigLIP vision cost attached.
@@ -242,6 +245,9 @@ func (s *Sim) Chunk(n, kvLen, batch int, stage StageKind) Breakdown {
 
 	b.Total = b.VisionTime + b.LinearTime + b.AttnTime + b.PredExposed + b.FetchExposed
 	b.EnergyJ = s.energy(b)
+	if s.Phases != nil {
+		s.Phases.add(&b)
+	}
 	return b
 }
 

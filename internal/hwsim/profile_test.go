@@ -1,0 +1,95 @@
+package hwsim
+
+import (
+	"math"
+	"testing"
+)
+
+// TestPhaseAccountPartitionsTotal pins the telemetry invariant: the five
+// phase buckets partition each priced Breakdown.Total exactly, so the
+// account total equals the sum of chunk totals.
+func TestPhaseAccountPartitionsTotal(t *testing.T) {
+	var acct PhaseAccount
+	sim := NewSim(VRex8(), Llama3_8B(), ReSVModel())
+	sim.Phases = &acct
+
+	var want float64
+	for i, kv := range []int{0, 1000, 40000, 120000} {
+		b := sim.FrameLatency(10, kv, 1+i%2)
+		want += b.Total
+		q := sim.TPOT(kv, 1)
+		want += q.Total
+	}
+	if acct.Steps != 8 {
+		t.Fatalf("Steps = %d, want 8", acct.Steps)
+	}
+	if got := acct.Total(); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("account total %g != summed chunk totals %g", got, want)
+	}
+}
+
+// TestPhaseAccountStepPaths checks both Step paths feed the account exactly
+// once: the batch-1 path delegates to Chunk (which records), and the
+// multi-request path records at its own exit.
+func TestPhaseAccountStepPaths(t *testing.T) {
+	var acct PhaseAccount
+	sim := NewSim(VRex8(), Llama3_8B(), ReSVModel())
+	sim.Phases = &acct
+
+	one := sim.Step([]StepReq{{NewTokens: 10, KVLen: 5000, Stage: StageFramePhase}})
+	if acct.Steps != 1 {
+		t.Fatalf("after batch-1 step: Steps = %d, want 1 (no double count)", acct.Steps)
+	}
+	many := sim.Step([]StepReq{
+		{NewTokens: 10, KVLen: 5000, Stage: StageFramePhase},
+		{NewTokens: 1, KVLen: 12000, Stage: StageTextPhase},
+	})
+	if acct.Steps != 2 {
+		t.Fatalf("after multi step: Steps = %d, want 2", acct.Steps)
+	}
+	want := one.Total + many.Total
+	if got := acct.Total(); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("account total %g != %g", got, want)
+	}
+
+	// OOM and empty steps price nothing and must not count.
+	small := *sim
+	small.Dev.MemCapacity = 1
+	small.Phases = &acct
+	if b := small.Step([]StepReq{{NewTokens: 10, KVLen: 40000}, {NewTokens: 10, KVLen: 40000}}); !b.OOM {
+		t.Fatal("expected OOM")
+	}
+	sim.Step(nil)
+	if acct.Steps != 2 {
+		t.Fatalf("OOM/empty steps leaked into account: Steps = %d, want 2", acct.Steps)
+	}
+}
+
+// TestPhaseAccountSharedByScaled pins that Scaled's shallow copy carries the
+// Phases pointer, so degraded-budget pricing folds into the same account.
+func TestPhaseAccountSharedByScaled(t *testing.T) {
+	var acct PhaseAccount
+	sim := NewSim(VRex8(), Llama3_8B(), ReSVModel())
+	sim.Phases = &acct
+	sim.Scaled(0.5).FrameLatency(10, 40000, 1)
+	if acct.Steps != 1 {
+		t.Fatalf("scaled sim did not share the account: Steps = %d, want 1", acct.Steps)
+	}
+}
+
+// TestPhaseAccountZeroAlloc guards the hot path: pricing allocates nothing
+// whether the account is nil or attached.
+func TestPhaseAccountZeroAlloc(t *testing.T) {
+	sim := NewSim(VRex8(), Llama3_8B(), ReSVModel())
+	reqs := []StepReq{
+		{NewTokens: 10, KVLen: 40000, Stage: StageFramePhase},
+		{NewTokens: 1, KVLen: 20000, Stage: StageTextPhase},
+	}
+	if n := testing.AllocsPerRun(100, func() { sim.Step(reqs) }); n != 0 {
+		t.Fatalf("nil Phases: %v allocs/step, want 0", n)
+	}
+	sim.Phases = &PhaseAccount{}
+	if n := testing.AllocsPerRun(100, func() { sim.Step(reqs) }); n != 0 {
+		t.Fatalf("attached Phases: %v allocs/step, want 0", n)
+	}
+}

@@ -209,6 +209,11 @@ func (s *Sim) Step(reqs []StepReq) Breakdown {
 
 	b.Total = b.VisionTime + b.LinearTime + b.AttnTime + b.PredExposed + b.FetchExposed
 	b.EnergyJ = s.energy(b)
+	if s.Phases != nil {
+		// The single-request path above accumulates through Chunk; only the
+		// multi-request path records here, so nothing is double counted.
+		s.Phases.add(&b)
+	}
 	return b
 }
 

@@ -261,8 +261,8 @@ func (e *engine) migrateSession(s, dst int, at float64, lossy bool) {
 		if e.cfg.Migration.Cost != nil {
 			srcT, dstT = e.cfg.Migration.Cost(src, dst, e.kv[s])
 		}
-		e.chargePaging(src, at, srcT)
-		e.chargePaging(dst, at, dstT)
+		e.chargePaging(src, at, srcT, StallMigrateSend)
+		e.chargePaging(dst, at, dstT, StallMigrateRecv)
 		cost = srcT + dstT
 		e.mig.Live++
 		e.mig.Tokens += e.kv[s]
@@ -299,20 +299,20 @@ func (e *engine) removeQueued(d, s int) {
 
 // observeDevice emits a device-lifecycle event (no session attached).
 func (e *engine) observeDevice(kind EventKind, at float64, d int) {
-	if e.cfg.Observer == nil {
+	if !e.observing() {
 		return
 	}
-	e.cfg.Observer.Observe(Event{Kind: kind, Time: at, Session: -1, Device: d, Latency: latencyNone})
+	e.emit(Event{Kind: kind, Time: at, Session: -1, Device: d, Latency: latencyNone})
 }
 
 // observeMigration emits EventSessionMigrated with the destination device
 // and the total timeline seconds the move cost (NaN never occurs; lossy
 // moves report 0).
 func (e *engine) observeMigration(at float64, s, dst int, cost float64) {
-	if e.cfg.Observer == nil {
+	if !e.observing() {
 		return
 	}
-	e.cfg.Observer.Observe(Event{
+	e.emit(Event{
 		Kind: EventSessionMigrated, Time: at, Session: s,
 		Class: e.classes[e.sessions[s].class].Name, Device: dst,
 		Latency: cost, KV: e.kv[s],

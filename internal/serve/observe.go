@@ -55,6 +55,9 @@ const (
 	// EventRestored: the degradation plane restored one quantized step of
 	// the session's retrieval budget (pressure cleared with hysteresis).
 	EventRestored
+	// numEventKinds bounds the kind space; tests iterate [0, numEventKinds)
+	// to keep String() and the telemetry exporters exhaustive.
+	numEventKinds
 )
 
 // String names the kind for logs and traces.

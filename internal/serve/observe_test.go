@@ -1,0 +1,42 @@
+package serve
+
+import "testing"
+
+// TestEventKindStringExhaustive pins that every declared EventKind has a
+// name: a future kind added without a String() case would export as
+// "unknown" in traces and metrics, silently unlabeled.
+func TestEventKindStringExhaustive(t *testing.T) {
+	seen := make(map[string]EventKind, numEventKinds)
+	for k := EventKind(0); k < numEventKinds; k++ {
+		name := k.String()
+		if name == "unknown" {
+			t.Fatalf("EventKind(%d) has no String() case", int(k))
+		}
+		if prev, dup := seen[name]; dup {
+			t.Fatalf("EventKind(%d) and EventKind(%d) share the name %q", int(prev), int(k), name)
+		}
+		seen[name] = k
+	}
+	if EventKind(numEventKinds).String() != "unknown" {
+		t.Fatal("out-of-range kinds must read unknown")
+	}
+}
+
+// TestStallKindStringExhaustive is the same guard for the telemetry plane's
+// stall classification.
+func TestStallKindStringExhaustive(t *testing.T) {
+	seen := make(map[string]StallKind, numStallKinds)
+	for k := StallKind(0); k < numStallKinds; k++ {
+		name := k.String()
+		if name == "unknown" {
+			t.Fatalf("StallKind(%d) has no String() case", int(k))
+		}
+		if prev, dup := seen[name]; dup {
+			t.Fatalf("StallKind(%d) and StallKind(%d) share the name %q", int(prev), int(k), name)
+		}
+		seen[name] = k
+	}
+	if StallKind(numStallKinds).String() != "unknown" {
+		t.Fatal("out-of-range kinds must read unknown")
+	}
+}

@@ -424,6 +424,7 @@ func (r *schedRun) serveFrames(d int, members []batchMember, at float64) {
 	}
 	dev.Free = start + paging + total
 	dev.Busy += paging + total
+	e.profCharge(paging + total)
 	done := dev.Free
 	e.devMetrics[d].Batches++
 	for _, mb := range members {
@@ -467,10 +468,10 @@ func (r *schedRun) serveQuery(d int, it readyItem, at float64) bool {
 // by session `head`, with the step's service time (excluding queued page
 // movement) as Latency.
 func (e *engine) observeBatch(at float64, d, head, size int, service float64) {
-	if e.cfg.Observer == nil {
+	if !e.observing() {
 		return
 	}
-	e.cfg.Observer.Observe(Event{
+	e.emit(Event{
 		Kind: EventBatchFormed, Time: at, Session: head,
 		Class: e.classes[e.sessions[head].class].Name, Device: d,
 		Latency: service, KV: e.kv[head], Batch: size,

@@ -21,6 +21,7 @@ import (
 	"sort"
 
 	"vrex/internal/hwsim"
+	"vrex/internal/kvpool"
 	"vrex/internal/mathx"
 	"vrex/internal/parallel"
 )
@@ -166,6 +167,10 @@ type Config struct {
 	// Observer, when non-nil, receives every scheduling event in
 	// deterministic order (see Event).
 	Observer Observer
+	// Telemetry attaches the observability plane: an event/stall sink and a
+	// phase-attribution profile (see TelemetryConfig). The zero value
+	// disables it and Run prices and observes exactly as before.
+	Telemetry TelemetryConfig
 	// DropThreshold: a frame still queued after this many frame intervals
 	// is dropped (<= 0 disables dropping).
 	DropThreshold float64
@@ -673,7 +678,19 @@ func Run(cfg Config) Result {
 		}
 		e.slo[c] = v
 	}
-	e.plane = newKVPlane(cfg, nDev, len(sessions))
+	e.tel = cfg.Telemetry.Sink
+	e.prof = cfg.Telemetry.Profile
+	var pageAcct *kvpool.Account
+	if e.prof != nil {
+		// One compute-phase account across the fleet: homogeneous fleets
+		// share a sim, heterogeneous ones each point at the same account,
+		// and degradation-scaled copies inherit the pointer via Scaled.
+		for d := range sims {
+			sims[d].Phases = &e.prof.Sim
+		}
+		pageAcct = &e.prof.Pages
+	}
+	e.plane = newKVPlane(cfg, nDev, len(sessions), pageAcct)
 	if e.plane != nil {
 		for d := range e.devs {
 			e.devs[d].CapacityPages = e.plane.pools[d].CapacityPages()
@@ -793,13 +810,19 @@ type engine struct {
 	upScratch []DeviceState
 	sched     *schedRun
 	mig       MigrationMetrics
+
+	// Telemetry-plane hooks, both nil with Config.Telemetry zero: tel
+	// receives events and device stalls alongside cfg.Observer, prof
+	// accumulates the run's phase attribution.
+	tel  TelemetrySink
+	prof *PhaseProfile
 }
 
 func (e *engine) observe(kind EventKind, at float64, s int, latency float64) {
-	if e.cfg.Observer == nil {
+	if !e.observing() {
 		return
 	}
-	e.cfg.Observer.Observe(Event{
+	e.emit(Event{
 		Kind: kind, Time: at, Session: s,
 		Class: e.classes[e.sessions[s].class].Name, Device: e.sessions[s].device,
 		Latency: latency, KV: e.kv[s],
@@ -815,8 +838,9 @@ func (e *engine) trackPeak(d int) {
 
 // chargePaging occupies device d's serving timeline with page movement
 // starting no earlier than now: spills and reloads ride the same PCIe
-// link the device fetches KV over, so they serialise with service.
-func (e *engine) chargePaging(d int, now, dur float64) {
+// link the device fetches KV over, so they serialise with service. kind
+// classifies the occupation for the telemetry plane.
+func (e *engine) chargePaging(d int, now, dur float64, kind StallKind) {
 	if dur <= 0 {
 		return
 	}
@@ -826,6 +850,13 @@ func (e *engine) chargePaging(d int, now, dur float64) {
 	}
 	e.devs[d].Free = start + dur
 	e.devs[d].Busy += dur
+	if e.prof != nil {
+		e.prof.addStall(kind, dur)
+		e.prof.Charged += dur
+	}
+	if e.tel != nil {
+		e.tel.Stall(d, start, dur, kind)
+	}
 }
 
 // admit runs admission control for session s on device d: reject when
@@ -845,7 +876,7 @@ func (e *engine) admit(s, d int, at float64) int {
 		e.observe(EventSessionQueued, at, s, latencyNone)
 		return sessQueued
 	}
-	e.chargePaging(d, at, spill)
+	e.chargePaging(d, at, spill, StallPageOut)
 	e.devs[d].ResidentKV += e.kv[s]
 	e.trackPeak(d)
 	return sessAdmitted
@@ -869,7 +900,7 @@ func (e *engine) drainQueue(d int, at float64) {
 		if !ok {
 			break
 		}
-		e.chargePaging(d, at, spill)
+		e.chargePaging(d, at, spill, StallPageOut)
 		e.plane.state[h] = sessAdmitted
 		e.devs[d].ResidentKV += e.kv[h]
 		e.trackPeak(d)
@@ -1016,6 +1047,7 @@ func (e *engine) runSerial(events *eventHeap) {
 			b := e.simFor(sess.device, ev.session).FrameLatency(sc.TokensPerFrame, e.kv[ev.session], 1)
 			dev.Free = start + paging + b.Total
 			dev.Busy += paging + b.Total
+			e.profCharge(paging + b.Total)
 			e.kv[ev.session] += sc.TokensPerFrame
 			dev.ResidentKV += sc.TokensPerFrame
 			e.trackPeak(sess.device)
@@ -1064,6 +1096,7 @@ func (e *engine) admitFrameAt(s, d int, arrival, start float64) (paging float64,
 		}
 		pageIn, pageOut := pool.Touch(s, arrival)
 		paging = growSpill + pageIn + pageOut
+		e.profPaging(d, start, growSpill+pageOut, pageIn)
 	}
 	return paging, true
 }
@@ -1091,6 +1124,7 @@ func (e *engine) serveQueryAt(s, d int, arrival, start float64) (total float64, 
 		}
 		pageIn, pageOut := pool.Touch(s, arrival)
 		paging = growSpill + pageIn + pageOut
+		e.profPaging(d, start, growSpill+pageOut, pageIn)
 	}
 	dev := &e.devs[d]
 	sim := e.simFor(d, s)
@@ -1103,6 +1137,7 @@ func (e *engine) serveQueryAt(s, d int, arrival, start float64) (total float64, 
 	}
 	dev.Free = start + paging + total
 	dev.Busy += paging + total
+	e.profCharge(paging + total)
 	dev.ResidentKV += sc.QueryTokens + sc.AnswerTokens
 	e.trackPeak(d)
 	m.QueriesServed++

@@ -1,0 +1,166 @@
+package serve
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+// recordingSink captures the full event and stall streams.
+type recordingSink struct {
+	events []Event
+	stalls []stallRec
+}
+
+type stallRec struct {
+	device     int
+	start, dur float64
+	kind       StallKind
+}
+
+func (r *recordingSink) Observe(ev Event) { r.events = append(r.events, ev) }
+func (r *recordingSink) Stall(device int, start, dur float64, kind StallKind) {
+	r.stalls = append(r.stalls, stallRec{device, start, dur, kind})
+}
+
+// telemetryConfig is a deliberately stressed run exercising every charge
+// path at once: KV pool small enough to spill, EDF batching, a degradation
+// controller, and a mid-run drain forcing priced live migrations.
+func telemetryConfig(t *testing.T) Config {
+	t.Helper()
+	cfg := kvConfig(10, 2, 40*pageBytes250, "spill(evict=lru,pages=8)")
+	cfg.Stream.FPS = 1
+	p, err := ParseScheduler("edf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Scheduler.Policy = p
+	cfg.Scheduler.BatchMax = 4
+	cfg.Degrade = degradeConfig(t, "pressure(lo=0.2,hi=0.5)")
+	cfg.Migration.Cost = func(src, dst, kvTokens int) (float64, float64) {
+		return 1e-6 * float64(kvTokens), 0.5e-6 * float64(kvTokens)
+	}
+	cfg.Control.At = []float64{8, 14}
+	drained := false
+	cfg.Control.Controller = func(now float64, ops *FleetOps) {
+		if !drained {
+			ops.Drain(0)
+			drained = true
+		} else {
+			ops.Activate(0)
+		}
+	}
+	return cfg
+}
+
+// TestTelemetryDoesNotPerturbResult pins the plane's observer-only
+// contract: attaching a sink and a profile leaves every Result field
+// byte-identical to the bare run.
+func TestTelemetryDoesNotPerturbResult(t *testing.T) {
+	bare := Run(telemetryConfig(t))
+	wired := telemetryConfig(t)
+	wired.Telemetry = TelemetryConfig{Sink: &recordingSink{}, Profile: &PhaseProfile{}}
+	if got := Run(wired); !reflect.DeepEqual(bare, got) {
+		t.Fatal("attaching telemetry changed the result")
+	}
+}
+
+// TestPhaseProfileConservation pins the attribution invariant on a run that
+// exercises compute, paging and migration charges: the phase buckets sum to
+// exactly the device-seconds the engine charged (within float tolerance),
+// and the sink's stall stream reconciles with the paging/migration buckets.
+func TestPhaseProfileConservation(t *testing.T) {
+	cfg := telemetryConfig(t)
+	sink := &recordingSink{}
+	prof := &PhaseProfile{}
+	cfg.Telemetry = TelemetryConfig{Sink: sink, Profile: prof}
+	res := Run(cfg)
+
+	if prof.Charged <= 0 || prof.Sim.Steps == 0 {
+		t.Fatalf("profile saw no work: charged=%v steps=%d", prof.Charged, prof.Sim.Steps)
+	}
+	if diff := math.Abs(prof.Total() - prof.Charged); diff > 1e-9 {
+		t.Fatalf("attribution leak: |Total-Charged| = %g (total=%v charged=%v)",
+			diff, prof.Total(), prof.Charged)
+	}
+	// The stressed config must actually exercise the non-compute buckets.
+	if prof.PageIn+prof.PageOut == 0 {
+		t.Fatal("pressured run charged no paging")
+	}
+	if prof.MigrationSend == 0 || prof.MigrationRecv == 0 {
+		t.Fatalf("drain charged no migration legs: %+v", prof)
+	}
+	if res.Migrations.Live == 0 {
+		t.Fatal("expected live migrations")
+	}
+	// Sink stalls reconcile with the profile's non-compute buckets.
+	sums := make(map[StallKind]float64)
+	for _, st := range sink.stalls {
+		if st.dur <= 0 {
+			t.Fatalf("non-positive stall: %+v", st)
+		}
+		sums[st.kind] += st.dur
+	}
+	for _, chk := range []struct {
+		kind StallKind
+		want float64
+	}{
+		{StallPageIn, prof.PageIn},
+		{StallPageOut, prof.PageOut},
+		{StallMigrateSend, prof.MigrationSend},
+		{StallMigrateRecv, prof.MigrationRecv},
+	} {
+		if math.Abs(sums[chk.kind]-chk.want) > 1e-9 {
+			t.Fatalf("%v stalls sum %v, profile bucket %v", chk.kind, sums[chk.kind], chk.want)
+		}
+	}
+	// The mover-level account saw at least the engine-charged movement.
+	if prof.Pages.PagesIn == 0 || prof.Pages.PagesOut == 0 {
+		t.Fatalf("mover account empty: %+v", prof.Pages)
+	}
+}
+
+// TestTelemetrySinkSeesObserverStream pins that the sink receives exactly
+// the event stream Config.Observer sees, in the same order, whether or not
+// an Observer is attached alongside.
+func TestTelemetrySinkSeesObserverStream(t *testing.T) {
+	var viaObserver []Event
+	both := telemetryConfig(t)
+	sink := &recordingSink{}
+	both.Observer = ObserverFunc(func(ev Event) { viaObserver = append(viaObserver, ev) })
+	both.Telemetry.Sink = sink
+	Run(both)
+
+	alone := telemetryConfig(t)
+	soloSink := &recordingSink{}
+	alone.Telemetry.Sink = soloSink
+	Run(alone)
+
+	if len(viaObserver) == 0 {
+		t.Fatal("observer saw no events")
+	}
+	if !eventsEqual(viaObserver, sink.events) || !eventsEqual(viaObserver, soloSink.events) {
+		t.Fatal("sink event stream diverged from the observer stream")
+	}
+}
+
+// eventsEqual compares event streams treating NaN latencies as equal.
+func eventsEqual(a, b []Event) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		x, y := a[i], b[i]
+		nx, ny := math.IsNaN(x.Latency), math.IsNaN(y.Latency)
+		if nx != ny {
+			return false
+		}
+		if nx {
+			x.Latency, y.Latency = 0, 0
+		}
+		if x != y {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,278 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"vrex/internal/report"
+	"vrex/internal/serve"
+)
+
+// latencyBounds are the fixed log-scale histogram bucket upper bounds in
+// seconds: 1e-4 · 2^i. Fixed buckets keep every export comparable across
+// runs and policies (no data-dependent bucketing).
+var latencyBounds = func() []float64 {
+	b := make([]float64, 18)
+	for i := range b {
+		b[i] = 1e-4 * math.Pow(2, float64(i))
+	}
+	return b
+}()
+
+// Histogram is a fixed-bucket latency histogram for one operation and class.
+type Histogram struct {
+	// Op is "frame" or "query"; Class the stream class name.
+	Op, Class string
+	// Counts[i] counts samples <= latencyBounds[i]; the final entry is the
+	// +Inf overflow bucket.
+	Counts []int
+	// Sum / N are the sample total and count.
+	Sum float64
+	N   int
+}
+
+// Counter is one (kind, class, device) event count.
+type Counter struct {
+	Kind   serve.EventKind
+	Class  string
+	Device int
+	Count  int
+}
+
+// Window is one fixed-width slice of the run's time-series, in the style of
+// cluster.Window.
+type Window struct {
+	// Start is the window's start time in simulated seconds.
+	Start float64
+	// Event counts inside the window.
+	FramesServed, FramesDropped, DeadlineMisses, QueriesServed int
+	Degraded, Restored, Migrations                             int
+	// ActiveSessions is the session-count gauge sampled at the window's end.
+	ActiveSessions int
+}
+
+// Metrics is the registry computed from a collector's streams.
+type Metrics struct {
+	Counters   []Counter
+	Histograms []Histogram
+	Windows    []Window
+	// WindowWidth is the window size in seconds.
+	WindowWidth float64
+	// StallSeconds[d] maps stall kind name to charged seconds on device d.
+	StallSeconds []map[string]float64
+	// PeakActive / FinalActive are the session gauge's extremes.
+	PeakActive, FinalActive int
+}
+
+// Metrics folds the collected streams into the registry. width is the
+// time-series window size (<= 0 collapses to one window over the whole
+// duration).
+func (c *Collector) Metrics(width, duration float64) *Metrics {
+	if width <= 0 || width > duration {
+		width = duration
+	}
+	nW := int(math.Ceil(duration / width))
+	if nW < 1 {
+		nW = 1
+	}
+	m := &Metrics{WindowWidth: width, Windows: make([]Window, nW)}
+	for w := range m.Windows {
+		m.Windows[w].Start = float64(w) * width
+	}
+	idx := func(at float64) int {
+		w := int(at / width)
+		if w >= nW {
+			w = nW - 1
+		}
+		if w < 0 {
+			w = 0
+		}
+		return w
+	}
+	window := func(at float64) *Window { return &m.Windows[idx(at)] }
+
+	counts := make(map[Counter]int)
+	hists := make(map[[2]string]*Histogram)
+	sample := func(op, class string, lat float64) {
+		key := [2]string{op, class}
+		h := hists[key]
+		if h == nil {
+			h = &Histogram{Op: op, Class: class, Counts: make([]int, len(latencyBounds)+1)}
+			hists[key] = h
+		}
+		i := sort.SearchFloat64s(latencyBounds, lat)
+		h.Counts[i]++
+		h.Sum += lat
+		h.N++
+	}
+	starts := make([]int, nW)
+	ends := make([]int, nW)
+	for _, ev := range c.Events() {
+		counts[Counter{Kind: ev.Kind, Class: ev.Class, Device: ev.Device}]++
+		w := window(ev.Time)
+		switch ev.Kind {
+		case serve.EventSessionStart:
+			starts[idx(ev.Time)]++
+		case serve.EventSessionEnd:
+			ends[idx(ev.Time)]++
+		case serve.EventFrameServed:
+			w.FramesServed++
+			sample("frame", ev.Class, ev.Latency)
+		case serve.EventFrameDropped:
+			w.FramesDropped++
+		case serve.EventDeadlineMissed:
+			w.DeadlineMisses++
+		case serve.EventQueryServed:
+			w.QueriesServed++
+			sample("query", ev.Class, ev.Latency)
+		case serve.EventDegraded:
+			w.Degraded++
+		case serve.EventRestored:
+			w.Restored++
+		case serve.EventSessionMigrated:
+			w.Migrations++
+		}
+	}
+	active := 0
+	for w := range m.Windows {
+		active += starts[w] - ends[w]
+		m.Windows[w].ActiveSessions = active
+		if active > m.PeakActive {
+			m.PeakActive = active
+		}
+	}
+	m.FinalActive = active
+
+	m.Counters = make([]Counter, 0, len(counts))
+	for k, n := range counts {
+		k.Count = n
+		m.Counters = append(m.Counters, k)
+	}
+	sort.Slice(m.Counters, func(i, j int) bool {
+		a, b := m.Counters[i], m.Counters[j]
+		if a.Kind != b.Kind {
+			return a.Kind < b.Kind
+		}
+		if a.Class != b.Class {
+			return a.Class < b.Class
+		}
+		return a.Device < b.Device
+	})
+	m.Histograms = make([]Histogram, 0, len(hists))
+	for _, h := range hists {
+		m.Histograms = append(m.Histograms, *h)
+	}
+	sort.Slice(m.Histograms, func(i, j int) bool {
+		a, b := m.Histograms[i], m.Histograms[j]
+		if a.Op != b.Op {
+			return a.Op < b.Op
+		}
+		return a.Class < b.Class
+	})
+
+	maxDev := 0
+	for _, st := range c.stalls {
+		if st.Device > maxDev {
+			maxDev = st.Device
+		}
+	}
+	m.StallSeconds = make([]map[string]float64, maxDev+1)
+	for d := range m.StallSeconds {
+		m.StallSeconds[d] = map[string]float64{}
+	}
+	for _, st := range c.stalls {
+		m.StallSeconds[st.Device][st.Kind.String()] += st.Dur
+	}
+	return m
+}
+
+// WritePrometheus writes the registry in Prometheus text exposition format.
+// Output is deterministic: series are emitted in sorted label order.
+func (m *Metrics) WritePrometheus(w io.Writer) {
+	fmt.Fprintln(w, "# HELP vrex_events_total Engine events by kind, class and device.")
+	fmt.Fprintln(w, "# TYPE vrex_events_total counter")
+	for _, c := range m.Counters {
+		fmt.Fprintf(w, "vrex_events_total{kind=%q,class=%q,device=\"%d\"} %d\n",
+			c.Kind.String(), c.Class, c.Device, c.Count)
+	}
+	fmt.Fprintln(w, "# HELP vrex_latency_seconds Completion latency of served work.")
+	fmt.Fprintln(w, "# TYPE vrex_latency_seconds histogram")
+	for _, h := range m.Histograms {
+		cum := 0
+		for i, n := range h.Counts {
+			cum += n
+			le := "+Inf"
+			if i < len(latencyBounds) {
+				le = formatBound(latencyBounds[i])
+			}
+			fmt.Fprintf(w, "vrex_latency_seconds_bucket{op=%q,class=%q,le=%q} %d\n",
+				h.Op, h.Class, le, cum)
+		}
+		fmt.Fprintf(w, "vrex_latency_seconds_sum{op=%q,class=%q} %g\n", h.Op, h.Class, h.Sum)
+		fmt.Fprintf(w, "vrex_latency_seconds_count{op=%q,class=%q} %d\n", h.Op, h.Class, h.N)
+	}
+	fmt.Fprintln(w, "# HELP vrex_stall_seconds_total Device-timeline stall seconds by kind.")
+	fmt.Fprintln(w, "# TYPE vrex_stall_seconds_total counter")
+	for d, kinds := range m.StallSeconds {
+		names := make([]string, 0, len(kinds))
+		for name := range kinds {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			fmt.Fprintf(w, "vrex_stall_seconds_total{device=\"%d\",kind=%q} %g\n", d, name, kinds[name])
+		}
+	}
+	fmt.Fprintln(w, "# HELP vrex_active_sessions_peak Peak concurrent sessions.")
+	fmt.Fprintln(w, "# TYPE vrex_active_sessions_peak gauge")
+	fmt.Fprintf(w, "vrex_active_sessions_peak %d\n", m.PeakActive)
+	fmt.Fprintln(w, "# HELP vrex_active_sessions Concurrent sessions at end of run.")
+	fmt.Fprintln(w, "# TYPE vrex_active_sessions gauge")
+	fmt.Fprintf(w, "vrex_active_sessions %d\n", m.FinalActive)
+}
+
+// formatBound renders a bucket bound compactly and stably (%g keeps
+// 0.0001 .. 13.1072 readable without trailing zeros).
+func formatBound(v float64) string { return fmt.Sprintf("%g", v) }
+
+// CounterTable renders the event counters as a report table.
+func (m *Metrics) CounterTable() *report.Table {
+	t := report.NewTable("Event counters", "kind", "class", "device", "count")
+	for _, c := range m.Counters {
+		t.AddRow(c.Kind.String(), c.Class, c.Device, c.Count)
+	}
+	return t
+}
+
+// HistogramTable renders the non-empty buckets of every latency histogram.
+func (m *Metrics) HistogramTable() *report.Table {
+	t := report.NewTable("Latency histograms (log buckets)", "op", "class", "le_ms", "count", "cum")
+	for _, h := range m.Histograms {
+		cum := 0
+		for i, n := range h.Counts {
+			cum += n
+			if n == 0 {
+				continue
+			}
+			le := "+Inf"
+			if i < len(latencyBounds) {
+				le = formatBound(latencyBounds[i] * 1e3)
+			}
+			t.AddRow(h.Op, h.Class, le, n, cum)
+		}
+	}
+	return t
+}
+
+// WindowTable renders the windowed time-series.
+func (m *Metrics) WindowTable() *report.Table {
+	t := report.NewTable("Windowed series", "t0", "served", "dropped", "missed",
+		"queries", "degraded", "restored", "migrations", "active")
+	for _, w := range m.Windows {
+		t.AddRow(w.Start, w.FramesServed, w.FramesDropped, w.DeadlineMisses,
+			w.QueriesServed, w.Degraded, w.Restored, w.Migrations, w.ActiveSessions)
+	}
+	return t
+}

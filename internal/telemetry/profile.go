@@ -1,0 +1,48 @@
+package telemetry
+
+import (
+	"sort"
+
+	"vrex/internal/report"
+	"vrex/internal/serve"
+)
+
+// AttributionTable renders the profile as a sorted one-level flamegraph of
+// simulated time: each phase's device-seconds and share of the attributed
+// total, largest first (name breaks ties for determinism). The final row is
+// the total, which equals the engine-charged device-seconds within float
+// tolerance (serve.PhaseProfile's conservation invariant).
+func AttributionTable(p *serve.PhaseProfile) *report.Table {
+	phases := []struct {
+		name string
+		secs float64
+	}{
+		{"attention", p.Sim.Attn},
+		{"weights (linear)", p.Sim.Linear},
+		{"vision tower", p.Sim.Vision},
+		{"kv prediction", p.Sim.Pred},
+		{"retrieval fetch", p.Sim.Fetch},
+		{"kv page-in", p.PageIn},
+		{"kv page-out", p.PageOut},
+		{"migration send", p.MigrationSend},
+		{"migration recv", p.MigrationRecv},
+	}
+	sort.SliceStable(phases, func(i, j int) bool {
+		if phases[i].secs != phases[j].secs {
+			return phases[i].secs > phases[j].secs
+		}
+		return phases[i].name < phases[j].name
+	})
+	total := p.Total()
+	t := report.NewTable("Phase attribution (simulated device-seconds)",
+		"phase", "seconds", "share_pct")
+	for _, ph := range phases {
+		share := 0.0
+		if total > 0 {
+			share = 100 * ph.secs / total
+		}
+		t.AddRow(ph.name, ph.secs, share)
+	}
+	t.AddRow("total", total, 100.0)
+	return t
+}

@@ -1,0 +1,99 @@
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+
+	"vrex/internal/serve"
+)
+
+// Span is one session's reconstructed lifecycle: the start→end interval
+// plus every event that touched the session, in time order.
+type Span struct {
+	Session int
+	Class   string
+	// Start / End bound the session's presence window.
+	Start, End float64
+	// Started / Ended record whether the lifecycle events were both seen
+	// (a balanced span has both).
+	Started, Ended bool
+	// Device is the session's final device.
+	Device int
+	// Event tallies over the span.
+	Frames, Drops, Queries, QueryDrops int
+	Migrations, Degradations, Restores int
+	DeadlineMisses, Queued, Admissions int
+	// Events is the session's slice of the time-sorted stream.
+	Events []serve.Event
+}
+
+// Balanced reports whether the span saw exactly one start and one end.
+func (s *Span) Balanced() bool { return s.Started && s.Ended }
+
+// BuildSpans folds a time-sorted event stream (Collector.Events) into one
+// span per session, ordered by session index. Device-lifecycle events
+// (session -1) are skipped. It returns an error if any session's lifecycle
+// is unbalanced (missing or duplicated start/end) — the engine emits both
+// for every created session, so an unbalanced span means event loss.
+func BuildSpans(events []serve.Event) ([]Span, error) {
+	bySession := map[int]*Span{}
+	order := []int{}
+	for _, ev := range events {
+		if ev.Session < 0 {
+			continue
+		}
+		sp := bySession[ev.Session]
+		if sp == nil {
+			sp = &Span{Session: ev.Session, Class: ev.Class, Device: ev.Device}
+			bySession[ev.Session] = sp
+			order = append(order, ev.Session)
+		}
+		sp.Events = append(sp.Events, ev)
+		sp.Device = ev.Device
+		switch ev.Kind {
+		case serve.EventSessionStart:
+			if sp.Started {
+				return nil, fmt.Errorf("telemetry: session %d started twice", ev.Session)
+			}
+			sp.Started = true
+			sp.Start = ev.Time
+		case serve.EventSessionEnd:
+			if sp.Ended {
+				return nil, fmt.Errorf("telemetry: session %d ended twice", ev.Session)
+			}
+			sp.Ended = true
+			sp.End = ev.Time
+		case serve.EventFrameServed:
+			sp.Frames++
+		case serve.EventFrameDropped:
+			sp.Drops++
+		case serve.EventQueryServed:
+			sp.Queries++
+		case serve.EventQueryDropped:
+			sp.QueryDrops++
+		case serve.EventSessionMigrated:
+			sp.Migrations++
+		case serve.EventDegraded:
+			sp.Degradations++
+		case serve.EventRestored:
+			sp.Restores++
+		case serve.EventDeadlineMissed:
+			sp.DeadlineMisses++
+		case serve.EventSessionQueued:
+			sp.Queued++
+		case serve.EventSessionAdmitted:
+			sp.Admissions++
+		}
+	}
+	sort.Ints(order)
+	spans := make([]Span, 0, len(order))
+	for _, s := range order {
+		sp := bySession[s]
+		if !sp.Balanced() {
+			return nil, fmt.Errorf("telemetry: session %d span unbalanced (started=%v ended=%v)",
+				s, sp.Started, sp.Ended)
+		}
+		spans = append(spans, *sp)
+	}
+	return spans, nil
+}
