@@ -106,8 +106,11 @@ fmt-check:
 		echo "gofmt needed on:" >&2; echo "$$diff" >&2; exit 1; \
 	fi
 
+# go vet plus the repo's own invariant analyzers (cmd/vrex-vet): determinism,
+# noalloc, policyreg, exhaustive, floatdet. See README "Invariants".
 vet:
 	$(GO) vet ./...
+	$(GO) run ./cmd/vrex-vet ./...
 
 # Same steps as the workflow: build, vet, gofmt, race tests, examples,
 # scenario lint + suite golden, bench smoke + JSON artifact.

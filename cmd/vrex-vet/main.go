@@ -1,0 +1,96 @@
+// Command vrex-vet runs the vrex static-analysis suite (internal/analysis)
+// over the module: the determinism, noalloc, policyreg, exhaustive and
+// floatdet analyzers that enforce the simulator's invariants at review time.
+//
+//	vrex-vet ./...                 # whole module (the make vet / CI entry)
+//	vrex-vet -run determinism ./internal/serve
+//	vrex-vet -list
+//
+// Diagnostics print as file:line:col: message (analyzer), one per line, and
+// any diagnostic makes the exit status 1 — wire it next to `go vet`.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"vrex/internal/analysis"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	run := flag.String("run", "", "comma-separated analyzer names to run (default: all)")
+	flag.Parse()
+
+	if *list {
+		for _, a := range analysis.All() {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	analyzers, err := selectAnalyzers(*run)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vrex-vet:", err)
+		os.Exit(2)
+	}
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	wd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vrex-vet:", err)
+		os.Exit(2)
+	}
+	loader := analysis.NewLoader(wd)
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vrex-vet:", err)
+		os.Exit(2)
+	}
+
+	bad := false
+	for _, pkg := range pkgs {
+		diags, err := analysis.RunAnalyzers(pkg, analyzers)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "vrex-vet:", err)
+			os.Exit(2)
+		}
+		for _, d := range diags {
+			bad = true
+			fmt.Printf("%s: %s (%s)\n", loader.Fset.Position(d.Pos), d.Message, d.Analyzer)
+		}
+	}
+	if bad {
+		os.Exit(1)
+	}
+}
+
+// selectAnalyzers resolves the -run filter against the suite.
+func selectAnalyzers(filter string) ([]*analysis.Analyzer, error) {
+	all := analysis.All()
+	if filter == "" {
+		return all, nil
+	}
+	byName := map[string]*analysis.Analyzer{}
+	for _, a := range all {
+		byName[a.Name] = a
+	}
+	var out []*analysis.Analyzer
+	for _, name := range strings.Split(filter, ",") {
+		a, ok := byName[strings.TrimSpace(name)]
+		if !ok {
+			names := make([]string, 0, len(all))
+			for _, a := range all {
+				names = append(names, a.Name)
+			}
+			return nil, fmt.Errorf("unknown analyzer %q (known: %s)", name, strings.Join(names, ", "))
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}

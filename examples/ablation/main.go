@@ -72,6 +72,7 @@ func main() {
 			base = b
 		}
 		fmt.Printf("%-28s %7.0f ms (%4.1fx), %6.1f J (%4.1fx energy)\n",
+			//vrex:nonfinite-ok FrameLatency totals and energies are strictly positive
 			st.name, b.Total*1000, base.Total/b.Total, b.EnergyJ, base.EnergyJ/b.EnergyJ)
 	}
 }

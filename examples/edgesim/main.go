@@ -41,6 +41,7 @@ func main() {
 		g := hwsim.NewSim(hwsim.AGXOrin(), llm, hwsim.FlexGenModel()).FrameLatency(10, kv, 1)
 		v := hwsim.NewSim(hwsim.VRex8(), llm, hwsim.ReSVModel()).FrameLatency(10, kv, 1)
 		fmt.Printf("  kv=%6d: %.1fx faster, %.1fx more energy-efficient, V-Rex8 at %.1f FPS\n",
+			//vrex:nonfinite-ok FrameLatency totals and GOPS/W are strictly positive
 			kv, g.Total/v.Total, v.GOPSPerWatt()/g.GOPSPerWatt(), v.FPS())
 	}
 
@@ -49,7 +50,9 @@ func main() {
 	gpu := hwsim.NewSim(hwsim.AGXOrin(), llm, hwsim.ReSVOnGPUModel()).FrameLatency(10, 40000, 1)
 	dre := hwsim.NewSim(hwsim.VRex8(), llm, hwsim.ReSVModel()).FrameLatency(10, 40000, 1)
 	fmt.Printf("  ReSV prediction on GPU : %6.1f ms exposed (%.0f%% of frame)\n",
+		//vrex:nonfinite-ok frame totals are strictly positive
 		gpu.PredExposed*1000, 100*gpu.PredExposed/gpu.Total)
 	fmt.Printf("  ReSV prediction on DRE : %6.3f ms exposed (%.2f%% of frame)\n",
+		//vrex:nonfinite-ok frame totals are strictly positive
 		dre.PredExposed*1000, 100*dre.PredExposed/dre.Total)
 }

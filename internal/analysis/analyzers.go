@@ -1,0 +1,6 @@
+package analysis
+
+// All returns the full vrex analyzer suite in reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{Determinism, NoAlloc, PolicyReg, Exhaustive, FloatDet}
+}

@@ -1,0 +1,259 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FloatDet catches the float-determinism bug class fixed by hand in PRs 5
+// and 8: exact ==/!= on floats (NaN drop-latency sentinels compared with
+// == 0), float-keyed maps (NaN keys are unreachable and iteration is
+// nondeterministic), and freshly divided values flowing into formatting
+// without a finiteness guard (0/0 printing as NaN in reports).
+var FloatDet = &Analyzer{
+	Name: "floatdet",
+	Doc: "forbid ==/!= on floating-point operands (mark intentional exact " +
+		"comparisons //vrex:float-eq), float-keyed map types, and division " +
+		"results passed to fmt/strconv formatting in functions with no " +
+		"math.IsNaN/IsInf guard (waive with //vrex:nonfinite-ok)",
+	Run: runFloatDet,
+}
+
+func runFloatDet(pass *Pass) error {
+	for _, file := range pass.Files {
+		tieBreaks := collectTieBreakIdioms(file)
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				if !tieBreaks[n] {
+					checkFloatCompare(pass, n)
+				}
+			case *ast.MapType:
+				checkFloatMapKey(pass, n)
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					checkFormattedDivisions(pass, n)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkFloatCompare flags exact equality on floating-point operands.
+func checkFloatCompare(pass *Pass, e *ast.BinaryExpr) {
+	if e.Op != token.EQL && e.Op != token.NEQ {
+		return
+	}
+	xt, yt := pass.TypesInfo.TypeOf(e.X), pass.TypesInfo.TypeOf(e.Y)
+	if xt == nil || yt == nil || !typeIsFloat(xt) && !typeIsFloat(yt) {
+		return
+	}
+	// Comparing against a compile-time constant is the recognized
+	// exact-sentinel idiom (zero-value config defaulting, bit-exact flag
+	// values); the risky class is identity between two computed values.
+	if isConstExpr(pass, e.X) || isConstExpr(pass, e.Y) {
+		return
+	}
+	if pass.Suppressed(e.Pos(), "float-eq") {
+		return
+	}
+	pass.Reportf(e.Pos(),
+		"exact %s on floating-point values; NaN never compares equal and rounding breaks identity — use math.IsNaN / an epsilon, or mark //vrex:float-eq if exactness is the point", e.Op)
+}
+
+// checkFloatMapKey flags map types keyed by floats.
+func checkFloatMapKey(pass *Pass, mt *ast.MapType) {
+	kt := pass.TypesInfo.TypeOf(mt.Key)
+	if kt == nil || !typeIsFloat(kt) {
+		return
+	}
+	pass.Reportf(mt.Pos(),
+		"map keyed by %s: NaN keys are unretrievable and float identity is rounding-sensitive; key by an int or string form instead", kt.String())
+}
+
+// checkFormattedDivisions flags float divisions whose result feeds a
+// formatting call in a function with no finiteness guard anywhere — the
+// 0/0 → "NaN" report bug. A single math.IsNaN/IsInf call in the function
+// counts as the guard (the analyzer does not trace the exact value flow),
+// as does an enclosing `if denom > 0` / `if denom != 0` test naming the
+// same denominator expression.
+func checkFormattedDivisions(pass *Pass, fn *ast.FuncDecl) {
+	if functionHasFiniteGuard(pass, fn) {
+		return
+	}
+	var walk func(n ast.Node, conds []ast.Expr)
+	walk = func(n ast.Node, conds []ast.Expr) {
+		if ifst, ok := n.(*ast.IfStmt); ok {
+			if ifst.Init != nil {
+				walk(ifst.Init, conds)
+			}
+			walk(ifst.Cond, conds)
+			inner := append(conds, ifst.Cond)
+			walk(ifst.Body, inner)
+			if ifst.Else != nil {
+				walk(ifst.Else, conds)
+			}
+			return
+		}
+		if call, ok := n.(*ast.CallExpr); ok && isFormattingCall(pass, call) {
+			for _, arg := range call.Args {
+				div := findFloatDivision(pass, arg)
+				if div == nil {
+					continue
+				}
+				if denominatorGuarded(div.Y, conds) ||
+					pass.Suppressed(div.Pos(), "nonfinite-ok") || pass.Suppressed(call.Pos(), "nonfinite-ok") {
+					continue
+				}
+				pass.Reportf(div.Pos(),
+					"float division formatted directly with no math.IsNaN/IsInf guard in this function; a zero denominator prints NaN/Inf into the report — guard it or mark //vrex:nonfinite-ok")
+			}
+		}
+		ast.Inspect(n, func(m ast.Node) bool {
+			if m == n {
+				return true
+			}
+			if m != nil {
+				walk(m, conds)
+			}
+			return false
+		})
+	}
+	walk(fn.Body, nil)
+}
+
+// denominatorGuarded reports whether an enclosing if-condition compares the
+// denominator expression against zero (`d > 0`, `d != 0`, `0 < d`).
+func denominatorGuarded(denom ast.Expr, conds []ast.Expr) bool {
+	want := exprString(ast.Unparen(denom))
+	for _, cond := range conds {
+		found := false
+		ast.Inspect(cond, func(n ast.Node) bool {
+			b, ok := n.(*ast.BinaryExpr)
+			if !ok {
+				return true
+			}
+			switch b.Op {
+			case token.GTR, token.NEQ, token.LSS, token.GEQ:
+			default:
+				return true
+			}
+			if exprString(ast.Unparen(b.X)) == want || exprString(ast.Unparen(b.Y)) == want {
+				found = true
+			}
+			return true
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+// collectTieBreakIdioms returns the `x != y` conditions of the deterministic
+// comparator idiom
+//
+//	if x != y { return x < y }   // then fall through to the next tie-break
+//
+// where exact inequality is the point: equal keys must fall through to a
+// total tie-break, which is how every comparator in the engine stays
+// deterministic.
+func collectTieBreakIdioms(file *ast.File) map[*ast.BinaryExpr]bool {
+	out := map[*ast.BinaryExpr]bool{}
+	ast.Inspect(file, func(n ast.Node) bool {
+		ifst, ok := n.(*ast.IfStmt)
+		if !ok || ifst.Else != nil || len(ifst.Body.List) != 1 {
+			return true
+		}
+		cond, ok := ast.Unparen(ifst.Cond).(*ast.BinaryExpr)
+		if !ok || cond.Op != token.NEQ {
+			return true
+		}
+		ret, ok := ifst.Body.List[0].(*ast.ReturnStmt)
+		if !ok || len(ret.Results) != 1 {
+			return true
+		}
+		cmp, ok := ast.Unparen(ret.Results[0]).(*ast.BinaryExpr)
+		if !ok || cmp.Op != token.LSS && cmp.Op != token.GTR {
+			return true
+		}
+		if exprString(cmp.X) == exprString(cond.X) && exprString(cmp.Y) == exprString(cond.Y) {
+			out[cond] = true
+		}
+		return true
+	})
+	return out
+}
+
+// exprString renders e for structural comparison.
+func exprString(e ast.Expr) string {
+	return types.ExprString(e)
+}
+
+// isConstExpr reports whether e has a compile-time constant value.
+func isConstExpr(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	return ok && tv.Value != nil
+}
+
+// functionHasFiniteGuard reports whether fn calls math.IsNaN or math.IsInf.
+func functionHasFiniteGuard(pass *Pass, fn *ast.FuncDecl) bool {
+	found := false
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if f := calleeFunc(pass.TypesInfo, call); pkgFuncFrom(f, "math") && (f.Name() == "IsNaN" || f.Name() == "IsInf") {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+// isFormattingCall matches fmt.* and strconv float formatting calls.
+func isFormattingCall(pass *Pass, call *ast.CallExpr) bool {
+	f := calleeFunc(pass.TypesInfo, call)
+	if f == nil {
+		return false
+	}
+	if pkgFuncFrom(f, "fmt") {
+		return true
+	}
+	if pkgFuncFrom(f, "strconv") {
+		switch f.Name() {
+		case "FormatFloat", "AppendFloat":
+			return true
+		}
+	}
+	return false
+}
+
+// findFloatDivision returns a float-typed `/` expression inside e, not
+// descending into nested calls (their own call sites are checked there).
+// Division by a nonzero constant (unit scaling like ns/1e6) cannot mint a
+// non-finite value from finite inputs and is skipped.
+func findFloatDivision(pass *Pass, e ast.Expr) *ast.BinaryExpr {
+	var div *ast.BinaryExpr
+	ast.Inspect(e, func(n ast.Node) bool {
+		if _, ok := n.(*ast.CallExpr); ok {
+			return false
+		}
+		b, ok := n.(*ast.BinaryExpr)
+		if !ok || b.Op != token.QUO {
+			return true
+		}
+		if tv, ok := pass.TypesInfo.Types[b.Y]; ok && tv.Value != nil {
+			return true // constant denominator: 0 would already fail to compile
+		}
+		if t := pass.TypesInfo.TypeOf(b); t != nil && typeIsFloat(t) && div == nil {
+			div = b
+		}
+		return true
+	})
+	return div
+}

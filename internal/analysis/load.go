@@ -1,0 +1,225 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sort"
+)
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	// Path is the package's import path (testdata corpora use bare names).
+	Path string
+	// Dir is the directory the sources were read from.
+	Dir string
+	// Fset maps every position in Files.
+	Fset *token.FileSet
+	// Files are the parsed sources, comments included, test files excluded.
+	Files []*ast.File
+	// Types is the type-checked package.
+	Types *types.Package
+	// Info records type and object resolution for Files.
+	Info *types.Info
+}
+
+// Loader type-checks packages against compiler export data produced by
+// `go list -export`, so loading needs no network, no GOPATH source layout
+// and no x/tools dependency — only the local build cache.
+type Loader struct {
+	// Dir is the working directory for go list (anywhere in the module).
+	Dir string
+	// Fset is shared by every package the loader produces.
+	Fset *token.FileSet
+
+	exports map[string]string // import path -> export data file
+	imp     types.Importer
+}
+
+// listEntry is the subset of `go list -json` output the loader consumes.
+type listEntry struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	DepOnly    bool
+}
+
+// NewLoader returns a loader rooted at dir (any directory inside the module).
+func NewLoader(dir string) *Loader {
+	return &Loader{Dir: dir, Fset: token.NewFileSet(), exports: map[string]string{}}
+}
+
+// goList runs `go list -export -deps -json` over args and folds the entries
+// into the loader's export map, returning the non-dep (root) entries.
+func (l *Loader) goList(args []string) ([]listEntry, error) {
+	cmd := exec.Command("go", append([]string{"list", "-export", "-deps",
+		"-json=ImportPath,Dir,Export,GoFiles,DepOnly"}, args...)...)
+	cmd.Dir = l.Dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("analysis: go list %v: %v\n%s", args, err, stderr.Bytes())
+	}
+	var roots []listEntry
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var e listEntry
+		if err := dec.Decode(&e); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("analysis: go list decode: %v", err)
+		}
+		if e.Export != "" {
+			l.exports[e.ImportPath] = e.Export
+		}
+		if !e.DepOnly {
+			roots = append(roots, e)
+		}
+	}
+	return roots, nil
+}
+
+// importer returns the shared gc-export-data importer, building it on first
+// use so every package load shares one package cache.
+func (l *Loader) importer() types.Importer {
+	if l.imp == nil {
+		l.imp = importer.ForCompiler(l.Fset, "gc", func(path string) (io.ReadCloser, error) {
+			e, ok := l.exports[path]
+			if !ok {
+				return nil, fmt.Errorf("analysis: no export data for %q (not listed by go list -deps)", path)
+			}
+			return os.Open(e)
+		})
+	}
+	return l.imp
+}
+
+// Load lists, parses and type-checks the packages matching patterns
+// (e.g. "./..."), returning them sorted by import path.
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	roots, err := l.goList(patterns)
+	if err != nil {
+		return nil, err
+	}
+	pkgs := make([]*Package, 0, len(roots))
+	for _, e := range roots {
+		if len(e.GoFiles) == 0 {
+			continue
+		}
+		files := make([]string, len(e.GoFiles))
+		for i, f := range e.GoFiles {
+			files[i] = filepath.Join(e.Dir, f)
+		}
+		pkg, err := l.check(e.ImportPath, e.Dir, files)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].Path < pkgs[j].Path })
+	return pkgs, nil
+}
+
+// LoadDir parses and type-checks every non-test .go file in dir as a package
+// with the given import path, resolving its imports through `go list -export`
+// (the analysistest corpora under testdata/ load this way — go tooling never
+// builds them, so they have no export data of their own).
+func (l *Loader) LoadDir(dir, importPath string) (*Package, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: %v", err)
+	}
+	var files []string
+	for _, ent := range ents {
+		name := ent.Name()
+		if ent.IsDir() || filepath.Ext(name) != ".go" ||
+			len(name) > len("_test.go") && name[len(name)-len("_test.go"):] == "_test.go" {
+			continue
+		}
+		files = append(files, filepath.Join(dir, name))
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("analysis: no .go files in %s", dir)
+	}
+	sort.Strings(files)
+	// Resolve the corpus's imports (and their deps) into the export map.
+	parsed, err := l.parse(files)
+	if err != nil {
+		return nil, err
+	}
+	need := map[string]bool{}
+	for _, f := range parsed {
+		for _, im := range f.Imports {
+			p := im.Path.Value
+			p = p[1 : len(p)-1] // unquote
+			if p != "unsafe" && l.exports[p] == "" {
+				need[p] = true
+			}
+		}
+	}
+	if len(need) > 0 {
+		args := make([]string, 0, len(need))
+		for p := range need {
+			args = append(args, p)
+		}
+		sort.Strings(args)
+		if _, err := l.goList(args); err != nil {
+			return nil, err
+		}
+	}
+	return l.checkParsed(importPath, dir, parsed)
+}
+
+// parse parses files with comments into the shared fileset.
+func (l *Loader) parse(files []string) ([]*ast.File, error) {
+	parsed := make([]*ast.File, 0, len(files))
+	for _, path := range files {
+		f, err := parser.ParseFile(l.Fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: %v", err)
+		}
+		parsed = append(parsed, f)
+	}
+	return parsed, nil
+}
+
+// check parses and type-checks one package.
+func (l *Loader) check(importPath, dir string, files []string) (*Package, error) {
+	parsed, err := l.parse(files)
+	if err != nil {
+		return nil, err
+	}
+	return l.checkParsed(importPath, dir, parsed)
+}
+
+func (l *Loader) checkParsed(importPath, dir string, parsed []*ast.File) (*Package, error) {
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{
+		Importer: l.importer(),
+		Sizes:    types.SizesFor("gc", runtime.GOARCH),
+	}
+	tpkg, err := conf.Check(importPath, l.Fset, parsed, info)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: type-checking %s: %v", importPath, err)
+	}
+	return &Package{Path: importPath, Dir: dir, Fset: l.Fset, Files: parsed, Types: tpkg, Info: info}, nil
+}

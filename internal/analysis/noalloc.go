@@ -1,0 +1,232 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// NoAlloc scans functions annotated //vrex:noalloc — the ReSV hot path — for
+// alloc-prone constructs. The hot path's zero-alloc property is also pinned
+// dynamically by AllocsPerRun tests; this analyzer moves the failure to
+// review time with a file:line instead of a counter regression.
+var NoAlloc = &Analyzer{
+	Name: "noalloc",
+	Doc: "functions annotated //vrex:noalloc must avoid closures, fmt calls, " +
+		"map/slice literals, make/new outside a cap/len grow guard, " +
+		"non-self append, and value-to-interface boxing; waive a single site " +
+		"with //vrex:alloc-ok",
+	Run: runNoAlloc,
+}
+
+func runNoAlloc(pass *Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !pass.FuncAnnotated(fn, "noalloc") {
+				continue
+			}
+			checkNoAllocBody(pass, fn)
+		}
+	}
+	return nil
+}
+
+// checkNoAllocBody walks one annotated function. growGuard tracks whether the
+// walk is inside an `if` whose condition mentions cap() or len() — the
+// amortized ensure-capacity idiom, where a make/append grow is the point.
+func checkNoAllocBody(pass *Pass, fn *ast.FuncDecl) {
+	var walk func(n ast.Node, growGuard bool)
+	walkAll := func(n ast.Node, growGuard bool) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			if m == n {
+				return true
+			}
+			walk(m, growGuard)
+			return false
+		})
+	}
+	walk = func(n ast.Node, growGuard bool) {
+		if n == nil {
+			return
+		}
+		switch n := n.(type) {
+		case *ast.IfStmt:
+			if n.Init != nil {
+				walkAll(n.Init, growGuard)
+			}
+			walkAll(n.Cond, growGuard)
+			inner := growGuard || mentionsCapLen(pass, n.Cond)
+			walkAll(n.Body, inner)
+			if n.Else != nil {
+				walkAll(n.Else, inner)
+			}
+			return
+		case *ast.FuncLit:
+			if !pass.Suppressed(n.Pos(), "alloc-ok") {
+				pass.Reportf(n.Pos(), "closure in //vrex:noalloc function allocates its captures")
+			}
+			return // do not descend: the closure body runs elsewhere
+		case *ast.CompositeLit:
+			t := pass.TypesInfo.TypeOf(n)
+			if t != nil && !growGuard && !pass.Suppressed(n.Pos(), "alloc-ok") {
+				switch t.Underlying().(type) {
+				case *types.Map:
+					pass.Reportf(n.Pos(), "map literal in //vrex:noalloc function allocates")
+				case *types.Slice:
+					pass.Reportf(n.Pos(), "slice literal in //vrex:noalloc function allocates")
+				}
+			}
+		case *ast.UnaryExpr:
+			// &T{...} escapes to the heap in almost every use on a hot path.
+			if n.Op.String() == "&" {
+				if _, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok && !growGuard &&
+					!pass.Suppressed(n.Pos(), "alloc-ok") {
+					pass.Reportf(n.Pos(), "&composite literal in //vrex:noalloc function allocates")
+				}
+			}
+		case *ast.CallExpr:
+			checkNoAllocCall(pass, n, growGuard)
+		case *ast.AssignStmt:
+			for _, rhs := range n.Rhs {
+				if call, ok := ast.Unparen(rhs).(*ast.CallExpr); ok {
+					checkNoAllocAppend(pass, n, call, growGuard)
+				}
+			}
+		}
+		// Default: descend with the current guard state.
+		switch n.(type) {
+		case ast.Stmt, ast.Expr, *ast.CaseClause, *ast.CommClause:
+			ast.Inspect(n, func(m ast.Node) bool {
+				if m == n {
+					return true
+				}
+				walk(m, growGuard)
+				return false
+			})
+		}
+	}
+	for _, st := range fn.Body.List {
+		walk(st, false)
+	}
+}
+
+// checkNoAllocCall flags fmt calls, unguarded make/new, and value→interface
+// boxing at call boundaries.
+func checkNoAllocCall(pass *Pass, call *ast.CallExpr, growGuard bool) {
+	if f := calleeFunc(pass.TypesInfo, call); f != nil && pkgFuncFrom(f, "fmt") {
+		if !pass.Suppressed(call.Pos(), "alloc-ok") {
+			pass.Reportf(call.Pos(), "fmt.%s in //vrex:noalloc function allocates (boxing + buffers)", f.Name())
+		}
+		return
+	}
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		switch pass.TypesInfo.Uses[id] {
+		case types.Universe.Lookup("make"), types.Universe.Lookup("new"):
+			if !growGuard && !pass.Suppressed(call.Pos(), "alloc-ok") {
+				pass.Reportf(call.Pos(),
+					"%s in //vrex:noalloc function allocates; guard it with a cap/len capacity check (amortized grow) or preallocate", id.Name)
+			}
+			return
+		case types.Universe.Lookup("append"):
+			return // judged at its assignment by checkNoAllocAppend
+		}
+	}
+	// Boxing: a concrete non-pointer argument passed as an interface
+	// parameter allocates when it escapes.
+	sig, ok := pass.TypesInfo.TypeOf(call.Fun).(*types.Signature)
+	if !ok {
+		return
+	}
+	for i, arg := range call.Args {
+		if i >= sig.Params().Len() && !sig.Variadic() {
+			break
+		}
+		pt := paramType(sig, i)
+		if !types.IsInterface(pt) {
+			continue
+		}
+		at := pass.TypesInfo.TypeOf(arg)
+		if at == nil || types.IsInterface(at) || isPointerShaped(at) || isUntypedNil(pass, arg) {
+			continue
+		}
+		// Constants (panic("message"), fixed sentinels) are materialized in
+		// read-only data by the compiler; boxing them does not allocate.
+		if isConstExpr(pass, arg) {
+			continue
+		}
+		if !pass.Suppressed(arg.Pos(), "alloc-ok") {
+			pass.Reportf(arg.Pos(), "value of type %s boxed into interface %s in //vrex:noalloc function allocates",
+				at.String(), pt.String())
+		}
+	}
+}
+
+// checkNoAllocAppend flags appends that are not the self-append scratch-grow
+// idiom `x = append(x, ...)` / `x = append(x[:0], ...)`.
+func checkNoAllocAppend(pass *Pass, assign *ast.AssignStmt, call *ast.CallExpr, growGuard bool) {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || pass.TypesInfo.Uses[id] != types.Universe.Lookup("append") {
+		return
+	}
+	if growGuard || pass.Suppressed(call.Pos(), "alloc-ok") {
+		return
+	}
+	if len(assign.Lhs) == 1 && len(call.Args) > 0 {
+		lhs := rootObject(pass.TypesInfo, assign.Lhs[0])
+		if lhs != nil && rootObject(pass.TypesInfo, call.Args[0]) == lhs {
+			return // amortized self-append to a scratch slice
+		}
+	}
+	pass.Reportf(call.Pos(),
+		"append to a foreign slice in //vrex:noalloc function may allocate; use the self-append scratch idiom x = append(x[:0], ...)")
+}
+
+// paramType returns the type of parameter i, unrolling variadics.
+func paramType(sig *types.Signature, i int) types.Type {
+	if sig.Variadic() && i >= sig.Params().Len()-1 {
+		last := sig.Params().At(sig.Params().Len() - 1).Type()
+		if sl, ok := last.(*types.Slice); ok {
+			return sl.Elem()
+		}
+		return last
+	}
+	if i < sig.Params().Len() {
+		return sig.Params().At(i).Type()
+	}
+	return types.Typ[types.Invalid]
+}
+
+// isPointerShaped reports whether boxing t into an interface is free of a
+// heap copy (pointers, maps, chans, funcs and unsafe pointers share one
+// word; everything else is copied to the heap).
+func isPointerShaped(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Map, *types.Chan, *types.Signature:
+		return true
+	}
+	return false
+}
+
+func isUntypedNil(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	return ok && tv.IsNil()
+}
+
+// mentionsCapLen reports whether cond contains a cap() or len() call — the
+// shape of every ensure-capacity grow guard on the hot path.
+func mentionsCapLen(pass *Pass, cond ast.Expr) bool {
+	found := false
+	ast.Inspect(cond, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+			if u := pass.TypesInfo.Uses[id]; u == types.Universe.Lookup("cap") || u == types.Universe.Lookup("len") {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,286 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+const (
+	policyspecPath = "vrex/internal/policyspec"
+	namedPath      = "vrex/internal/named"
+)
+
+// PolicyReg enforces the policy-registry contract: every factory-shaped
+// consumer of a *policyspec.Spec validates its parameters by calling
+// CheckConsumed (or hands the spec to a registry-resolved factory that
+// does), and every named registry stays listable through an exported
+// Names-style accessor so -list-policies can surface it.
+var PolicyReg = &Analyzer{
+	Name: "policyreg",
+	Doc: "policyspec factories must call Spec.CheckConsumed (directly or by " +
+		"delegating the spec to a registry-resolved factory); named.New " +
+		"registries must expose an exported accessor calling .Names() so " +
+		"-list-policies reaches them",
+	Run: runPolicyReg,
+}
+
+func runPolicyReg(pass *Pass) error {
+	if pass.Pkg.Path() == policyspecPath {
+		return nil // the grammar package itself is exempt
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			switch decl := decl.(type) {
+			case *ast.FuncDecl:
+				if decl.Body != nil {
+					checkSpecConsumers(pass, decl.Name.Name, decl.Type, decl.Body, decl.Pos())
+					// Factory literals nest inside init()/builder functions.
+					ast.Inspect(decl.Body, func(n ast.Node) bool {
+						if lit, ok := n.(*ast.FuncLit); ok {
+							checkSpecConsumers(pass, "func literal", lit.Type, lit.Body, lit.Pos())
+						}
+						return true
+					})
+				}
+			case *ast.GenDecl:
+				checkRegistryListable(pass, decl)
+			}
+		}
+	}
+	return nil
+}
+
+// checkSpecConsumers applies the CheckConsumed rule to one function: if it is
+// factory-shaped — it receives or parses a *policyspec.Spec and returns a
+// constructed value (any non-basic result) — its body must either call
+// CheckConsumed or pass the spec onward through a dynamic (registry-resolved)
+// call. Helpers returning only basics (param accessors like ratioParam) are
+// exempt: the factory that calls them still owns the CheckConsumed.
+func checkSpecConsumers(pass *Pass, name string, ftype *ast.FuncType, body *ast.BlockStmt, pos token.Pos) {
+	touchesSpec := funcHasSpecParam(pass, ftype) || callsPolicyspecParse(pass, body)
+	if !touchesSpec || !returnsConstructed(pass, ftype) {
+		return
+	}
+	if bodyCallsCheckConsumed(pass, body) || delegatesSpecDynamically(pass, body) {
+		return
+	}
+	pass.Reportf(pos,
+		"%s consumes a *policyspec.Spec and builds a policy but never calls Spec.CheckConsumed; unknown or ill-typed parameters would be silently ignored", name)
+}
+
+// funcHasSpecParam reports whether ftype has a *policyspec.Spec parameter.
+func funcHasSpecParam(pass *Pass, ftype *ast.FuncType) bool {
+	if ftype.Params == nil {
+		return false
+	}
+	for _, field := range ftype.Params.List {
+		if isSpecPointer(pass.TypesInfo.TypeOf(field.Type)) {
+			return true
+		}
+	}
+	return false
+}
+
+func isSpecPointer(t types.Type) bool {
+	p, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	n, ok := p.Elem().(*types.Named)
+	return ok && n.Obj().Name() == "Spec" && n.Obj().Pkg() != nil && n.Obj().Pkg().Path() == policyspecPath
+}
+
+// callsPolicyspecParse reports whether body calls policyspec.Parse, skipping
+// nested function literals (they are checked on their own).
+func callsPolicyspecParse(pass *Pass, body *ast.BlockStmt) bool {
+	found := false
+	inspectSkippingFuncLits(body, func(n ast.Node) {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if f := calleeFunc(pass.TypesInfo, call); pkgFuncFrom(f, policyspecPath) && f.Name() == "Parse" {
+				found = true
+			}
+		}
+	})
+	return found
+}
+
+// returnsConstructed reports whether the function returns a policy surface —
+// a result whose type reaches an exported named type or interface. Factories
+// build those; sub-parsers returning unexported ctl structs are helpers
+// whose callers (the registered factories) own the CheckConsumed, so they
+// are exempt.
+func returnsConstructed(pass *Pass, ftype *ast.FuncType) bool {
+	if ftype.Results == nil {
+		return false
+	}
+	for _, field := range ftype.Results.List {
+		t := pass.TypesInfo.TypeOf(field.Type)
+		if t == nil || isErrorType(t) {
+			continue
+		}
+		if isExportedConstructed(t) {
+			return true
+		}
+	}
+	return false
+}
+
+// isExportedConstructed unwraps containers and reports whether t is (or
+// holds) an exported named non-basic type or any interface.
+func isExportedConstructed(t types.Type) bool {
+	switch u := t.(type) {
+	case *types.Pointer:
+		return isExportedConstructed(u.Elem())
+	case *types.Slice:
+		return isExportedConstructed(u.Elem())
+	case *types.Array:
+		return isExportedConstructed(u.Elem())
+	case *types.Named:
+		if _, basic := u.Underlying().(*types.Basic); basic {
+			return false
+		}
+		return u.Obj().Exported()
+	case *types.Interface:
+		return true
+	}
+	return false
+}
+
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+// bodyCallsCheckConsumed reports whether body (excluding nested func
+// literals) calls the CheckConsumed method.
+func bodyCallsCheckConsumed(pass *Pass, body *ast.BlockStmt) bool {
+	found := false
+	inspectSkippingFuncLits(body, func(n ast.Node) {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "CheckConsumed" {
+			if isSpecPointer(pass.TypesInfo.TypeOf(sel.X)) {
+				found = true
+			}
+		}
+	})
+	return found
+}
+
+// delegatesSpecDynamically reports whether body passes a *policyspec.Spec to
+// a dynamic call — a function-typed variable, which in this codebase is
+// always a registry-resolved factory whose own body is checked at its
+// definition site.
+func delegatesSpecDynamically(pass *Pass, body *ast.BlockStmt) bool {
+	found := false
+	inspectSkippingFuncLits(body, func(n ast.Node) {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || calleeFunc(pass.TypesInfo, call) != nil {
+			return // static callee: delegation responsibility stays here
+		}
+		// Builtin-or-conversion calls have no *types.Func either; require a
+		// function-typed operand resolving to a variable.
+		if obj := rootObject(pass.TypesInfo, call.Fun); obj == nil {
+			return
+		} else if _, isVar := obj.(*types.Var); !isVar {
+			return
+		}
+		for _, arg := range call.Args {
+			if isSpecPointer(pass.TypesInfo.TypeOf(arg)) {
+				found = true
+			}
+		}
+	})
+	return found
+}
+
+// inspectSkippingFuncLits walks body, calling fn on every node but not
+// descending into nested function literals.
+func inspectSkippingFuncLits(body *ast.BlockStmt, fn func(ast.Node)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if n != nil {
+			fn(n)
+		}
+		return true
+	})
+}
+
+// checkRegistryListable flags package-level `var x = named.New[...]`
+// registries that no exported function exposes via a .Names() call: a
+// registry -list-policies cannot reach is a policy surface users cannot
+// discover.
+func checkRegistryListable(pass *Pass, decl *ast.GenDecl) {
+	for _, spec := range decl.Specs {
+		vs, ok := spec.(*ast.ValueSpec)
+		if !ok {
+			continue
+		}
+		for i, name := range vs.Names {
+			if i >= len(vs.Values) {
+				break
+			}
+			call, ok := ast.Unparen(vs.Values[i]).(*ast.CallExpr)
+			if !ok || !isNamedNewCall(pass, call) {
+				continue
+			}
+			obj := pass.TypesInfo.Defs[name]
+			if obj == nil {
+				continue
+			}
+			if !registryListed(pass, obj) {
+				pass.Reportf(name.Pos(),
+					"registry %s has no exported accessor calling %s.Names(); -list-policies cannot reach it", name.Name, name.Name)
+			}
+		}
+	}
+}
+
+// isNamedNewCall matches named.New[...](...) including its generic
+// instantiation forms.
+func isNamedNewCall(pass *Pass, call *ast.CallExpr) bool {
+	fun := ast.Unparen(call.Fun)
+	if ix, ok := fun.(*ast.IndexExpr); ok {
+		fun = ix.X
+	} else if ix, ok := fun.(*ast.IndexListExpr); ok {
+		fun = ix.X
+	}
+	sel, ok := fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	f, _ := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	return f != nil && f.Pkg() != nil && f.Pkg().Path() == namedPath && f.Name() == "New"
+}
+
+// registryListed reports whether any exported package-level function calls
+// <registry>.Names().
+func registryListed(pass *Pass, registry types.Object) bool {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !fn.Name.IsExported() {
+				continue
+			}
+			found := false
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok || sel.Sel.Name != "Names" {
+					return true
+				}
+				if rootObject(pass.TypesInfo, sel.X) == registry {
+					found = true
+				}
+				return true
+			})
+			if found {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,70 @@
+// Package det seeds determinism violations (and the recognized idioms that
+// must pass) for the analyzer's analysistest corpus.
+package det
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// wallClock reads real time twice; both reads must be flagged.
+func wallClock() time.Duration {
+	t0 := time.Now()      // want `time\.Now reads the wall clock`
+	return time.Since(t0) // want `time\.Since reads the wall clock`
+}
+
+// globalRand draws from the shared unseeded source.
+func globalRand() int {
+	return rand.Intn(6) // want `global math/rand\.Intn`
+}
+
+// spawn starts a goroutine outside internal/parallel.
+func spawn(done chan struct{}) {
+	go close(done) // want `goroutine outside internal/parallel`
+}
+
+// orderSensitive appends formatted output in map order with no sort after.
+func orderSensitive(m map[string]int) []string {
+	var out []string
+	for k := range m { // want `map iteration order is nondeterministic`
+		out = append(out, k+"!")
+	}
+	return out
+}
+
+// collectThenSort is the canonical idiom: collect, then sort — no diagnostic.
+func collectThenSort(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// accumulate only folds integers commutatively — no diagnostic.
+func accumulate(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// waived is order-sensitive but explicitly marked — no diagnostic.
+func waived(m map[string]int, sink func(string)) {
+	//vrex:unordered diagnostic ordering is tested elsewhere
+	for k := range m {
+		sink(k)
+	}
+}
+
+// countOnly uses no iteration variables — trivially insensitive.
+func countOnly(m map[string]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}

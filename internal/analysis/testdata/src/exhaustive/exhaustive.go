@@ -1,0 +1,83 @@
+// Package exh seeds non-exhaustive Kind-enum switches (and the compliant
+// shapes) for the analyzer's analysistest corpus.
+package exh
+
+// PhaseKind mirrors the simulator's *Kind enums.
+type PhaseKind int
+
+const (
+	PhasePrefill PhaseKind = iota
+	PhaseDecode
+	PhaseIdle
+	numPhaseKinds // bounds sentinel: exempt from coverage
+)
+
+// StallKind is a second enum to prove coverage is tracked per type.
+type StallKind int
+
+const (
+	StallNone StallKind = iota
+	StallFetch
+	StallCompute
+)
+
+// missingOne skips PhaseIdle.
+func missingOne(p PhaseKind) string {
+	switch p { // want `switch over exh\.PhaseKind is not exhaustive: missing PhaseIdle`
+	case PhasePrefill:
+		return "prefill"
+	case PhaseDecode:
+		return "decode"
+	}
+	return "?"
+}
+
+// missingMany covers a single constant.
+func missingMany(p PhaseKind) bool {
+	switch p { // want `switch over exh\.PhaseKind is not exhaustive: missing PhaseDecode, PhaseIdle`
+	case PhasePrefill:
+		return true
+	}
+	return false
+}
+
+// missingStall skips StallCompute on the second enum type.
+func missingStall(s StallKind) bool {
+	switch s { // want `switch over exh\.StallKind is not exhaustive: missing StallCompute`
+	case StallNone, StallFetch:
+		return true
+	}
+	return false
+}
+
+// covered names every constant; the num sentinel is not required.
+func covered(p PhaseKind) string {
+	switch p {
+	case PhasePrefill:
+		return "prefill"
+	case PhaseDecode:
+		return "decode"
+	case PhaseIdle:
+		return "idle"
+	}
+	return "?"
+}
+
+// defaulted opts out with an explicit default clause.
+func defaulted(p PhaseKind) string {
+	switch p {
+	case PhasePrefill:
+		return "prefill"
+	default:
+		return "other"
+	}
+}
+
+// notAKindEnum: switches over plain ints are out of scope.
+func notAKindEnum(n int) bool {
+	switch n {
+	case 1:
+		return true
+	}
+	return false
+}

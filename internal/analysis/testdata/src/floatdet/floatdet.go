@@ -1,0 +1,66 @@
+// Package floatdet seeds float-determinism violations (and the recognized
+// idioms) for the analyzer's analysistest corpus.
+package floatdet
+
+import (
+	"fmt"
+	"math"
+)
+
+// identical compares two computed floats exactly.
+func identical(a, b float64) bool {
+	return a == b // want `exact == on floating-point values`
+}
+
+// drifted uses exact inequality.
+func drifted(a, b float32) bool {
+	return a != b // want `exact != on floating-point values`
+}
+
+// histogram keys a map by floats.
+var histogram map[float64]int // want `map keyed by float64`
+
+// reportRatio formats a division with no finiteness guard anywhere.
+func reportRatio(num, den float64) string {
+	return fmt.Sprintf("%.2f", num/den) // want `float division formatted directly with no math\.IsNaN/IsInf guard`
+}
+
+// zeroSentinel compares against a constant: the exact-sentinel idiom.
+func zeroSentinel(v float64) bool {
+	return v == 0
+}
+
+// less is the deterministic tie-break comparator idiom.
+func less(a, b float64, i, j int) bool {
+	if a != b {
+		return a < b
+	}
+	return i < j
+}
+
+// guardedRatio checks finiteness in-function — no diagnostic.
+func guardedRatio(num, den float64) string {
+	r := num / den
+	if math.IsNaN(r) || math.IsInf(r, 0) {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.2f", r)
+}
+
+// positiveRatio divides under an explicit denominator guard.
+func positiveRatio(num, den float64) string {
+	if den > 0 {
+		return fmt.Sprintf("%.2f", num/den)
+	}
+	return "n/a"
+}
+
+// unitScale divides by a nonzero constant: cannot mint a non-finite value.
+func unitScale(ns float64) string {
+	return fmt.Sprintf("%.1fms", ns/1e6)
+}
+
+// waivedEq is exact on purpose and marked.
+func waivedEq(a, b float64) bool {
+	return a == b //vrex:float-eq bit-identical replay check
+}

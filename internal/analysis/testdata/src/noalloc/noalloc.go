@@ -1,0 +1,47 @@
+// Package noalloc seeds //vrex:noalloc violations (and the amortized-grow
+// idioms that must pass) for the analyzer's analysistest corpus.
+package noalloc
+
+import "fmt"
+
+func sink(v interface{}) { _ = v }
+
+//vrex:noalloc
+func hotBad(xs, dst []int) []int {
+	fmt.Println(len(xs))   // want `fmt\.Println in //vrex:noalloc function allocates`
+	seen := map[int]bool{} // want `map literal in //vrex:noalloc function allocates`
+	_ = seen
+	buf := make([]int, len(xs)) // want `make in //vrex:noalloc function allocates`
+	_ = buf
+	other := append(xs, 1) // want `append to a foreign slice`
+	_ = other
+	f := func() {} // want `closure in //vrex:noalloc function allocates`
+	f()
+	sink(len(xs)) // want `boxed into interface`
+	return dst
+}
+
+//vrex:noalloc
+func hotGood(xs []int, scratch []int) []int {
+	if cap(scratch) < len(xs) {
+		scratch = make([]int, 0, len(xs)) // guarded: amortized grow is the point
+	}
+	scratch = scratch[:0]
+	for _, x := range xs {
+		scratch = append(scratch, x*2) // self-append into owned scratch
+	}
+	return scratch
+}
+
+//vrex:noalloc
+func hotWaived() *int {
+	p := new(int) //vrex:alloc-ok one-time lazily initialized state
+	return p
+}
+
+// cold is unannotated: anything goes.
+func cold(n int) []int {
+	out := make([]int, n)
+	fmt.Println(n)
+	return out
+}

@@ -1,0 +1,73 @@
+// Package policyreg seeds policy-registry contract violations (and compliant
+// factories) for the analyzer's analysistest corpus.
+package policyreg
+
+import (
+	"vrex/internal/named"
+	"vrex/internal/policyspec"
+)
+
+// Controller is the exported policy surface factories construct.
+type Controller struct {
+	Ratio float64
+}
+
+// NewLeaky builds a Controller but never validates the spec; the expectation
+// anchors to the declaration line.
+func NewLeaky(sp *policyspec.Spec) (*Controller, error) { // want `NewLeaky consumes a \*policyspec\.Spec .* never calls Spec\.CheckConsumed`
+	return &Controller{Ratio: sp.Float("ratio", 0.5)}, nil
+}
+
+// FromString parses its own spec and is just as leaky.
+func FromString(s string) (*Controller, error) { // want `FromString consumes a \*policyspec\.Spec .* never calls Spec\.CheckConsumed`
+	sp, err := policyspec.Parse(s)
+	if err != nil {
+		return nil, err
+	}
+	return &Controller{Ratio: sp.Float("ratio", 0.5)}, nil
+}
+
+// NewChecked validates before constructing — no diagnostic.
+func NewChecked(sp *policyspec.Spec) (*Controller, error) {
+	r := sp.Float("ratio", 0.5)
+	if err := sp.CheckConsumed("ratio"); err != nil {
+		return nil, err
+	}
+	return &Controller{Ratio: r}, nil
+}
+
+// ratioParam returns only basics: a helper, not a factory — no diagnostic.
+func ratioParam(sp *policyspec.Spec, key string) float64 {
+	return sp.Float(key, 0.5)
+}
+
+// Resolve hands the spec to a registry-resolved factory, which owns the
+// CheckConsumed at its definition site — no diagnostic.
+func Resolve(name string, sp *policyspec.Spec) (*Controller, error) {
+	f, ok := factories.Lookup(name)
+	if !ok {
+		return nil, listed.Unknown(name)
+	}
+	return f(sp)
+}
+
+// hidden has no exported accessor reaching .Names().
+var hidden = named.New[func() int]("policyreg", "hidden") // want `registry hidden has no exported accessor`
+
+// listed is reachable through Names below — no diagnostic.
+var listed = named.New[func() int]("policyreg", "listed")
+
+// factories is reachable through FactoryNames below — no diagnostic.
+var factories = named.New[func(*policyspec.Spec) (*Controller, error)]("policyreg", "factories")
+
+// Names lists the listed registry.
+func Names() []string { return listed.Names() }
+
+// FactoryNames lists the factory registry.
+func FactoryNames() []string { return factories.Names() }
+
+func init() {
+	hidden.Register("one", func() int { return 1 })
+	listed.Register("two", func() int { return 2 })
+	factories.Register("checked", NewChecked)
+}

@@ -537,7 +537,11 @@ func (r *clusterRun) observe(inner serve.Observer) serve.Observer {
 			case serve.EventFrameDropped:
 				r.winDropped[w]++
 				r.tickDropped++
+			default:
+				// unreachable: the outer case narrows to these three kinds
 			}
+		default:
+			// every other event kind is outside the SLO window accounting
 		}
 		if inner != nil {
 			inner.Observe(ev)

@@ -391,6 +391,8 @@ func (r *ReSV) SelectTokens(layer int, cache *kvcache.LayerCache, queries *tenso
 
 // finishScoreRow scales one kv head's product row into its (query, head)
 // mass row and exp-normalises it.
+//
+//vrex:noalloc
 func finishScoreRow(sc *layerScratch, masses [][]float32, pr, kvh, group, heads int, invSqrt float32) {
 	qi := pr / group
 	h := kvh*group + pr%group
@@ -414,6 +416,8 @@ func growMirror(m *tensor.Matrix, rows, cols int) {
 
 // growInts returns a length-n int buffer, reusing buf's storage when it is
 // large enough.
+//
+//vrex:noalloc
 func growInts(buf []int, n int) []int {
 	if cap(buf) < n {
 		return make([]int, n)
@@ -428,6 +432,8 @@ const sortIntsCutoff = 48
 // sortInts sorts ascending: insertion sort for short, mostly-ordered
 // selections (the cluster table is in creation order), stdlib sort beyond
 // the cutoff where quadratic cost would bite.
+//
+//vrex:noalloc
 func sortInts(xs []int) {
 	if len(xs) > sortIntsCutoff {
 		slices.Sort(xs)

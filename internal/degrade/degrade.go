@@ -340,9 +340,9 @@ func checkRange(policy, key string, v, lo, hi float64, kind int) error {
 		return bad("a finite number")
 	case v < 0:
 		return bad("non-negative")
-	case v < lo || (kind != closed && v == lo):
+	case v < lo || (kind != closed && v == lo): //vrex:float-eq open-interval boundary is exact by definition
 		return bad("a value")
-	case v > hi || (kind == open && v == hi):
+	case v > hi || (kind == open && v == hi): //vrex:float-eq open-interval boundary is exact by definition
 		return bad("a value")
 	}
 	return nil

@@ -156,13 +156,11 @@ func RunMany(ids []string, opts Options, w io.Writer, format report.Format) erro
 		idx int
 		out []byte
 	}
-	// Buffered to len(ids): the fan-out goroutine can never block on send,
+	// Buffered to len(ids): the fan-out supervisor can never block on send,
 	// so an early return (write error) leaks nothing.
 	results := make(chan rendered, len(ids))
-	var workerPanic any
-	go func() {
+	wait := parallel.Go(func() {
 		defer close(results)
-		defer func() { workerPanic = recover() }()
 		parallel.ForEach(opts.workers(), len(ids), func(i int) {
 			var buf bytes.Buffer
 			for _, t := range registry[ids[i]](opts) {
@@ -171,7 +169,7 @@ func RunMany(ids []string, opts Options, w io.Writer, format report.Format) erro
 			}
 			results <- rendered{idx: i, out: buf.Bytes()}
 		})
-	}()
+	})
 	pending := make(map[int][]byte)
 	next := 0
 	for r := range results {
@@ -184,9 +182,7 @@ func RunMany(ids []string, opts Options, w io.Writer, format report.Format) erro
 			next++
 		}
 	}
-	if workerPanic != nil {
-		panic(workerPanic)
-	}
+	wait() // re-raises a runner panic with its original value
 	return nil
 }
 

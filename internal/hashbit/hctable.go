@@ -174,6 +174,8 @@ func (t *HCTable) Insert(tokenIdx int, key []float32, sig Signature) (clusterID,
 // boundary backwards takes a full-rescan slow path. The incremental
 // bookkeeping requires monotonically increasing token indices and panics if
 // tokens were inserted out of order.
+//
+//vrex:noalloc
 func (t *HCTable) AdvancePast(boundary int) {
 	if boundary == t.pastBoundary {
 		return
@@ -208,6 +210,8 @@ func (t *HCTable) AdvancePast(boundary int) {
 
 // rewindPast is the slow path for a boundary that moved backwards: every
 // cluster's cursor is recomputed by binary search and the dirty list rebuilt.
+//
+//vrex:noalloc
 func (t *HCTable) rewindPast(boundary int) {
 	t.dirty = t.dirty[:0]
 	t.numPast = 0

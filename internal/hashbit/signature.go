@@ -40,6 +40,8 @@ func (s Signature) Clone() Signature {
 // Hamming returns the number of differing bits between a and b. This is the
 // XOR-accumulate operation the HCU hardware unit executes. The signatures
 // must have equal word length.
+//
+//vrex:noalloc
 func Hamming(a, b Signature) int {
 	if len(a) != len(b) {
 		panic("hashbit: Hamming length mismatch")

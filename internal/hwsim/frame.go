@@ -161,6 +161,8 @@ func (s *Sim) Chunk(n, kvLen, batch int, stage StageKind) Breakdown {
 		hamOps := float64(n*batch) * cand * defaultNHp / 8
 		wicOps := 6 * float64(rows*s.LLM.Heads) * cand * wtuExamineFraction(s.ExamineFraction)
 		predIrregularOps = (hamOps + wicOps) * float64(s.LLM.Layers)
+	case PredNone:
+		// no prediction pass: nothing irregular to charge
 	}
 	if s.Pol.Pred != PredNone {
 		if s.Pol.PredOnDevice {

@@ -125,6 +125,8 @@ func (s *Sim) Step(reqs []StepReq) Breakdown {
 			hamOps := float64(n) * cand * defaultNHp / 8
 			wicOps := 6 * float64(n*s.LLM.Heads) * cand * wtuExamineFraction(s.ExamineFraction)
 			predIrregularOps += (hamOps + wicOps) * layers
+		case PredNone:
+			// no prediction pass: nothing irregular to charge
 		}
 		if s.Pol.Pred != PredNone && !s.Pol.PredOnDevice {
 			cyc := DRECycles{

@@ -101,6 +101,8 @@ func (l *ClusterLayout) SetClusters(clusters [][]int) {
 // Segments implements Layout: runs of consecutive storage slots. Slot
 // addresses are cluster-major (cluster 0's members first, in insertion
 // order, then cluster 1's, ...), recovered from the per-cluster sizes.
+//
+//vrex:noalloc
 func (l *ClusterLayout) Segments(tokens []int) int {
 	if len(tokens) == 0 {
 		return 0
@@ -144,6 +146,8 @@ func runsOf(tokens []int, addr func(int) int) int {
 }
 
 // runsOfAddrs counts maximal runs of consecutive values, sorting in place.
+//
+//vrex:noalloc
 func runsOfAddrs(addrs []int) int {
 	slices.Sort(addrs)
 	runs := 1

@@ -35,6 +35,8 @@ type Account struct {
 
 // moveTime prices moving pages across the link, bounded by whichever of the
 // link and the backing store is slower.
+//
+//vrex:noalloc
 func (t Transfer) moveTime(pages int) float64 {
 	if pages <= 0 {
 		return 0
@@ -52,6 +54,8 @@ func (t Transfer) moveTime(pages int) float64 {
 }
 
 // PageIn implements Mover: read pages back from the backing store.
+//
+//vrex:noalloc
 func (t Transfer) PageIn(pages int) float64 {
 	d := t.moveTime(pages)
 	if t.Acct != nil && pages > 0 {
@@ -65,6 +69,8 @@ func (t Transfer) PageIn(pages int) float64 {
 // writes are approximated with the drive's read-path model (flash program
 // time is hidden behind the device write cache at these batch sizes, so the
 // link and queue overheads dominate, as in the SSD read model).
+//
+//vrex:noalloc
 func (t Transfer) PageOut(pages int) float64 {
 	d := t.moveTime(pages)
 	if t.Acct != nil && pages > 0 {

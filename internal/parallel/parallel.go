@@ -139,3 +139,21 @@ func SeedFor(base uint64, i int) uint64 {
 	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
 	return z ^ (z >> 31)
 }
+
+// Go runs fn on its own goroutine and returns a wait function that blocks
+// until fn finishes, re-raising any panic on the waiter's goroutine. It is
+// the sanctioned way to detach a supervisor task from its caller — bare go
+// statements outside this package are rejected by vrex-vet — because the
+// mandatory join keeps the goroutine's lifetime lexical and the panic
+// handoff keeps crash semantics identical to running fn inline.
+func Go(fn func()) (wait func()) {
+	done := make(chan *Panic, 1)
+	go func() {
+		done <- run(0, func(int) { fn() })
+	}()
+	return func() {
+		if p := <-done; p != nil {
+			panic(p.Value)
+		}
+	}
+}

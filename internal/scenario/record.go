@@ -27,6 +27,8 @@ func (r *Recorder) Observe(e serve.Event) {
 		r.rec.Start(e.Session, e.Time, e.Class)
 	case serve.EventSessionEnd:
 		r.rec.End(e.Session, e.Time)
+	default:
+		// only session lifecycle shapes the replayed trace
 	}
 }
 

@@ -133,6 +133,8 @@ func (c *Collector) Metrics(width, duration float64) *Metrics {
 			w.Restored++
 		case serve.EventSessionMigrated:
 			w.Migrations++
+		default:
+			// remaining kinds land in Counters above but have no window column
 		}
 	}
 	active := 0

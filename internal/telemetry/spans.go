@@ -83,6 +83,8 @@ func BuildSpans(events []serve.Event) ([]Span, error) {
 			sp.Queued++
 		case serve.EventSessionAdmitted:
 			sp.Admissions++
+		default:
+			// batch/device events carry no session and never reach a span
 		}
 	}
 	sort.Ints(order)

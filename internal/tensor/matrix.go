@@ -138,6 +138,8 @@ func MatMul(a, b *Matrix) *Matrix {
 // matmulRow accumulates one output row: orow += arow * b. The k-loop is
 // unrolled 4-wide so each pass touches four B rows per load/store of the
 // output row, which is the kernel's memory bottleneck.
+//
+//vrex:noalloc
 func matmulRow(arow []float32, b *Matrix, orow []float32) {
 	n := b.Cols
 	k := 0
@@ -198,6 +200,8 @@ func MatMulTInto(dst, a, b *Matrix) {
 }
 
 // matmulTRow fills one output row of a * b^T.
+//
+//vrex:noalloc
 func matmulTRow(arow []float32, b *Matrix, orow []float32) {
 	for j := 0; j < b.Rows; j++ {
 		orow[j] = float32(mathx.Dot(arow, b.Row(j)))

@@ -62,7 +62,7 @@ func (ws *rowScratch) selectRowEarlyExit(mass []float32, counts []int, ratio flo
 	th := total * ratio
 	start := len(ws.selected)
 
-	if maxv == minv {
+	if maxv == minv { //vrex:float-eq degenerate-range detection wants bit equality, not closeness
 		// Degenerate range: a single bucket holds everything; accumulate in
 		// index order until the threshold trips.
 		for j := 0; j < n; j++ {

@@ -65,6 +65,8 @@ type rowScratch struct {
 }
 
 // grabInts returns a length-n scratch slice, growing buf only when needed.
+//
+//vrex:noalloc
 func grabInts(buf *[]int, n int) []int {
 	if cap(*buf) < n {
 		*buf = make([]int, n)
